@@ -1,0 +1,347 @@
+package rain
+
+// Benchmarks regenerating the computational side of every paper artifact;
+// `go run ./cmd/rainbench` produces the corresponding tables. The mapping
+// from benchmarks to tables/figures is the per-experiment index in
+// DESIGN.md; recorded results live in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rain/internal/ecc"
+	"rain/internal/linkstate"
+	"rain/internal/membership"
+	"rain/internal/mpi"
+	"rain/internal/rainwall"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/snow"
+	"rain/internal/storage"
+	"rain/internal/topology"
+)
+
+// --- E12-E15: Tables 1a/1b/2 and the §4.1 code comparison ---
+
+func benchCodes(b *testing.B) []ecc.Code {
+	b.Helper()
+	var out []ecc.Code
+	for _, ctor := range []func() (ecc.Code, error){
+		func() (ecc.Code, error) { return ecc.NewBCode(6) },
+		func() (ecc.Code, error) { return ecc.NewXCode(7) },
+		func() (ecc.Code, error) { return ecc.NewEvenOdd(5) },
+		func() (ecc.Code, error) { return ecc.NewReedSolomon(6, 4) },
+	} {
+		c, err := ctor()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// BenchmarkEncode measures encode throughput per code family (E15: the
+// XOR-only array codes vs GF(256) Reed-Solomon).
+func BenchmarkEncode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	for _, c := range benchCodes(b) {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecode measures worst-case (max erasures) decode throughput
+// (E14/E15: Table 2's recovery, at scale).
+func BenchmarkDecode(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(data)
+	for _, c := range benchCodes(b) {
+		shards, err := c.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				for j := 0; j < c.N()-c.K(); j++ {
+					work[(i+j)%c.N()] = nil
+				}
+				if _, err := c.Decode(work, len(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReconstructOneShard measures the common repair case: a single
+// lost node rebuilt (the §4.2 hot-swap path).
+func BenchmarkReconstructOneShard(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(3)).Read(data)
+	for _, c := range benchCodes(b) {
+		shards, err := c.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				work[i%c.N()] = nil
+				if err := c.Reconstruct(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E1-E3: Figs 3-5 / Theorem 2.1 ---
+
+// BenchmarkTopologyWorstCase3Faults measures exhaustive 3-fault analysis of
+// the two constructions (the computation behind E1/E2's table).
+func BenchmarkTopologyWorstCase3Faults(b *testing.B) {
+	naive, err := topology.NewNaive(topology.RingFabric, 10, 10, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	diam, err := topology.NewDiameter(topology.RingFabric, 10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		top  *topology.Topology
+	}{{"naive", naive}, {"diameter", diam}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				worst, _ := tc.top.WorstCase(tc.top.SwitchElements(), 3)
+				if worst.NodesLost > 6 {
+					b.Fatalf("bound violated: %d", worst.NodesLost)
+				}
+			}
+		})
+	}
+}
+
+// --- E4-E6: Figs 6-8 ---
+
+// BenchmarkLinkStateProtocol measures the token-counting engine under an
+// adversarial event mix.
+func BenchmarkLinkStateProtocol(b *testing.B) {
+	for _, slack := range []int{2, 8} {
+		b.Run(fmt.Sprintf("slack=%d", slack), func(b *testing.B) {
+			a, err := linkstate.NewEndpoint(slack, linkstate.TinOnToken)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := linkstate.NewEndpoint(slack, linkstate.TinOnToken)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var qAB, qBA []int
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < b.N; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					if n := a.Tout(); n > 0 {
+						qAB = append(qAB, n)
+					}
+				case 1:
+					if n := p.Tout(); n > 0 {
+						qBA = append(qBA, n)
+					}
+				case 2:
+					if len(qAB) > 0 {
+						qAB = qAB[1:]
+						if n := p.Token(); n > 0 {
+							qBA = append(qBA, n)
+						}
+					}
+				case 3:
+					if len(qBA) > 0 {
+						qBA = qBA[1:]
+						if n := a.Token(); n > 0 {
+							qAB = append(qAB, n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E7-E11: Fig 9 ---
+
+// BenchmarkMembershipTokenRound measures simulated wall time per full token
+// revolution of a 4-node ring (Fig 9a dynamics).
+func BenchmarkMembershipTokenRound(b *testing.B) {
+	s := sim.New(5)
+	net := sim.NewNetwork(s)
+	c := membership.NewCluster(s, net, []string{"A", "B", "C", "D"}, membership.Config{})
+	s.RunFor(500 * time.Millisecond)
+	b.ResetTimer()
+	start := c.Members["A"].TokenVisits()
+	for i := 0; i < b.N; i++ {
+		target := start + uint64(i+1)
+		for c.Members["A"].TokenVisits() < target {
+			if !s.Step() {
+				b.Fatal("simulation drained")
+			}
+		}
+	}
+}
+
+// --- E16: §4.2 ---
+
+// BenchmarkStoreRetrieve measures distributed store+retrieve of 1 MiB
+// objects over the (6,4) B-Code.
+func BenchmarkStoreRetrieve(b *testing.B) {
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := make([]*storage.Server, 6)
+	for i := range servers {
+		servers[i] = storage.NewServer(fmt.Sprintf("s%d", i), i)
+	}
+	st, err := storage.New(code, servers, storage.LeastLoaded, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(4)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("obj%d", i%8)
+		if _, err := st.Put(id, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E18: §5.2 ---
+
+// BenchmarkSnowRequests measures end-to-end request service rate of a
+// 4-node SNOW cluster in simulated time (requests per benchmark op; one op
+// = 40 requests served exactly once).
+func BenchmarkSnowRequests(b *testing.B) {
+	s := sim.New(12)
+	net := sim.NewNetwork(s)
+	names := []string{"A", "B", "C", "D"}
+	c := snow.New(s, net, names, snow.Config{MaxPerHold: 8})
+	s.RunFor(500 * time.Millisecond)
+	served := 0
+	c.OnReply(func(server, reqID string) { served++ })
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 40; j++ {
+			c.Submit(names[j%4], fmt.Sprintf("r%d", next))
+			next++
+		}
+		for served < next {
+			if !s.Step() {
+				b.Fatal("simulation drained")
+			}
+		}
+	}
+}
+
+// --- E20: §6.3 ---
+
+// BenchmarkRainwallCluster measures the simulated 4-gateway cluster
+// processing its offered load (one op = one second of cluster traffic).
+func BenchmarkRainwallCluster(b *testing.B) {
+	s := sim.New(13)
+	net := sim.NewNetwork(s)
+	names := []string{"gw1", "gw2", "gw3", "gw4"}
+	vips := make([]rainwall.VIP, 8)
+	loads := []float64{100, 70, 50, 30, 20, 15, 10, 5}
+	for i := range vips {
+		vips[i] = rainwall.VIP{Name: fmt.Sprintf("vip%d", i)}
+	}
+	c := rainwall.New(s, net, names, vips, rainwall.Config{})
+	for i, l := range loads {
+		c.SetVIPLoad(fmt.Sprintf("vip%d", i), l)
+	}
+	s.RunFor(3 * time.Second)
+	c.StartTraffic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFor(time.Second)
+	}
+	if c.ThroughputMbps() < 100 {
+		b.Fatalf("cluster throughput collapsed: %.1f", c.ThroughputMbps())
+	}
+}
+
+// --- E22: §2.5 ---
+
+// BenchmarkRUDPMeshThroughput measures reliable datagram delivery through
+// the simulated two-path mesh (one op = one delivered datagram).
+func BenchmarkRUDPMeshThroughput(b *testing.B) {
+	s := sim.New(14)
+	net := sim.NewNetwork(s)
+	nodes := []string{"a", "b"}
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: 2, Window: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	mesh.OnMessage("b", func(string, []byte) { delivered++ })
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mesh.Send("a", "b", payload)
+		for delivered <= i {
+			if !s.Step() {
+				b.Fatal("simulation drained")
+			}
+		}
+	}
+}
+
+// BenchmarkMPIAllReduce measures a 4-rank allreduce over the mesh (one op =
+// one collective).
+func BenchmarkMPIAllReduce(b *testing.B) {
+	s := sim.New(15)
+	net := sim.NewNetwork(s)
+	nodes := []string{"r0", "r1", "r2", "r3"}
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := mpi.NewRuntime(mesh)
+	b.ResetTimer()
+	err = rt.Run(4, time.Hour, func(c *mpi.Comm) {
+		for i := 0; i < b.N; i++ {
+			want := float64(0+1+2+3) + 4*float64(i)
+			got := c.AllReduce(mpi.Sum, float64(c.Rank())+float64(i))
+			if got != want {
+				panic(fmt.Sprintf("allreduce %v want %v", got, want))
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// RAINCheck (§5.3): distributed checkpointing with rollback recovery. A
+// leader assigns deterministic jobs to six nodes; every job checkpoints its
+// state into the erasure-coded store; two nodes are killed mid-run and
+// every job still completes with a bit-exact result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rain/internal/checkpoint"
+	"rain/internal/ecc"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+func main() {
+	s := sim.New(7)
+	net := sim.NewNetwork(s)
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"node0", "node1", "node2", "node3", "node4", "node5"}
+	servers := make([]*storage.Server, len(names))
+	for i, n := range names {
+		servers[i] = storage.NewServer(n, i)
+	}
+	store, err := storage.New(code, servers, storage.LeastLoaded, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := checkpoint.New(s, net, names, store, checkpoint.Config{CheckpointEvery: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var jobs []checkpoint.JobSpec
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, checkpoint.JobSpec{
+			ID: fmt.Sprintf("simulation-%d", i), Steps: 400, Seed: uint64(9000 + i),
+		})
+	}
+	sys.Submit(jobs...)
+	fmt.Println("submitted 8 jobs of 400 steps, checkpoint every 25 steps")
+
+	s.RunFor(617 * time.Millisecond)
+	fmt.Println("killing node2 and node4 mid-run...")
+	sys.Kill("node2")
+	s.RunFor(413 * time.Millisecond)
+	sys.Kill("node4")
+	s.RunFor(40 * time.Second)
+
+	done := sys.Done()
+	correct := 0
+	for _, sp := range jobs {
+		got := done[sp.ID]
+		want := checkpoint.ExpectedResult(sp)
+		mark := "OK "
+		if got != want {
+			mark = "BAD"
+		} else {
+			correct++
+		}
+		fmt.Printf("  %s %-14s result=%016x\n", mark, sp.ID, got)
+	}
+	reexec := 0
+	for _, sp := range jobs {
+		reexec += sys.StepsExecuted()[sp.ID] - sp.Steps
+	}
+	fmt.Printf("%d/8 jobs bit-exact; %d steps re-executed after rollback; %d reassignments\n",
+		correct, reexec, sys.Reassignments())
+}

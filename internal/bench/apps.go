@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rain/internal/checkpoint"
+	"rain/internal/ecc"
+	"rain/internal/mpi"
+	"rain/internal/rainwall"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/snow"
+	"rain/internal/storage"
+	"rain/internal/video"
+)
+
+func newStore(policy storage.Policy) (*storage.Store, []*storage.Server, error) {
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		return nil, nil, err
+	}
+	servers := make([]*storage.Server, code.N())
+	for i := range servers {
+		servers[i] = storage.NewServer(fmt.Sprintf("node%d", i), i)
+	}
+	st, err := storage.New(code, servers, policy, 7)
+	return st, servers, err
+}
+
+// runStorage regenerates the §4.2 behaviour table: retrieve success under a
+// node-kill sweep, and read-load distribution per selection policy.
+func runStorage(w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-20s\n", "kills", "retrieve")
+	for kills := 0; kills <= 3; kills++ {
+		st, servers, err := newStore(storage.FirstK)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Put("obj", make([]byte, 4096)); err != nil {
+			return err
+		}
+		for i := 0; i < kills; i++ {
+			servers[i].SetDown(true)
+		}
+		_, err = st.Get("obj")
+		status := "ok"
+		if err != nil {
+			status = "fails (" + err.Error() + ")"
+		}
+		fmt.Fprintf(w, "%-6d %-20s\n", kills, status)
+	}
+	fmt.Fprintln(w, "\nread-load distribution over 600 retrieves (k=4 of n=6):")
+	fmt.Fprintf(w, "%-12s %s\n", "policy", "reads per server")
+	for _, pol := range []storage.Policy{storage.FirstK, storage.LeastLoaded, storage.Nearest, storage.RandomK} {
+		st, servers, err := newStore(pol)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Put("obj", make([]byte, 4096)); err != nil {
+			return err
+		}
+		for i := 0; i < 600; i++ {
+			if _, err := st.Get("obj"); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "%-12s", pol)
+		for _, s := range servers {
+			r, _ := s.Loads()
+			fmt.Fprintf(w, " %5d", r)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runVideo regenerates the RAINVideo availability experiment: playback
+// under progressively deeper server failures.
+func runVideo(w io.Writer) error {
+	fmt.Fprintf(w, "%-26s %8s %8s %8s\n", "scenario", "played", "stalls", "corrupt")
+	scenarios := []struct {
+		name   string
+		script video.FaultScript
+	}{
+		{"fault-free", video.FaultScript{}},
+		{"1 server down @10", video.FaultScript{Down: map[int][]int{10: {0}}}},
+		{"2 servers down @10,@20", video.FaultScript{Down: map[int][]int{10: {0}, 20: {3}}}},
+		{"3 down @10 (below k)", video.FaultScript{Down: map[int][]int{10: {0, 1, 2}}}},
+		{"3 down @10, 1 back @25", video.FaultScript{
+			Down: map[int][]int{10: {0, 1, 2}}, Up: map[int][]int{25: {2}}}},
+	}
+	for _, sc := range scenarios {
+		st, _, err := newStore(storage.LeastLoaded)
+		if err != nil {
+			return err
+		}
+		sys := video.NewSystem(st, video.Config{BlockSize: 16 * 1024})
+		if err := sys.AddVideo("demo", 40, 11); err != nil {
+			return err
+		}
+		rep, err := sys.Play("demo", sc.script)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s %8d %8d %8d\n", sc.name, rep.BlocksPlayed, rep.Stalls, rep.Corrupt)
+	}
+	return nil
+}
+
+// runSnow regenerates the SNOW exactly-once experiment: requests under
+// fault-free and one-server-killed runs, with the per-server service
+// distribution.
+func runSnow(w io.Writer) error {
+	run := func(kill bool) (exactlyOnce, total int, perServer map[string]int) {
+		s := sim.New(21)
+		net := sim.NewNetwork(s)
+		names := []string{"A", "B", "C", "D"}
+		c := snow.New(s, net, names, snow.Config{MaxPerHold: 4})
+		s.RunFor(500 * time.Millisecond)
+		for i := 0; i < 200; i++ {
+			c.Submit(names[i%len(names)], fmt.Sprintf("req-%03d", i))
+		}
+		if kill {
+			s.RunFor(300 * time.Millisecond)
+			for _, n := range names {
+				if !c.M.Members[n].HasToken() {
+					c.M.Stop(n)
+					break
+				}
+			}
+		}
+		s.RunFor(10 * time.Second)
+		perServer = map[string]int{}
+		for _, n := range names {
+			perServer[n] = c.Servers[n].Served()
+		}
+		for _, servers := range c.Replies() {
+			total++
+			if len(servers) == 1 {
+				exactlyOnce++
+			}
+		}
+		return exactlyOnce, total, perServer
+	}
+	for _, kill := range []bool{false, true} {
+		once, total, per := run(kill)
+		label := "fault-free"
+		if kill {
+			label = "one server killed"
+		}
+		fmt.Fprintf(w, "%-18s requests=200 replied=%d exactly-once=%d per-server=%v\n",
+			label, total, once, per)
+	}
+	return nil
+}
+
+// runCheckpoint regenerates the RAINCheck experiment: jobs complete with
+// bit-exact results across node failures; rollback cost is the re-executed
+// steps.
+func runCheckpoint(w io.Writer) error {
+	s := sim.New(33)
+	net := sim.NewNetwork(s)
+	st, _, err := newStore(storage.LeastLoaded)
+	if err != nil {
+		return err
+	}
+	names := []string{"node0", "node1", "node2", "node3", "node4", "node5"}
+	sys, err := checkpoint.New(s, net, names, st, checkpoint.Config{})
+	if err != nil {
+		return err
+	}
+	var jobs []checkpoint.JobSpec
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, checkpoint.JobSpec{ID: fmt.Sprintf("job%d", i), Steps: 300, Seed: uint64(100 + i)})
+	}
+	sys.Submit(jobs...)
+	s.RunFor(500 * time.Millisecond)
+	sys.Kill("node2")
+	s.RunFor(time.Second)
+	sys.Kill("node4")
+	s.RunFor(30 * time.Second)
+	done := sys.Done()
+	correct := 0
+	for _, sp := range jobs {
+		if done[sp.ID] == checkpoint.ExpectedResult(sp) {
+			correct++
+		}
+	}
+	totalSteps := 0
+	for _, sp := range jobs {
+		totalSteps += sys.StepsExecuted()[sp.ID]
+	}
+	fmt.Fprintf(w, "jobs=%d steps/job=300 kills=2 completed-correct=%d re-executed-steps=%d reassignments=%d\n",
+		len(jobs), correct, totalSteps-len(jobs)*300, sys.Reassignments())
+	return nil
+}
+
+// rainwallLoads is the E20 traffic mix (see EXPERIMENTS.md): 300 Mbps
+// total with a heaviest flow exceeding one gateway's 67 Mbps capacity, so
+// VIP-granular balancing cannot reach a perfect split — the effect that
+// bends the paper's 4-node scaling to 3.75x.
+var rainwallLoads = []float64{110, 72, 40, 30, 20, 12, 10, 6}
+
+func newRainwall(gateways int) *rainwall.Cluster {
+	s := sim.New(616)
+	net := sim.NewNetwork(s)
+	names := make([]string, gateways)
+	for i := range names {
+		names[i] = fmt.Sprintf("gw%d", i+1)
+	}
+	vips := make([]rainwall.VIP, len(rainwallLoads))
+	for i := range vips {
+		vips[i] = rainwall.VIP{Name: fmt.Sprintf("vip%d", i)}
+	}
+	c := rainwall.New(s, net, names, vips, rainwall.Config{})
+	for i, l := range rainwallLoads {
+		c.SetVIPLoad(fmt.Sprintf("vip%d", i), l)
+	}
+	return c
+}
+
+// runRainwall regenerates the §6.3 throughput scaling measurement
+// (paper: 67 Mbps single node, 251 Mbps with 4 nodes = 3.75x).
+func runRainwall(w io.Writer) error {
+	fmt.Fprintf(w, "%-9s %12s %9s   (paper: 1 node 67 Mbps, 4 nodes 251 Mbps = 3.75x)\n",
+		"gateways", "Mbps", "speedup")
+	base := 0.0
+	for _, gw := range []int{1, 2, 3, 4} {
+		c := newRainwall(gw)
+		c.S.RunFor(3 * time.Second)
+		c.StartTraffic()
+		c.ResetTrafficStats()
+		c.S.RunFor(5 * time.Second)
+		mbps := c.ThroughputMbps()
+		if gw == 1 {
+			base = mbps
+		}
+		fmt.Fprintf(w, "%-9d %12.1f %9.2fx\n", gw, mbps, mbps/base)
+	}
+	return nil
+}
+
+// runRainwallFailover regenerates the §6.2 fail-over measurement: kill one
+// of four gateways under load and report per-VIP fail-over latency and the
+// dropped traffic window (paper: about two seconds with production timers).
+func runRainwallFailover(w io.Writer) error {
+	c := newRainwall(4)
+	c.S.RunFor(3 * time.Second)
+	c.StartTraffic()
+	c.S.RunFor(2 * time.Second)
+	// Kill the gateway that currently owns the most VIPs, so the
+	// measurement covers several migrations.
+	victim, owned := "", []string{}
+	for gw := 1; gw <= 4; gw++ {
+		name := fmt.Sprintf("gw%d", gw)
+		if v := c.VIPsOwnedBy(name); len(v) > len(owned) {
+			victim, owned = name, v
+		}
+	}
+	killAt := c.S.Now()
+	c.KillGateway(victim)
+	c.S.RunFor(10 * time.Second)
+	lat := c.FailoverLatency(victim, killAt)
+	fmt.Fprintf(w, "killed %s owning %d VIPs %v\n", victim, len(owned), owned)
+	worst := time.Duration(0)
+	for _, vip := range owned {
+		d := lat[vip]
+		if d > worst {
+			worst = d
+		}
+		fmt.Fprintf(w, "  %-8s failed over in %v\n", vip, d)
+	}
+	fmt.Fprintf(w, "worst fail-over %v (paper: ~2 s with production timers; scale by the token/ping intervals)\n", worst)
+	fmt.Fprintf(w, "note: offered 300 Mbps exceeds the surviving 3x67 Mbps, so over-capacity drops continue after fail-over\n")
+	return nil
+}
+
+// runMPI regenerates the §2.5 MPI-over-RUDP demonstration: bundled
+// interfaces add bandwidth, one link failure is masked, a second stalls the
+// job until repair.
+func runMPI(w io.Writer) error {
+	// Bandwidth: time to move a fixed volume rank0 -> rank1 with 1 vs 2
+	// bundled paths of 33 Mbps each (§2.5: bundling "provides increased
+	// network bandwidth by utilizing the redundant hardware").
+	volume := 200
+	for _, paths := range []int{1, 2} {
+		s := sim.New(8)
+		net := sim.NewNetwork(s)
+		nodes := []string{"r0", "r1"}
+		for p := 0; p < paths; p++ {
+			net.SetLink(sim.NodeAddr("r0", p), sim.NodeAddr("r1", p),
+				sim.LinkConfig{Delay: time.Millisecond, RateMbps: 33})
+		}
+		mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: paths, Window: 64})
+		if err != nil {
+			return err
+		}
+		rt := mpi.NewRuntime(mesh)
+		start := s.Now()
+		err = rt.Run(2, time.Minute, func(c *mpi.Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < volume; i++ {
+					c.Send(1, 1, make([]byte, 1024))
+				}
+				c.Recv(1, 2)
+			} else {
+				for i := 0; i < volume; i++ {
+					c.Recv(0, 1)
+				}
+				c.Send(0, 2, nil)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Duration(s.Now() - start)
+		fmt.Fprintf(w, "transfer %d KiB with %d path(s): %v virtual\n", volume, paths, elapsed)
+	}
+
+	// Fault masking: one cut masked; both cut stalls; heal resumes.
+	s := sim.New(9)
+	net := sim.NewNetwork(s)
+	mesh, err := rudp.NewMesh(s, net, []string{"r0", "r1"}, rudp.Config{Paths: 2})
+	if err != nil {
+		return err
+	}
+	rt := mpi.NewRuntime(mesh)
+	s.After(20*time.Millisecond, func() { mesh.CutPath("r0", "r1", 0) })
+	s.After(60*time.Millisecond, func() { mesh.CutPath("r0", "r1", 1) })
+	err = rt.Run(2, 2*time.Second, func(c *mpi.Comm) {
+		for i := 0; i < 100; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 1, []byte{byte(i)})
+				c.Recv(1, 2)
+			} else {
+				c.Send(0, 2, c.Recv(0, 1))
+			}
+		}
+	})
+	fmt.Fprintf(w, "first link cut @20ms: masked; second cut @60ms: job stalls (%v)\n", err)
+	mesh.HealPath("r0", "r1", 1)
+	if err := rt.Resume(time.Minute); err != nil {
+		return fmt.Errorf("job did not resume after heal: %w", err)
+	}
+	fmt.Fprintln(w, "after heal: job ran to completion")
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness: one runnable experiment per
+// table and figure of the RAIN paper, each printing the rows the paper
+// reports (see the per-experiment index in DESIGN.md and the recorded
+// results in EXPERIMENTS.md). cmd/rainbench is the CLI front end; the
+// package tests run every experiment end-to-end.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the index used in DESIGN.md/EXPERIMENTS.md, e.g. "E2".
+	ID string
+	// Key is the CLI selector, e.g. "topology".
+	Key string
+	// Paper names the table/figure reproduced.
+	Paper string
+	// Run executes the experiment, writing its table to w.
+	Run func(w io.Writer) error
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	exps := []Experiment{
+		{ID: "E1+E2", Key: "topology", Paper: "Figs 3-5, Theorem 2.1", Run: runTopology},
+		{ID: "E3", Key: "topology-scale", Paper: "§2.1 replication note", Run: runTopologyScale},
+		{ID: "E4+E6", Key: "slack", Paper: "Fig 6, Fig 8 properties", Run: runSlack},
+		{ID: "E5", Key: "fig7", Paper: "Fig 7 state machine", Run: runFig7},
+		{ID: "E7-E11", Key: "membership", Paper: "Fig 9 and §3.3 scenarios", Run: runMembership},
+		{ID: "E12-E14", Key: "bcode", Paper: "Tables 1a, 1b, 2", Run: runBCodeTables},
+		{ID: "E15", Key: "codes", Paper: "§4.1 optimality comparison", Run: runCodes},
+		{ID: "E16", Key: "storage", Paper: "§4.2 store/retrieve", Run: runStorage},
+		{ID: "E17", Key: "video", Paper: "§5.1 RAINVideo availability", Run: runVideo},
+		{ID: "E18", Key: "snow", Paper: "§5.2 SNOW exactly-once", Run: runSnow},
+		{ID: "E19", Key: "checkpoint", Paper: "§5.3 RAINCheck", Run: runCheckpoint},
+		{ID: "E20", Key: "rainwall", Paper: "§6.3 throughput scaling", Run: runRainwall},
+		{ID: "E21", Key: "rainwall-failover", Paper: "§6.2 fail-over", Run: runRainwallFailover},
+		{ID: "E22", Key: "mpi", Paper: "§2.5 MPI over RUDP", Run: runMPI},
+	}
+	return exps
+}
+
+// ByKey returns the experiment with the given CLI key.
+func ByKey(key string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Key == key {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Keys lists the CLI selectors, sorted.
+func Keys() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its banner.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "==== %s (%s) — %s ====\n", e.ID, e.Key, e.Paper)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

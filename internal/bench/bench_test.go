@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes the full harness end-to-end: each
+// experiment must complete without error and produce output. This is the
+// integration test tying every subsystem together.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunOne(&buf, e); err != nil {
+				t.Fatalf("%s failed: %v\n%s", e.ID, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByKey(t *testing.T) {
+	if _, ok := ByKey("topology"); !ok {
+		t.Fatal("topology experiment missing")
+	}
+	if _, ok := ByKey("nonsense"); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestKeysSortedAndUnique(t *testing.T) {
+	keys := Keys()
+	seen := map[string]bool{}
+	for i, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[k] = true
+		if i > 0 && keys[i-1] > k {
+			t.Fatalf("keys not sorted at %d: %v", i, keys)
+		}
+	}
+}
+
+func TestRunAllBanneredOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "==== "+e.ID) {
+			t.Fatalf("missing banner for %s", e.ID)
+		}
+	}
+}
+
+// TestRainwallScalingShape asserts the quantitative claim of E20 on the
+// harness itself: single-node throughput ~67 Mbps and a 4-node speedup in
+// the sub-linear band the paper reports.
+func TestRainwallScalingShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRainwall(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 ") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	// Parse the 1- and 4-gateway rows.
+	var single, quad float64
+	for _, line := range strings.Split(out, "\n") {
+		var gw int
+		var mbps, speedup float64
+		if n, _ := fmt.Sscanf(line, "%d %f %fx", &gw, &mbps, &speedup); n >= 2 {
+			if gw == 1 {
+				single = mbps
+			}
+			if gw == 4 {
+				quad = mbps
+			}
+		}
+	}
+	if single < 60 || single > 67.5 {
+		t.Fatalf("single gateway %.1f Mbps, want ~67\n%s", single, out)
+	}
+	ratio := quad / single
+	if ratio < 3.0 || ratio > 4.01 {
+		t.Fatalf("scaling %.2f, want 3.0..4.0\n%s", ratio, out)
+	}
+}

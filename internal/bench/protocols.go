@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"rain/internal/linkstate"
+	"rain/internal/membership"
+	"rain/internal/sim"
+)
+
+// runSlack regenerates the bounded-slack figure (Fig 6): two endpoints under
+// an adversarial schedule of time-outs and deliveries; the observed maximum
+// lead between the two histories never exceeds the configured slack N.
+func runSlack(w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-12s %10s %12s %14s\n", "N", "mode", "events", "max-lead", "bound-held")
+	for _, mode := range []linkstate.Mode{linkstate.TinExplicit, linkstate.TinOnToken} {
+		modeName := "explicit-tin"
+		if mode == linkstate.TinOnToken {
+			modeName = "tin-on-token"
+		}
+		for _, slack := range []int{2, 3, 4, 8} {
+			a, err := linkstate.NewEndpoint(slack, mode)
+			if err != nil {
+				return err
+			}
+			b, err := linkstate.NewEndpoint(slack, mode)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(int64(slack)))
+			var qAB, qBA []int
+			maxLead := int64(0)
+			const events = 5000
+			for i := 0; i < events; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					if n := a.Tout(); n > 0 {
+						qAB = append(qAB, n)
+					}
+				case 1:
+					if n := b.Tout(); n > 0 {
+						qBA = append(qBA, n)
+					}
+				case 2:
+					if n := a.Tin(); n > 0 {
+						qAB = append(qAB, n)
+					}
+				case 3:
+					if n := b.Tin(); n > 0 {
+						qBA = append(qBA, n)
+					}
+				case 4:
+					if len(qAB) > 0 {
+						qAB = qAB[1:]
+						if n := b.Token(); n > 0 {
+							qBA = append(qBA, n)
+						}
+					}
+				case 5:
+					if len(qBA) > 0 {
+						qBA = qBA[1:]
+						if n := a.Token(); n > 0 {
+							qAB = append(qAB, n)
+						}
+					}
+				}
+				lead := int64(a.Transitions()) - int64(b.Transitions())
+				if lead < 0 {
+					lead = -lead
+				}
+				if lead > maxLead {
+					maxLead = lead
+				}
+			}
+			fmt.Fprintf(w, "%-6d %-12s %10d %12d %14v\n", slack, modeName, events, maxLead, maxLead <= int64(slack))
+		}
+	}
+	return nil
+}
+
+// runFig7 walks the five states of the N=2 machine, printing the transition
+// table of Fig 7.
+func runFig7(w io.Writer) error {
+	ep, err := linkstate.NewEndpoint(2, linkstate.TinOnToken)
+	if err != nil {
+		return err
+	}
+	show := func(event string, sent int) {
+		fmt.Fprintf(w, "%-18s -> state %-4v t=%d (sent %d token)\n", event, ep.Status(), ep.TokensHeld(), sent)
+	}
+	fmt.Fprintf(w, "initial state: %v t=%d\n", ep.Status(), ep.TokensHeld())
+	show("tout", ep.Tout())             // Up(2) -> Down(1)
+	show("token (ack+tin)", ep.Token()) // Down(1) -> Up(1)
+	show("tout", ep.Tout())             // Up(1) -> Down(0)
+	show("tout (blocked)", ep.Tout())   // absorbed by slack bound
+	show("token (ack)", ep.Token())     // Down(0) -> Down(1)
+	show("token (ack+tin)", ep.Token()) // Down(1) -> Up(1)
+	show("token (ack)", ep.Token())     // Up(1) -> Up(2)
+	return nil
+}
+
+// runMembership regenerates the Fig 9 token-movement scenarios plus the 911
+// mechanisms: aggressive and conservative detection of a cut link, token
+// regeneration after killing the holder, dynamic join and transient-failure
+// rejoin.
+func runMembership(w io.Writer) error {
+	names := []string{"A", "B", "C", "D"}
+
+	scenario := func(label string, det membership.Detection, script func(c *membership.Cluster)) {
+		s := sim.New(99)
+		net := sim.NewNetwork(s)
+		c := membership.NewCluster(s, net, names, membership.Config{Detection: det})
+		s.RunFor(time.Second)
+		script(c)
+		view, ok := c.ConsensusView()
+		regens := uint64(0)
+		for _, n := range c.Alive() {
+			regens += c.Members[n].Regenerations()
+		}
+		fmt.Fprintf(w, "%-34s consensus=%v view=%v regenerations=%d\n", label, ok, view, regens)
+	}
+
+	scenario("fig9a fault-free (aggressive)", membership.Aggressive, func(c *membership.Cluster) {
+		c.S.RunFor(2 * time.Second)
+	})
+	scenario("fig9b cut A-B (aggressive)", membership.Aggressive, func(c *membership.Cluster) {
+		c.CutLink("A", "B")
+		c.S.RunFor(10 * time.Second) // exclude, starve, 911 rejoin
+	})
+	scenario("fig9c cut A-B (conservative)", membership.Conservative, func(c *membership.Cluster) {
+		c.CutLink("A", "B")
+		c.S.RunFor(10 * time.Second)
+		ring := c.Members["A"].View()
+		fmt.Fprintf(w, "  conservative ring after reorder: %v\n", ring)
+	})
+	scenario("911 regeneration (kill holder)", membership.Aggressive, func(c *membership.Cluster) {
+		holder := "A"
+		for _, n := range c.Alive() {
+			if c.Members[n].HasToken() {
+				holder = n
+			}
+		}
+		c.Stop(holder)
+		fmt.Fprintf(w, "  killed token holder %s\n", holder)
+		c.S.RunFor(8 * time.Second)
+	})
+	scenario("dynamic join of E", membership.Aggressive, func(c *membership.Cluster) {
+		c.Join("E", "B")
+		c.S.RunFor(6 * time.Second)
+	})
+	scenario("transient failure of C", membership.Aggressive, func(c *membership.Cluster) {
+		c.Stop("C")
+		c.S.RunFor(3 * time.Second)
+		c.Restart("C")
+		c.S.RunFor(8 * time.Second)
+	})
+	return nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"rain/internal/topology"
+)
+
+// runTopology regenerates the partition-resistance comparison behind Figs
+// 3-5 and Theorem 2.1: worst-case compute nodes lost for the naive and
+// diameter constructions under exhaustive switch-fault injection.
+func runTopology(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %6s %7s %10s %12s\n", "construct", "n", "faults", "worst-lost", "partitioned")
+	for _, n := range []int{8, 10, 12, 16} {
+		naive, err := topology.NewNaive(topology.RingFabric, n, n, 2)
+		if err != nil {
+			return err
+		}
+		diam, err := topology.NewDiameter(topology.RingFabric, n, n)
+		if err != nil {
+			return err
+		}
+		for faults := 1; faults <= 4; faults++ {
+			for _, tc := range []struct {
+				name string
+				top  *topology.Topology
+			}{{"naive", naive}, {"diameter", diam}} {
+				worst, _ := tc.top.WorstCase(tc.top.SwitchElements(), faults)
+				fmt.Fprintf(w, "%-10s %6d %7d %10d %12v\n",
+					tc.name, n, faults, worst.NodesLost, worst.Partitioned)
+			}
+		}
+	}
+	// Theorem 2.1's full fault model: any 3 faults of any kind on the
+	// 10-switch diameter construction.
+	diam10, err := topology.NewDiameter(topology.RingFabric, 10, 10)
+	if err != nil {
+		return err
+	}
+	worst, witness := diam10.WorstCase(diam10.Elements(), 3)
+	fmt.Fprintf(w, "diameter n=10, any 3 faults (switch/link/node): worst lost %d (bound min(n,6)=6) witness %v\n",
+		worst.NodesLost, witness)
+	// Optimality: 4 switch faults break the constant for larger rings.
+	diam16, err := topology.NewDiameter(topology.RingFabric, 16, 16)
+	if err != nil {
+		return err
+	}
+	w4, _ := diam16.WorstCase(diam16.SwitchElements(), 4)
+	fmt.Fprintf(w, "diameter n=16, 4 switch faults: worst lost %d (> 6 => no construction tolerates arbitrary 4)\n",
+		w4.NodesLost)
+	// Generalised construction, dc=3, sampled for speed.
+	gd, err := topology.NewGeneralizedDiameter(topology.RingFabric, 12, 12, 3)
+	if err != nil {
+		return err
+	}
+	ws, _ := gd.SampleWorstCase(gd.SwitchElements(), 3, 2000, rand.New(rand.NewSource(1)))
+	fmt.Fprintf(w, "generalized diameter n=12 dc=3, 3 switch faults (sampled): worst lost %d\n", ws.NodesLost)
+	return nil
+}
+
+// runTopologyScale regenerates the §2.1 note: replicating nodes on the same
+// switch pairs scales the 3-fault loss constant linearly while the
+// asymptotic partition resistance is unchanged.
+func runTopologyScale(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %8s %7s %10s\n", "switches", "nodes", "faults", "worst-lost")
+	for _, nodes := range []int{10, 20, 30} {
+		top, err := topology.NewDiameter(topology.RingFabric, 10, nodes)
+		if err != nil {
+			return err
+		}
+		worst, _ := top.WorstCase(top.SwitchElements(), 3)
+		fmt.Fprintf(w, "%-8d %8d %7d %10d\n", 10, nodes, 3, worst.NodesLost)
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+// Package checkpoint implements RAINCheck (§5.3): a distributed checkpoint
+// and rollback/recovery mechanism built on the RAIN storage operations and a
+// leader election protocol.
+//
+// A unique leader (per connected component, from internal/election) assigns
+// jobs to nodes. As each job executes, its state is periodically
+// checkpointed: serialized, erasure-encoded and written to all accessible
+// nodes with a distributed store operation. When a node fails, the leader
+// reassigns its jobs; the new owner retrieves the last checkpoint from any k
+// nodes, decodes it, and resumes execution from there. As long as a
+// connected component of k nodes survives, all jobs execute to completion.
+//
+// Jobs are deterministic hash-chain computations (see DESIGN.md
+// substitutions): state is a step counter and an accumulator, so tests can
+// verify bit-exact results after arbitrary crash/rollback schedules and
+// measure the re-executed work.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rain/internal/election"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// ctrlNIC is the interface index reserved for the job control plane
+// (election heartbeats ride on their own reserved interface).
+const ctrlNIC = 92
+
+// JobSpec describes one deterministic job.
+type JobSpec struct {
+	ID    string
+	Steps int
+	Seed  uint64
+}
+
+// advance is one deterministic computation step (a 64-bit mix function).
+func advance(acc uint64) uint64 {
+	acc ^= acc >> 33
+	acc *= 0xff51afd7ed558ccd
+	acc ^= acc >> 33
+	acc *= 0xc4ceb9fe1a85ec53
+	acc ^= acc >> 33
+	return acc
+}
+
+// ExpectedResult computes a job's final accumulator without the cluster —
+// the oracle tests compare against.
+func ExpectedResult(spec JobSpec) uint64 {
+	acc := spec.Seed
+	for i := 0; i < spec.Steps; i++ {
+		acc = advance(acc)
+	}
+	return acc
+}
+
+// jobState is the checkpointed execution state.
+type jobState struct {
+	ID   string `json:"id"`
+	Step int    `json:"step"`
+	Acc  uint64 `json:"acc"`
+}
+
+// assignMsg is the leader's periodic assignment broadcast (idempotent,
+// rides unreliable datagrams).
+type assignMsg struct {
+	Seq    uint64
+	Owners map[string]string // job -> node
+	Done   map[string]uint64 // job -> final accumulator
+}
+
+// doneMsg reports job completion to the leader.
+type doneMsg struct {
+	Job string
+	Acc uint64
+}
+
+// Config parameterises the system.
+type Config struct {
+	// CheckpointEvery is the number of steps between checkpoints.
+	CheckpointEvery int
+	// StepsPerTick is how many steps a node executes per scheduler tick.
+	StepsPerTick int
+	// TickInterval is the virtual time between worker ticks.
+	TickInterval time.Duration
+	// Election configures the leader election layer.
+	Election election.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 20
+	}
+	if c.StepsPerTick == 0 {
+		c.StepsPerTick = 5
+	}
+	if c.TickInterval == 0 {
+		c.TickInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// worker is one node's execution engine.
+type worker struct {
+	name    string
+	sys     *System
+	owners  map[string]string // latest assignment view
+	ownSeq  uint64
+	done    map[string]uint64
+	running map[string]*jobState
+}
+
+// System is a running RAINCheck deployment.
+type System struct {
+	S       *sim.Scheduler
+	Net     *sim.Network
+	Elect   *election.Cluster
+	Store   *storage.Store
+	cfg     Config
+	names   []string
+	servers map[string]*storage.Server
+	workers map[string]*worker
+	specs   map[string]JobSpec
+
+	// leader bookkeeping (held by whichever node currently leads; kept
+	// per-node so a new leader rebuilds it from its own view plus Done
+	// reports).
+	assignSeq uint64
+
+	// metadata: latest durable checkpoint step per job (the paper's
+	// testbed kept this with the leader; we keep it beside the store's
+	// object index).
+	latest map[string]int
+
+	// instrumentation
+	stepsExecuted map[string]int
+	reassigns     int
+
+	// grace is the virtual time before which leaders refrain from
+	// assigning work: at startup every node briefly believes itself
+	// leader until heartbeats arrive, and assigning during that window
+	// would duplicate execution.
+	grace int64
+}
+
+// New builds a RAINCheck system: every node is both a compute node and a
+// storage node; the store's code must have n equal to len(names).
+func New(s *sim.Scheduler, net *sim.Network, names []string, store *storage.Store, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if len(store.Servers()) != len(names) {
+		return nil, fmt.Errorf("checkpoint: %d nodes but %d storage servers", len(names), len(store.Servers()))
+	}
+	sys := &System{
+		S:             s,
+		Net:           net,
+		Elect:         election.NewCluster(s, net, names, cfg.Election),
+		Store:         store,
+		cfg:           cfg,
+		names:         append([]string(nil), names...),
+		servers:       make(map[string]*storage.Server),
+		workers:       make(map[string]*worker),
+		specs:         make(map[string]JobSpec),
+		latest:        make(map[string]int),
+		stepsExecuted: make(map[string]int),
+	}
+	electTimeout := cfg.Election.Timeout
+	if electTimeout == 0 {
+		electTimeout = 100 * time.Millisecond
+	}
+	sys.grace = int64(s.Now()) + 2*int64(electTimeout)
+	for i, name := range names {
+		sys.servers[name] = store.Servers()[i]
+		w := &worker{
+			name:    name,
+			sys:     sys,
+			owners:  make(map[string]string),
+			done:    make(map[string]uint64),
+			running: make(map[string]*jobState),
+		}
+		sys.workers[name] = w
+		addr := sim.NodeAddr(name, ctrlNIC)
+		net.Attach(addr, func(p sim.Packet) {
+			if sys.stoppedNode(name) {
+				return
+			}
+			w.onMessage(p.Payload)
+		})
+		var loop func()
+		loop = func() {
+			if !sys.stoppedNode(name) {
+				w.tick()
+			}
+			s.After(cfg.TickInterval, loop)
+		}
+		s.After(0, loop)
+	}
+	return sys, nil
+}
+
+func (sys *System) stoppedNode(name string) bool { return sys.servers[name].Down() }
+
+// Submit registers jobs to execute; call before or during the run.
+func (sys *System) Submit(specs ...JobSpec) {
+	for _, sp := range specs {
+		sys.specs[sp.ID] = sp
+	}
+}
+
+// Kill crashes a node: its storage server goes down, its worker freezes and
+// its links are cut (the election layer will notice).
+func (sys *System) Kill(name string) {
+	sys.servers[name].SetDown(true)
+	sys.Elect.Stop(name)
+}
+
+// Revive brings a crashed node back (blank worker state; storage shards
+// intact but stale versions are ignored thanks to versioned checkpoints).
+func (sys *System) Revive(name string) {
+	sys.servers[name].SetDown(false)
+	sys.Elect.Restart(name)
+	w := sys.workers[name]
+	w.running = make(map[string]*jobState)
+}
+
+// Done reports the completed jobs and their final accumulators, from the
+// perspective of the current leader's component.
+func (sys *System) Done() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, name := range sys.names {
+		if sys.stoppedNode(name) {
+			continue
+		}
+		for job, acc := range sys.workers[name].done {
+			out[job] = acc
+		}
+	}
+	return out
+}
+
+// StepsExecuted returns total steps executed per job, including re-executed
+// work after rollbacks.
+func (sys *System) StepsExecuted() map[string]int {
+	out := make(map[string]int, len(sys.stepsExecuted))
+	for k, v := range sys.stepsExecuted {
+		out[k] = v
+	}
+	return out
+}
+
+// Reassignments counts leader-initiated job migrations.
+func (sys *System) Reassignments() int { return sys.reassigns }
+
+// ckptID names the versioned checkpoint object for a job.
+func ckptID(job string, step int) string { return fmt.Sprintf("ckpt/%s/%08d", job, step) }
+
+// --- worker logic ---
+
+func (w *worker) onMessage(payload any) {
+	switch m := payload.(type) {
+	case assignMsg:
+		if m.Seq < w.ownSeq {
+			return
+		}
+		w.ownSeq = m.Seq
+		w.owners = m.Owners
+		for job, acc := range m.Done {
+			w.done[job] = acc
+		}
+	case doneMsg:
+		// Completion report (only meaningful at the leader).
+		w.done[m.Job] = m.Acc
+	}
+}
+
+func (w *worker) tick() {
+	now := int64(w.sys.S.Now())
+	node := w.sys.Elect.Members[w.name]
+	if node.Leader() == w.name {
+		w.leaderTick(now)
+	}
+	w.workTick()
+}
+
+// leaderTick reconciles assignments and broadcasts them.
+func (w *worker) leaderTick(now int64) {
+	if now < w.sys.grace {
+		return
+	}
+	alive := map[string]bool{}
+	load := map[string]int{}
+	for _, n := range w.sys.Elect.Members[w.name].Alive(now) {
+		alive[n] = true
+		load[n] = 0
+	}
+	for job, owner := range w.owners {
+		_, isDone := w.done[job]
+		if alive[owner] && !isDone {
+			load[owner]++
+		} else if !alive[owner] {
+			delete(w.owners, job)
+		}
+	}
+	for id := range w.sys.specs {
+		if _, isDone := w.done[id]; isDone {
+			continue
+		}
+		if owner, ok := w.owners[id]; ok && alive[owner] {
+			continue
+		}
+		// Assign to the least-loaded alive node (deterministic
+		// tie-break by name).
+		best := ""
+		for _, n := range w.sys.names {
+			if !alive[n] {
+				continue
+			}
+			if best == "" || load[n] < load[best] {
+				best = n
+			}
+		}
+		if best == "" {
+			return
+		}
+		w.owners[id] = best
+		load[best]++
+		w.sys.reassigns++
+	}
+	w.sys.assignSeq++
+	msg := assignMsg{Seq: w.sys.assignSeq, Owners: map[string]string{}, Done: map[string]uint64{}}
+	for k, v := range w.owners {
+		msg.Owners[k] = v
+	}
+	for k, v := range w.done {
+		msg.Done[k] = v
+	}
+	for _, n := range w.sys.names {
+		if n == w.name {
+			w.onMessage(msg)
+			continue
+		}
+		w.sys.Net.Send(sim.NodeAddr(w.name, ctrlNIC), sim.NodeAddr(n, ctrlNIC), msg)
+	}
+}
+
+// workTick executes assigned jobs, checkpointing and reporting completion.
+func (w *worker) workTick() {
+	for job, owner := range w.owners {
+		if owner != w.name {
+			delete(w.running, job)
+			continue
+		}
+		if _, isDone := w.done[job]; isDone {
+			delete(w.running, job)
+			continue
+		}
+		spec, ok := w.sys.specs[job]
+		if !ok {
+			continue
+		}
+		st, ok := w.running[job]
+		if !ok {
+			st = w.recover(spec)
+			w.running[job] = st
+		}
+		for i := 0; i < w.sys.cfg.StepsPerTick && st.Step < spec.Steps; i++ {
+			st.Acc = advance(st.Acc)
+			st.Step++
+			w.sys.stepsExecuted[job]++
+			if st.Step%w.sys.cfg.CheckpointEvery == 0 || st.Step == spec.Steps {
+				w.checkpoint(st)
+			}
+		}
+		if st.Step >= spec.Steps {
+			w.finish(job, st.Acc)
+		}
+	}
+}
+
+// recover loads the latest checkpoint (rollback) or starts fresh.
+func (w *worker) recover(spec JobSpec) *jobState {
+	if step, ok := w.sys.latest[spec.ID]; ok {
+		if raw, err := w.sys.Store.Get(ckptID(spec.ID, step)); err == nil {
+			var st jobState
+			if json.Unmarshal(raw, &st) == nil && st.ID == spec.ID {
+				return &st
+			}
+		}
+	}
+	return &jobState{ID: spec.ID, Step: 0, Acc: spec.Seed}
+}
+
+// checkpoint encodes and distributes the state, then prunes the previous
+// version.
+func (w *worker) checkpoint(st *jobState) {
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	if _, err := w.sys.Store.Put(ckptID(st.ID, st.Step), raw); err != nil {
+		return // fewer than k nodes reachable: keep computing, retry later
+	}
+	if prev, ok := w.sys.latest[st.ID]; ok && prev != st.Step {
+		for _, srv := range w.sys.Store.Servers() {
+			srv.Delete(ckptID(st.ID, prev))
+		}
+	}
+	w.sys.latest[st.ID] = st.Step
+}
+
+// finish reports completion to the leader (and records locally).
+func (w *worker) finish(job string, acc uint64) {
+	w.done[job] = acc
+	delete(w.running, job)
+	leader := w.sys.Elect.Members[w.name].Leader()
+	if leader != w.name {
+		w.sys.Net.Send(sim.NodeAddr(w.name, ctrlNIC), sim.NodeAddr(leader, ctrlNIC), doneMsg{Job: job, Acc: acc})
+	}
+}

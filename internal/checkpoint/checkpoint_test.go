@@ -1,0 +1,177 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rain/internal/ecc"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	s := sim.New(4242)
+	net := sim.NewNetwork(s)
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+	servers := make([]*storage.Server, len(names))
+	for i, n := range names {
+		servers[i] = storage.NewServer(n, i)
+	}
+	st, err := storage.New(code, servers, storage.LeastLoaded, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(s, net, names, st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func specs(n, steps int) []JobSpec {
+	out := make([]JobSpec, n)
+	for i := range out {
+		out[i] = JobSpec{ID: fmt.Sprintf("job%d", i), Steps: steps, Seed: uint64(1000 + i)}
+	}
+	return out
+}
+
+func wantAllDone(t *testing.T, sys *System, jobs []JobSpec) {
+	t.Helper()
+	done := sys.Done()
+	for _, sp := range jobs {
+		acc, ok := done[sp.ID]
+		if !ok {
+			t.Fatalf("job %s never completed (done: %v)", sp.ID, done)
+		}
+		if want := ExpectedResult(sp); acc != want {
+			t.Fatalf("job %s result %x, want %x", sp.ID, acc, want)
+		}
+	}
+}
+
+func TestJobsCompleteFaultFree(t *testing.T) {
+	sys := newTestSystem(t)
+	jobs := specs(8, 100)
+	sys.Submit(jobs...)
+	sys.S.RunFor(10 * time.Second)
+	wantAllDone(t, sys, jobs)
+	// Without failures there is no rollback: executed == spec steps.
+	for _, sp := range jobs {
+		if got := sys.StepsExecuted()[sp.ID]; got != sp.Steps {
+			t.Fatalf("job %s executed %d steps, want %d", sp.ID, got, sp.Steps)
+		}
+	}
+}
+
+func TestJobsSpreadAcrossNodes(t *testing.T) {
+	sys := newTestSystem(t)
+	jobs := specs(12, 50)
+	sys.Submit(jobs...)
+	sys.S.RunFor(10 * time.Second)
+	wantAllDone(t, sys, jobs)
+	// Twelve jobs over six nodes: the least-loaded assignment gives two
+	// initial jobs per node, i.e. exactly 12 assignments total.
+	if sys.Reassignments() != 12 {
+		t.Fatalf("initial assignments = %d, want 12", sys.Reassignments())
+	}
+}
+
+func TestNodeFailureRollbackRecovery(t *testing.T) {
+	// E19: kill a worker mid-run; its jobs are reassigned, resume from the
+	// last checkpoint, and complete with bit-exact results.
+	sys := newTestSystem(t)
+	jobs := specs(6, 400)
+	sys.Submit(jobs...)
+	sys.S.RunFor(500 * time.Millisecond) // some progress + checkpoints
+	sys.Kill("n2")
+	sys.S.RunFor(20 * time.Second)
+	wantAllDone(t, sys, jobs)
+	// Rollback re-executes work: total executed steps must exceed the
+	// failure-free sum.
+	total := 0
+	for _, sp := range jobs {
+		total += sys.StepsExecuted()[sp.ID]
+	}
+	if total <= 6*400 {
+		t.Fatalf("executed %d steps; expected re-execution after rollback", total)
+	}
+}
+
+func TestLeaderFailure(t *testing.T) {
+	// Killing the leader forces re-election AND reassignment of the
+	// leader's own jobs.
+	sys := newTestSystem(t)
+	jobs := specs(6, 400)
+	sys.Submit(jobs...)
+	sys.S.RunFor(500 * time.Millisecond)
+	sys.Kill("n1") // smallest id = initial leader
+	sys.S.RunFor(20 * time.Second)
+	wantAllDone(t, sys, jobs)
+}
+
+func TestTwoFailuresWithinCodeTolerance(t *testing.T) {
+	// (6,4) code: two dead nodes still leave k=4 storage nodes, so
+	// checkpoints stay retrievable and all jobs finish.
+	sys := newTestSystem(t)
+	jobs := specs(8, 300)
+	sys.Submit(jobs...)
+	sys.S.RunFor(400 * time.Millisecond)
+	sys.Kill("n3")
+	sys.S.RunFor(400 * time.Millisecond)
+	sys.Kill("n5")
+	sys.S.RunFor(30 * time.Second)
+	wantAllDone(t, sys, jobs)
+}
+
+func TestRevivedNodeRejoinsWorkforce(t *testing.T) {
+	sys := newTestSystem(t)
+	jobs := specs(10, 600)
+	sys.Submit(jobs...)
+	sys.S.RunFor(300 * time.Millisecond)
+	sys.Kill("n4")
+	sys.S.RunFor(2 * time.Second)
+	sys.Revive("n4")
+	sys.S.RunFor(30 * time.Second)
+	wantAllDone(t, sys, jobs)
+}
+
+func TestExpectedResultDeterministic(t *testing.T) {
+	a := ExpectedResult(JobSpec{ID: "x", Steps: 1000, Seed: 42})
+	b := ExpectedResult(JobSpec{ID: "x", Steps: 1000, Seed: 42})
+	if a != b {
+		t.Fatal("oracle not deterministic")
+	}
+	if a == ExpectedResult(JobSpec{ID: "x", Steps: 1000, Seed: 43}) {
+		t.Fatal("different seeds must give different results")
+	}
+	if a == ExpectedResult(JobSpec{ID: "x", Steps: 999, Seed: 42}) {
+		t.Fatal("different step counts must give different results")
+	}
+}
+
+func TestServerCountValidation(t *testing.T) {
+	s := sim.New(1)
+	net := sim.NewNetwork(s)
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*storage.Server, 6)
+	for i := range servers {
+		servers[i] = storage.NewServer(fmt.Sprintf("s%d", i), i)
+	}
+	st, err := storage.New(code, servers, storage.FirstK, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s, net, []string{"only", "two"}, st, Config{}); err == nil {
+		t.Fatal("node/server count mismatch accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package core assembles the RAIN building blocks — fault-tolerant
+// communication (RUDP over bundled interfaces), token-based group
+// membership, leader election, and erasure-coded distributed storage — into
+// one Platform, the "collection of software modules running in conjunction
+// with operating system services and standard network protocols" of Fig 2.
+//
+// A Platform is what the proof-of-concept applications (§5) and Rainwall
+// (§6) instantiate: it owns a simulated cluster of nodes with two network
+// interfaces each, runs the membership ring and the election protocol
+// across them, and exposes distributed store/retrieve operations backed by
+// any of the §4 array codes. Fault injection (node crashes, link cuts,
+// interface failures) is part of the API because exercising failures is the
+// point of the system.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rain/internal/ecc"
+	"rain/internal/election"
+	"rain/internal/membership"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Seed makes the whole simulated cluster deterministic.
+	Seed int64
+	// Paths is the number of bundled network interfaces per node pair
+	// (default 2, the testbed layout).
+	Paths int
+	// Code is the erasure code for distributed storage; its N must equal
+	// the number of nodes. Default: B-Code when len(nodes) is valid for
+	// it, otherwise Reed-Solomon (n, n-2).
+	Code ecc.Code
+	// Policy selects the retrieve node-selection policy.
+	Policy storage.Policy
+	// Detection selects the membership failure-detection protocol.
+	Detection membership.Detection
+	// LinkDelay and LinkLoss configure every simulated link.
+	LinkDelay time.Duration
+	LinkLoss  float64
+}
+
+func (o Options) withDefaults(nodes int) (Options, error) {
+	if o.Paths == 0 {
+		o.Paths = 2
+	}
+	if o.LinkDelay == 0 {
+		o.LinkDelay = 200 * time.Microsecond
+	}
+	if o.Code == nil {
+		if c, err := ecc.NewBCode(nodes); err == nil {
+			o.Code = c
+		} else if c, err := ecc.NewReedSolomon(nodes, nodes-2); err == nil {
+			o.Code = c
+		} else {
+			return o, fmt.Errorf("core: no default code for %d nodes: %w", nodes, err)
+		}
+	}
+	if o.Code.N() != nodes {
+		return o, fmt.Errorf("core: code n=%d but cluster has %d nodes", o.Code.N(), nodes)
+	}
+	return o, nil
+}
+
+// Platform is a running RAIN cluster.
+type Platform struct {
+	Scheduler *sim.Scheduler
+	Network   *sim.Network
+	Nodes     []string
+
+	Mesh       *rudp.Mesh
+	Membership *membership.Cluster
+	Election   *election.Cluster
+	Store      *storage.Store
+
+	opts Options
+}
+
+// New builds and starts a platform over the named nodes. The membership
+// ring, election heartbeats and RUDP mesh begin running immediately (in
+// virtual time; call Run to advance it).
+func New(nodes []string, opts Options) (*Platform, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", len(nodes))
+	}
+	opts, err := opts.withDefaults(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(opts.Seed)
+	net := sim.NewNetwork(s)
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			for p := 0; p < opts.Paths; p++ {
+				net.SetLink(sim.NodeAddr(a, p), sim.NodeAddr(b, p), sim.LinkConfig{
+					Delay:  opts.LinkDelay,
+					Jitter: opts.LinkDelay / 4,
+					Loss:   opts.LinkLoss,
+				})
+			}
+		}
+	}
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: opts.Paths})
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*storage.Server, len(nodes))
+	for i, n := range nodes {
+		servers[i] = storage.NewServer(n, i)
+	}
+	store, err := storage.New(opts.Code, servers, opts.Policy, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Scheduler:  s,
+		Network:    net,
+		Nodes:      append([]string(nil), nodes...),
+		Mesh:       mesh,
+		Membership: membership.NewCluster(s, net, nodes, membership.Config{Detection: opts.Detection}),
+		Election:   election.NewCluster(s, net, nodes, election.Config{}),
+		Store:      store,
+		opts:       opts,
+	}
+	return p, nil
+}
+
+// Run advances the cluster by d of virtual time.
+func (p *Platform) Run(d time.Duration) { p.Scheduler.RunFor(d) }
+
+// Put stores an object across the cluster with a distributed store
+// operation (§4.2).
+func (p *Platform) Put(id string, data []byte) error {
+	_, err := p.Store.Put(id, data)
+	return err
+}
+
+// Get retrieves an object from any k reachable nodes (§4.2).
+func (p *Platform) Get(id string) ([]byte, error) { return p.Store.Get(id) }
+
+// Send queues a reliable datagram between two nodes over the bundled
+// RUDP paths.
+func (p *Platform) Send(from, to string, payload []byte) { p.Mesh.Send(from, to, payload) }
+
+// OnMessage registers a node's datagram handler.
+func (p *Platform) OnMessage(node string, fn func(from string, payload []byte)) {
+	p.Mesh.OnMessage(node, fn)
+}
+
+// serverOf returns the storage server co-located with a node.
+func (p *Platform) serverOf(node string) *storage.Server {
+	for i, n := range p.Nodes {
+		if n == node {
+			return p.Store.Servers()[i]
+		}
+	}
+	return nil
+}
+
+// Crash takes a node down across every subsystem: its storage server goes
+// down, its membership and election engines stop, its RUDP endpoints
+// freeze, and all of its links are cut.
+func (p *Platform) Crash(node string) error {
+	srv := p.serverOf(node)
+	if srv == nil {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	srv.SetDown(true)
+	p.Membership.Stop(node)
+	p.Election.Stop(node)
+	p.Mesh.StopNode(node)
+	// StopNode/Stop each cut links; heal-order on recovery is handled in
+	// Recover.
+	return nil
+}
+
+// Recover brings a crashed node back; membership readmits it via the 911
+// mechanism.
+func (p *Platform) Recover(node string) error {
+	srv := p.serverOf(node)
+	if srv == nil {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	srv.SetDown(false)
+	p.Membership.Restart(node)
+	p.Election.Restart(node)
+	p.Mesh.StartNode(node)
+	return nil
+}
+
+// CutPath severs one bundled interface pair between two nodes (pulling one
+// cable of the two).
+func (p *Platform) CutPath(a, b string, path int) { p.Mesh.CutPath(a, b, path) }
+
+// HealPath restores a previously cut interface pair.
+func (p *Platform) HealPath(a, b string, path int) { p.Mesh.HealPath(a, b, path) }
+
+// Leader returns the cluster leader as seen by the given node.
+func (p *Platform) Leader(node string) string { return p.Election.Members[node].Leader() }
+
+// MembershipView returns the membership ring as seen by the given node.
+func (p *Platform) MembershipView(node string) []string {
+	return p.Membership.Members[node].View()
+}
+
+// Consensus reports whether all live nodes agree on the membership, and
+// the agreed view.
+func (p *Platform) Consensus() ([]string, bool) { return p.Membership.ConsensusView() }
+
+// Code returns the storage code in use.
+func (p *Platform) Code() ecc.Code { return p.opts.Code }

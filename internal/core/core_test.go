@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rain/internal/ecc"
+	"rain/internal/linkstate"
+)
+
+var sixNodes = []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+
+func newPlatform(t *testing.T, opts Options) *Platform {
+	t.Helper()
+	p, err := New(sixNodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformBootsToConsensus(t *testing.T) {
+	p := newPlatform(t, Options{Seed: 1})
+	p.Run(2 * time.Second)
+	view, ok := p.Consensus()
+	if !ok || len(view) != 6 {
+		t.Fatalf("no 6-node consensus: %v ok=%v", view, ok)
+	}
+	if leader := p.Leader("n3"); leader != "n1" {
+		t.Fatalf("leader = %s, want n1", leader)
+	}
+	if p.Code().Name() != "bcode(6,4)" {
+		t.Fatalf("default code = %s, want bcode(6,4)", p.Code().Name())
+	}
+}
+
+func TestPlatformStorageSurvivesCrashes(t *testing.T) {
+	p := newPlatform(t, Options{Seed: 2})
+	p.Run(time.Second)
+	data := []byte("platform-level distributed store")
+	if err := p.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash("n5"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(3 * time.Second)
+	got, err := p.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after two crashes: %v", err)
+	}
+	// Membership reconfigured around the crashes.
+	view, ok := p.Consensus()
+	if !ok || len(view) != 4 {
+		t.Fatalf("consensus after crashes: %v ok=%v", view, ok)
+	}
+}
+
+func TestPlatformRecovery(t *testing.T) {
+	p := newPlatform(t, Options{Seed: 3})
+	p.Run(time.Second)
+	if err := p.Crash("n4"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(3 * time.Second)
+	if err := p.Recover("n4"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(10 * time.Second)
+	view, ok := p.Consensus()
+	if !ok || len(view) != 6 {
+		t.Fatalf("consensus after recovery: %v ok=%v", view, ok)
+	}
+}
+
+func TestPlatformMessagingMasksPathCut(t *testing.T) {
+	p := newPlatform(t, Options{Seed: 4})
+	got := 0
+	p.OnMessage("n2", func(from string, payload []byte) { got++ })
+	p.Run(300 * time.Millisecond)
+	p.CutPath("n1", "n2", 0)
+	p.Run(500 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		p.Send("n1", "n2", []byte("x"))
+	}
+	p.Run(2 * time.Second)
+	if got != 20 {
+		t.Fatalf("delivered %d of 20 with one path cut", got)
+	}
+	if p.Mesh.Conn("n1", "n2").PathStatus(0) != linkstate.Down {
+		t.Fatal("cut path not detected Down")
+	}
+	p.HealPath("n1", "n2", 0)
+	p.Run(time.Second)
+	if p.Mesh.Conn("n1", "n2").PathStatus(0) != linkstate.Up {
+		t.Fatal("healed path not detected Up")
+	}
+}
+
+func TestPlatformLeaderFailover(t *testing.T) {
+	p := newPlatform(t, Options{Seed: 5})
+	p.Run(time.Second)
+	if err := p.Crash("n1"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(2 * time.Second)
+	if leader := p.Leader("n3"); leader != "n2" {
+		t.Fatalf("leader after crash = %s, want n2", leader)
+	}
+}
+
+func TestPlatformValidation(t *testing.T) {
+	if _, err := New([]string{"solo"}, Options{}); err == nil {
+		t.Fatal("single-node platform accepted")
+	}
+	code, err := ecc.NewBCode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sixNodes, Options{Code: code}); err == nil {
+		t.Fatal("mismatched code size accepted")
+	}
+	if _, err := New(sixNodes, Options{}); err != nil {
+		t.Fatalf("valid platform rejected: %v", err)
+	}
+	if err := func() error { p := newPlatform(t, Options{Seed: 9}); return p.Crash("ghost") }(); err == nil {
+		t.Fatal("crashing unknown node accepted")
+	}
+}
+
+func TestPlatformCustomCode(t *testing.T) {
+	rs, err := ecc.NewReedSolomon(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(sixNodes, Options{Seed: 6, Code: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(500 * time.Millisecond)
+	if err := p.Put("obj", []byte("rs-backed")); err != nil {
+		t.Fatal(err)
+	}
+	// n-k = 3 crashes tolerated with rs(6,3).
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if err := p.Crash(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.Get("obj")
+	if err != nil || string(got) != "rs-backed" {
+		t.Fatalf("rs(6,3) get after 3 crashes: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package ecc
+
+import "fmt"
+
+// NewBCode constructs the (n, n-2) B-Code of Xu, Bohossian, Bruck and Wagner
+// ("Low-Density MDS Codes and Factors of Complete Graphs", IEEE-IT 45(6),
+// 1999), the code the RAIN paper presents in Table 1 for n = 6.
+//
+// The construction works over the complete graph K_{n+1} on vertices
+// Z_{n+1}. The rotational near-one-factorization assigns to each i in Z_{n+1}
+// the near-one-factor
+//
+//	N_i = { {i+j mod n+1, i-j mod n+1} : j = 1 .. n/2 }
+//
+// in which every vertex except i is matched. Column i of the code (for
+// i = 0..n-1) stores the symbols on the edges of N_i; the factor N_n is
+// deleted. In each column the unique edge incident to the distinguished
+// vertex n is the parity cell; writing w_i for its other endpoint, the
+// parity value is the XOR of the data symbols on all edges incident to w_i
+// (there are exactly n-2 of them: vertex w_i has degree n, one incident edge
+// is the parity edge itself and one belongs to the deleted factor N_n).
+//
+// Each column therefore carries n/2 - 1 data symbols and one parity symbol,
+// and every data symbol appears in exactly two parity equations — the
+// provably minimal update complexity for a distance-3 code, which is the
+// optimality the paper claims over EVENODD and Reed-Solomon.
+//
+// The code is MDS (any two column erasures are recoverable) whenever the
+// near-one-factorization is perfect, which holds for the rotational
+// construction exactly when n+1 is prime. n must be even, n >= 4, and n+1
+// prime; otherwise NewBCode returns ErrInvalidParams.
+func NewBCode(n int) (Code, error) {
+	if n < 4 || n%2 != 0 || !isPrime(n+1) {
+		return nil, fmt.Errorf("%w: bcode requires even n >= 4 with n+1 prime, got n=%d", ErrInvalidParams, n)
+	}
+	p := n + 1 // vertices 0..n, distinguished vertex n
+	half := n / 2
+	rows := half // n/2 - 1 data cells + 1 parity cell per column
+
+	type edge struct{ u, v int }
+	norm := func(u, v int) edge {
+		u, v = ((u%p)+p)%p, ((v%p)+p)%p
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+
+	// The deleted factor N_n pairs vertices {n+j, n-j}; record each
+	// vertex's partner so parity equations can skip those edges.
+	deletedPartner := make(map[int]int)
+	for j := 1; j <= half; j++ {
+		a, b := (n+j)%p, ((n-j)%p+p)%p
+		deletedPartner[a] = b
+		deletedPartner[b] = a
+	}
+
+	// Assign data chunk indices to the data edges, column by column so the
+	// message layout is contiguous per column (chunk order: col 0 data
+	// cells, col 1 data cells, ...).
+	dataIdx := make(map[edge]int)
+	colEdges := make([][]edge, n)   // data edges of each column, in row order
+	parityPartner := make([]int, n) // w_i for each column
+	next := 0
+	for i := 0; i < n; i++ {
+		var parityEdge edge
+		found := false
+		for j := 1; j <= half; j++ {
+			e := norm(i+j, i-j)
+			if e.u == n || e.v == n {
+				parityEdge = e
+				found = true
+				continue
+			}
+			colEdges[i] = append(colEdges[i], e)
+			dataIdx[e] = next
+			next++
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: bcode internal: column %d has no parity edge", ErrInvalidParams, i)
+		}
+		w := parityEdge.u
+		if w == n {
+			w = parityEdge.v
+		}
+		parityPartner[i] = w
+	}
+
+	// Build the cell layout: data rows first, parity cell in the last row.
+	cells := make([][]cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = make([]cell, rows)
+		for r, e := range colEdges[i] {
+			cells[i][r] = cell{data: dataIdx[e]}
+		}
+		w := parityPartner[i]
+		var eq []int
+		for u := 0; u < p; u++ {
+			if u == w || u == n || u == deletedPartner[w] {
+				continue
+			}
+			e := norm(w, u)
+			idx, ok := dataIdx[e]
+			if !ok {
+				return nil, fmt.Errorf("%w: bcode internal: edge {%d,%d} unmapped", ErrInvalidParams, e.u, e.v)
+			}
+			eq = append(eq, idx)
+		}
+		cells[i][rows-1] = cell{data: -1, eq: eq}
+	}
+	return newXORCode(fmt.Sprintf("bcode(%d,%d)", n, n-2), n, rows, n-2, cells)
+}

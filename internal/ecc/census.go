@@ -1,0 +1,114 @@
+package ecc
+
+import "fmt"
+
+// Census summarises the computational profile of a code, the quantities
+// behind the paper's §4.1 optimality discussion (experiment E15).
+type Census struct {
+	Name string
+	N, K int
+	// XORsPerEncode is the number of chunk-XOR operations a full encode
+	// performs (0 for Reed-Solomon, which multiplies instead).
+	XORsPerEncode int
+	// MulsPerEncode is the number of chunk-multiply-accumulate operations
+	// (Reed-Solomon only).
+	MulsPerEncode int
+	// ParityCells is the number of parity cells in the layout.
+	ParityCells int
+	// MinUpdate, MaxUpdate bound the number of parity cells rewritten when
+	// one data chunk changes. The optimal value for a 2-erasure code is
+	// exactly 2; B-Code and X-Code achieve it, EVENODD does not.
+	MinUpdate, MaxUpdate int
+	// AvgUpdate is the mean update penalty across data chunks.
+	AvgUpdate float64
+	// StorageOverhead is n/k, the paper's storage-optimality measure
+	// (MDS codes achieve the minimum possible for their fault tolerance).
+	StorageOverhead float64
+}
+
+// TakeCensus computes the Census for any code built by this package.
+func TakeCensus(c Code) Census {
+	out := Census{
+		Name:            c.Name(),
+		N:               c.N(),
+		K:               c.K(),
+		StorageOverhead: float64(c.N()) / float64(c.K()),
+	}
+	switch cc := c.(type) {
+	case *xorCode:
+		out.XORsPerEncode = cc.EncodeXORCount()
+		pen := cc.UpdatePenalty()
+		if len(pen) > 0 {
+			out.MinUpdate = pen[0]
+			total := 0
+			for _, p := range pen {
+				if p < out.MinUpdate {
+					out.MinUpdate = p
+				}
+				if p > out.MaxUpdate {
+					out.MaxUpdate = p
+				}
+				total += p
+			}
+			out.AvgUpdate = float64(total) / float64(len(pen))
+		}
+		for col := range cc.cells {
+			for _, cl := range cc.cells[col] {
+				if cl.data < 0 {
+					out.ParityCells++
+				}
+			}
+		}
+	case *rsCode:
+		out.MulsPerEncode = (cc.n - cc.k) * cc.k
+		out.ParityCells = cc.n - cc.k
+		out.MinUpdate = cc.n - cc.k
+		out.MaxUpdate = cc.n - cc.k
+		out.AvgUpdate = float64(cc.n - cc.k)
+	case *mirror:
+		out.ParityCells = cc.r - 1
+		out.MinUpdate = cc.r - 1
+		out.MaxUpdate = cc.r - 1
+		out.AvgUpdate = float64(cc.r - 1)
+	}
+	return out
+}
+
+// VerifyMDS exhaustively checks that every erasure pattern of exactly
+// n-k shards is recoverable and round-trips the message. It returns an
+// error naming the first failing pattern. Intended for tests and the
+// experiment harness; cost is C(n, n-k) encode/decode cycles.
+func VerifyMDS(c Code, msg []byte) error {
+	shards, err := c.Encode(msg)
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	m := c.N() - c.K()
+	pattern := make([]int, m)
+	var rec func(start, depth int) error
+	rec = func(start, depth int) error {
+		if depth == m {
+			work := make([][]byte, len(shards))
+			copy(work, shards)
+			for _, e := range pattern {
+				work[e] = nil
+			}
+			got, err := c.Decode(work, len(msg))
+			if err != nil {
+				return fmt.Errorf("%s: erasures %v: %w", c.Name(), pattern, err)
+			}
+			if string(got) != string(msg) {
+				return fmt.Errorf("%s: erasures %v: decoded message differs", c.Name(), pattern)
+			}
+			return nil
+		}
+		for i := start; i < c.N(); i++ {
+			pattern[depth] = i
+			if err := rec(i+1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}

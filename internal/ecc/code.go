@@ -1,0 +1,98 @@
+// Package ecc implements the erasure-correcting codes of the RAIN paper §4:
+// the B-Code and X-Code MDS array codes with optimal encoding complexity, the
+// EVENODD code, and a Reed-Solomon baseline, together with the RAID-style
+// mirroring and single-parity schemes the paper contrasts them with.
+//
+// All codes share one interface: an (n, k) code turns a message into n
+// shards such that any k of them recover the message. The array codes
+// (B-Code, X-Code, EVENODD) use only XOR in encode and decode; Reed-Solomon
+// pays GF(2^8) multiplications. A shard corresponds to one column of the
+// code array and is what the distributed storage layer places on one node.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is an (n, k) erasure code. Encode produces n equally-sized shards
+// from a message; any k shards reconstruct the message. Implementations are
+// safe for concurrent use by multiple goroutines: all state is immutable
+// after construction.
+type Code interface {
+	// Name identifies the code family and parameters, e.g. "bcode(6,4)".
+	Name() string
+	// N returns the total number of shards produced by Encode.
+	N() int
+	// K returns the number of shards sufficient for reconstruction.
+	K() int
+	// ShardSize reports the size in bytes of each shard produced by
+	// Encode for a message of dataLen bytes.
+	ShardSize(dataLen int) int
+	// Encode splits and encodes data into exactly N shards. The input is
+	// not modified. Encode never returns fewer than N shards.
+	Encode(data []byte) ([][]byte, error)
+	// Reconstruct fills in the nil entries of shards in place. At least K
+	// entries must be non-nil and all non-nil entries must have equal
+	// length. After a successful return every entry is non-nil.
+	Reconstruct(shards [][]byte) error
+	// Decode recovers the original message of length dataLen from shards,
+	// of which at least K must be non-nil.
+	Decode(shards [][]byte, dataLen int) ([]byte, error)
+}
+
+// Errors shared by all code implementations.
+var (
+	// ErrTooFewShards reports that fewer than K shards were available.
+	ErrTooFewShards = errors.New("ecc: too few shards to reconstruct")
+	// ErrShardSize reports inconsistent or invalid shard sizes.
+	ErrShardSize = errors.New("ecc: shards have inconsistent sizes")
+	// ErrShardCount reports a shard slice whose length differs from N.
+	ErrShardCount = errors.New("ecc: wrong number of shards")
+	// ErrInvalidParams reports unsupported code parameters.
+	ErrInvalidParams = errors.New("ecc: invalid code parameters")
+)
+
+// checkShards validates a shard slice against the code shape and returns the
+// per-shard size and the number of present (non-nil) shards.
+func checkShards(shards [][]byte, n, k int) (shardLen, present int, err error) {
+	if len(shards) != n {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), n)
+	}
+	shardLen = -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		present++
+		if shardLen == -1 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return 0, 0, fmt.Errorf("%w: %d vs %d", ErrShardSize, len(s), shardLen)
+		}
+	}
+	if present < k {
+		return 0, 0, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, present, k)
+	}
+	if shardLen == 0 {
+		return 0, 0, fmt.Errorf("%w: zero-length shards", ErrShardSize)
+	}
+	return shardLen, present, nil
+}
+
+// ceilDiv returns ceil(a/b) for positive a, b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// isPrime reports whether p is a prime number. Code constructors use it to
+// validate parameters; the inputs are tiny so trial division is fine.
+func isPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,500 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mustCode adapts a (Code, error) constructor result, failing the test on
+// error: use as mustCode(t)(NewBCode(6)).
+func mustCode(t *testing.T) func(Code, error) Code {
+	return func(c Code, err error) Code {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("constructing code: %v", err)
+		}
+		return c
+	}
+}
+
+// testCodes returns one instance of every code family, for table-driven
+// round-trip tests.
+func testCodes(t *testing.T) []Code {
+	t.Helper()
+	mc := mustCode(t)
+	return []Code{
+		mc(NewBCode(6)),
+		mc(NewXCode(5)),
+		mc(NewEvenOdd(5)),
+		mc(NewReedSolomon(6, 4)),
+		mc(NewSingleParity(4)),
+		mc(NewMirror(3)),
+	}
+}
+
+func TestRoundTripNoErasure(t *testing.T) {
+	msg := []byte("the RAIN project is a research collaboration between Caltech and NASA-JPL")
+	for _, c := range testCodes(t) {
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
+		if len(shards) != c.N() {
+			t.Fatalf("%s: got %d shards, want %d", c.Name(), len(shards), c.N())
+		}
+		for i, s := range shards {
+			if len(s) != c.ShardSize(len(msg)) {
+				t.Fatalf("%s: shard %d has %d bytes, ShardSize says %d", c.Name(), i, len(s), c.ShardSize(len(msg)))
+			}
+		}
+		got, err := c.Decode(shards, len(msg))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%s: round trip mismatch", c.Name())
+		}
+	}
+}
+
+func TestRoundTripMaxErasures(t *testing.T) {
+	msg := make([]byte, 1009) // prime length to exercise padding
+	rand.New(rand.NewSource(3)).Read(msg)
+	for _, c := range testCodes(t) {
+		if err := VerifyMDS(c, msg); err != nil {
+			t.Fatalf("VerifyMDS: %v", err)
+		}
+	}
+}
+
+func TestTooFewShards(t *testing.T) {
+	msg := []byte("hello rain")
+	for _, c := range testCodes(t) {
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.N()-c.K()+1; i++ {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+			t.Fatalf("%s: want ErrTooFewShards, got %v", c.Name(), err)
+		}
+	}
+}
+
+func TestWrongShardCount(t *testing.T) {
+	for _, c := range testCodes(t) {
+		err := c.Reconstruct(make([][]byte, c.N()+1))
+		if !errors.Is(err, ErrShardCount) {
+			t.Fatalf("%s: want ErrShardCount, got %v", c.Name(), err)
+		}
+	}
+}
+
+func TestInconsistentShardSizes(t *testing.T) {
+	for _, c := range testCodes(t) {
+		shards, err := c.Encode([]byte("0123456789abcdef0123456789abcdef"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[0] = shards[0][:len(shards[0])-1]
+		if err := c.Reconstruct(shards); !errors.Is(err, ErrShardSize) {
+			t.Fatalf("%s: want ErrShardSize, got %v", c.Name(), err)
+		}
+	}
+}
+
+func TestReconstructAllPresentIsNoop(t *testing.T) {
+	msg := []byte("all shards present")
+	for _, c := range testCodes(t) {
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := make([]string, len(shards))
+		for i, s := range shards {
+			before[i] = string(s)
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i, s := range shards {
+			if string(s) != before[i] {
+				t.Fatalf("%s: shard %d changed by no-op reconstruct", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestReconstructRestoresParityShards(t *testing.T) {
+	// Erase a parity-bearing shard and a data shard together: after
+	// Reconstruct, re-encoding must give identical shards.
+	msg := make([]byte, 257)
+	rand.New(rand.NewSource(9)).Read(msg)
+	for _, c := range testCodes(t) {
+		if c.N()-c.K() < 2 {
+			continue
+		}
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]string, len(shards))
+		for i, s := range shards {
+			want[i] = string(s)
+		}
+		shards[0] = nil
+		shards[c.N()-1] = nil
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i, s := range shards {
+			if string(s) != want[i] {
+				t.Fatalf("%s: shard %d not restored to encoded value", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestTinyAndEmptyMessages(t *testing.T) {
+	for _, c := range testCodes(t) {
+		for _, msg := range [][]byte{{}, {0x42}, []byte("ab")} {
+			shards, err := c.Encode(msg)
+			if err != nil {
+				t.Fatalf("%s: encode %d bytes: %v", c.Name(), len(msg), err)
+			}
+			shards[0] = nil
+			got, err := c.Decode(shards, len(msg))
+			if err != nil {
+				t.Fatalf("%s: decode %d bytes: %v", c.Name(), len(msg), err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("%s: %d-byte round trip mismatch", c.Name(), len(msg))
+			}
+		}
+	}
+}
+
+func TestDecodeDataLenTooLarge(t *testing.T) {
+	for _, c := range testCodes(t) {
+		shards, err := c.Encode([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decode(shards, 1<<20); err == nil {
+			t.Fatalf("%s: decode with absurd dataLen must fail", c.Name())
+		}
+	}
+}
+
+func TestQuickRandomErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range testCodes(t) {
+		c := c
+		f := func(msg []byte) bool {
+			if len(msg) == 0 {
+				msg = []byte{0}
+			}
+			shards, err := c.Encode(msg)
+			if err != nil {
+				return false
+			}
+			// Erase a random subset of at most n-k shards.
+			erased := 0
+			for i := range shards {
+				if erased < c.N()-c.K() && rng.Intn(2) == 0 {
+					shards[i] = nil
+					erased++
+				}
+			}
+			got, err := c.Decode(shards, len(msg))
+			return err == nil && bytes.Equal(got, msg)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// --- B-Code specifics: experiments E12, E13, E14 (Table 1a, 1b, Table 2) ---
+
+func TestBCode64Table1aStructure(t *testing.T) {
+	c := mustCode(t)(NewBCode(6)).(*xorCode)
+	if c.n != 6 || c.rows != 3 || c.k != 4 || c.dataCells != 12 {
+		t.Fatalf("shape: n=%d rows=%d k=%d data=%d", c.n, c.rows, c.k, c.dataCells)
+	}
+	for col := range c.cells {
+		data, parity := 0, 0
+		for _, cl := range c.cells[col] {
+			if cl.data >= 0 {
+				data++
+				continue
+			}
+			parity++
+			// Table 1a: each parity is the XOR of exactly 4 data
+			// pieces, drawn from 4 distinct other columns.
+			if len(cl.eq) != 4 {
+				t.Fatalf("col %d: parity of %d pieces, want 4", col, len(cl.eq))
+			}
+			cols := map[int]bool{}
+			for _, d := range cl.eq {
+				src := c.dataPos[d][0]
+				if src == col {
+					t.Fatalf("col %d: parity depends on its own column", col)
+				}
+				cols[src] = true
+			}
+			if len(cols) != 4 {
+				t.Fatalf("col %d: parity spans %d columns, want 4", col, len(cols))
+			}
+		}
+		if data != 2 || parity != 1 {
+			t.Fatalf("col %d: %d data + %d parity cells, want 2 + 1", col, data, parity)
+		}
+	}
+	// Optimal update complexity: every data piece is in exactly 2 parities.
+	for i, deg := range c.UpdatePenalty() {
+		t.Logf("chunk %d update penalty %d", i, deg)
+		if deg != 2 {
+			t.Fatalf("chunk %d has update penalty %d, want the optimal 2", i, deg)
+		}
+	}
+}
+
+func TestBCode64Table1bNumericExample(t *testing.T) {
+	// The paper's 12 pieces a,b,...,f,A,B,...,F = 1,1,1,0,1,0,1,0,1,0,1,0,
+	// each one bit; we carry each bit in one byte. The encoded array is 18
+	// symbols in 6 columns of 3, the decodable-from-any-4-columns (MDS)
+	// property is exactly Table 1b's point.
+	msg := []byte{1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	c := mustCode(t)(NewBCode(6))
+	shards, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+		for _, b := range s {
+			if b > 1 {
+				t.Fatalf("encoded symbol %d not a bit", b)
+			}
+		}
+	}
+	if total != 18 {
+		t.Fatalf("encoded into %d symbols, want 18 (6 columns x 3)", total)
+	}
+	// "the amount of data needed for decoding (four columns with three
+	// bits each) equals the amount of original data (12 bits)".
+	if got := 4 * len(shards[0]); got != len(msg) {
+		t.Fatalf("4 columns carry %d symbols, want %d", got, len(msg))
+	}
+}
+
+func TestBCode64Table2DecodeCases(t *testing.T) {
+	// Table 2 / Cases 1-3: recovery of columns (1,2), (1,3) and (1,4) —
+	// 0-indexed (0,1), (0,2), (0,3).
+	msg := []byte{1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	c := mustCode(t)(NewBCode(6))
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {0, 3}} {
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[pair[0]], shards[pair[1]] = nil, nil
+		got, err := c.Decode(shards, len(msg))
+		if err != nil {
+			t.Fatalf("case %v: %v", pair, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("case %v: wrong message", pair)
+		}
+	}
+}
+
+func TestBCode64AllErasurePairs(t *testing.T) {
+	// By the symmetry argument in §4.1 the paper only checks three cases;
+	// we check all C(6,2) = 15.
+	msg := make([]byte, 600)
+	rand.New(rand.NewSource(64)).Read(msg)
+	c := mustCode(t)(NewBCode(6))
+	if err := VerifyMDS(c, msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCodeFamilyMDS(t *testing.T) {
+	msg := make([]byte, 331)
+	rand.New(rand.NewSource(65)).Read(msg)
+	for _, n := range []int{4, 6, 10, 12} {
+		c := mustCode(t)(NewBCode(n))
+		if err := VerifyMDS(c, msg); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBCodeInvalidParams(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 8, 14} { // 8, 14: n+1 not prime
+		if _, err := NewBCode(n); !errors.Is(err, ErrInvalidParams) {
+			t.Fatalf("n=%d: want ErrInvalidParams, got %v", n, err)
+		}
+	}
+}
+
+// --- X-Code specifics ---
+
+func TestXCodeFamilyMDS(t *testing.T) {
+	msg := make([]byte, 513)
+	rand.New(rand.NewSource(66)).Read(msg)
+	for _, n := range []int{5, 7, 11, 13} {
+		c := mustCode(t)(NewXCode(n))
+		if err := VerifyMDS(c, msg); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestXCodeInvalidParams(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 9, 15} {
+		if _, err := NewXCode(n); !errors.Is(err, ErrInvalidParams) {
+			t.Fatalf("n=%d: want ErrInvalidParams, got %v", n, err)
+		}
+	}
+}
+
+func TestXCodeOptimalUpdate(t *testing.T) {
+	c := mustCode(t)(NewXCode(7)).(*xorCode)
+	for i, deg := range c.UpdatePenalty() {
+		if deg != 2 {
+			t.Fatalf("chunk %d update penalty %d, want 2", i, deg)
+		}
+	}
+}
+
+// --- EVENODD specifics ---
+
+func TestEvenOddFamilyMDS(t *testing.T) {
+	msg := make([]byte, 247)
+	rand.New(rand.NewSource(67)).Read(msg)
+	for _, p := range []int{3, 5, 7, 11} {
+		c := mustCode(t)(NewEvenOdd(p))
+		if err := VerifyMDS(c, msg); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestEvenOddInvalidParams(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		if _, err := NewEvenOdd(p); !errors.Is(err, ErrInvalidParams) {
+			t.Fatalf("p=%d: want ErrInvalidParams, got %v", p, err)
+		}
+	}
+}
+
+func TestEvenOddSuboptimalUpdate(t *testing.T) {
+	// EVENODD's special diagonal feeds the adjuster S, which appears in
+	// every diagonal parity cell, so some chunks have penalty >> 2. This is
+	// the very gap the B-Code/X-Code close (experiment E15).
+	c := mustCode(t)(NewEvenOdd(5)).(*xorCode)
+	census := TakeCensus(c)
+	if census.MinUpdate < 2 {
+		t.Fatalf("min update %d < 2 impossible for a 2-erasure code", census.MinUpdate)
+	}
+	if census.MaxUpdate <= 2 {
+		t.Fatalf("max update %d; EVENODD should exceed the optimal 2", census.MaxUpdate)
+	}
+}
+
+// --- Reed-Solomon specifics ---
+
+func TestReedSolomonVariousShapes(t *testing.T) {
+	msg := make([]byte, 777)
+	rand.New(rand.NewSource(68)).Read(msg)
+	for _, shape := range [][2]int{{3, 2}, {6, 4}, {10, 8}, {12, 6}, {17, 9}} {
+		c := mustCode(t)(NewReedSolomon(shape[0], shape[1]))
+		if err := VerifyMDS(c, msg); err != nil {
+			t.Fatalf("rs(%d,%d): %v", shape[0], shape[1], err)
+		}
+	}
+}
+
+func TestReedSolomonInvalidParams(t *testing.T) {
+	for _, shape := range [][2]int{{2, 2}, {1, 0}, {300, 4}, {4, 5}} {
+		if _, err := NewReedSolomon(shape[0], shape[1]); !errors.Is(err, ErrInvalidParams) {
+			t.Fatalf("rs(%d,%d): want ErrInvalidParams, got %v", shape[0], shape[1], err)
+		}
+	}
+}
+
+// --- Mirror / parity specifics ---
+
+func TestMirrorSurvivesAllButOne(t *testing.T) {
+	c := mustCode(t)(NewMirror(4))
+	msg := []byte("replicated")
+	shards, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[3] = nil, nil, nil
+	got, err := c.Decode(shards, len(msg))
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decode from single replica: %v", err)
+	}
+}
+
+func TestParityInvalidParams(t *testing.T) {
+	if _, err := NewSingleParity(0); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("want ErrInvalidParams, got %v", err)
+	}
+	if _, err := NewMirror(1); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("want ErrInvalidParams, got %v", err)
+	}
+}
+
+// --- Census (experiment E15) ---
+
+func TestCensusOptimality(t *testing.T) {
+	b := TakeCensus(mustCode(t)(NewBCode(6)))
+	x := TakeCensus(mustCode(t)(NewXCode(7)))
+	e := TakeCensus(mustCode(t)(NewEvenOdd(5)))
+	r := TakeCensus(mustCode(t)(NewReedSolomon(7, 5)))
+
+	for _, c := range []Census{b, x} {
+		if c.MinUpdate != 2 || c.MaxUpdate != 2 {
+			t.Fatalf("%s: update penalty [%d,%d], want exactly 2", c.Name, c.MinUpdate, c.MaxUpdate)
+		}
+	}
+	if e.MaxUpdate <= 2 {
+		t.Fatalf("evenodd max update %d, expected > 2", e.MaxUpdate)
+	}
+	if r.MulsPerEncode != (7-5)*5 {
+		t.Fatalf("rs muls per encode = %d, want %d", r.MulsPerEncode, 10)
+	}
+	if b.StorageOverhead != 6.0/4.0 {
+		t.Fatalf("bcode storage overhead %v", b.StorageOverhead)
+	}
+	// MDS codes all share minimal storage overhead n/k; mirroring pays r.
+	m := TakeCensus(mustCode(t)(NewMirror(3)))
+	if m.StorageOverhead != 3 {
+		t.Fatalf("mirror overhead %v, want 3", m.StorageOverhead)
+	}
+}
+
+func TestEncodeDoesNotAliasInput(t *testing.T) {
+	msg := []byte("do not mutate me")
+	orig := string(msg)
+	for _, c := range testCodes(t) {
+		if _, err := c.Encode(msg); err != nil {
+			t.Fatal(err)
+		}
+		if string(msg) != orig {
+			t.Fatalf("%s: Encode mutated its input", c.Name())
+		}
+	}
+}

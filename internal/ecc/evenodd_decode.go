@@ -1,0 +1,106 @@
+package ecc
+
+import "rain/internal/gf"
+
+// evenoddFastReconstruct returns the specialised decoder for the EVENODD
+// code's defining case: two erased *data* columns, recovered by the classic
+// zigzag of Blaum et al. — alternating between diagonal and horizontal
+// parity, the "decoding chains" the RAIN paper illustrates for array codes
+// in §4.1. Other erasure patterns (any pattern touching a parity column, or
+// a single erasure) return false and fall back to the generic GF(2) solver.
+//
+// Geometry recap for prime p: rows 0..p-2 are real, row p-1 is an imaginary
+// all-zero row; cell (r, l) lies on diagonal (r + l) mod p; diagonal d has a
+// parity cell C[d][p+1] for d <= p-2, while diagonal p-1 (the "S diagonal")
+// feeds the adjuster S; row parity lives in column p. The adjuster is
+// recoverable as the XOR of both parity columns because p-1 is even.
+func evenoddFastReconstruct(p int) func(c *xorCode, shards [][]byte, chunkLen int) bool {
+	rows := p - 1
+	return func(c *xorCode, shards [][]byte, chunkLen int) bool {
+		var missing []int
+		for col, s := range shards {
+			if s == nil {
+				missing = append(missing, col)
+			}
+		}
+		if len(missing) != 2 || missing[0] >= p || missing[1] >= p {
+			return false
+		}
+		i, j := missing[0], missing[1]
+
+		cell := func(col, r int) []byte {
+			return shards[col][r*chunkLen : (r+1)*chunkLen]
+		}
+		// S = XOR of the two parity columns, all rows.
+		S := make([]byte, chunkLen)
+		for r := 0; r < rows; r++ {
+			gf.XorSlice(cell(p, r), S)
+			gf.XorSlice(cell(p+1, r), S)
+		}
+		// Horizontal syndromes: S0[r] = row parity XOR known data in row r
+		// = XOR of the two missing cells of row r.
+		S0 := make([][]byte, rows)
+		for r := 0; r < rows; r++ {
+			S0[r] = make([]byte, chunkLen)
+			copy(S0[r], cell(p, r))
+			for l := 0; l < p; l++ {
+				if l == i || l == j {
+					continue
+				}
+				gf.XorSlice(cell(l, r), S0[r])
+			}
+		}
+		// Diagonal syndromes: syn[d] = XOR of the missing cells on
+		// diagonal d (imaginary-row cells count as zero).
+		syn := make([][]byte, p)
+		for d := 0; d < p; d++ {
+			syn[d] = make([]byte, chunkLen)
+			if d < rows {
+				copy(syn[d], cell(p+1, d))
+				gf.XorSlice(S, syn[d])
+			} else {
+				copy(syn[d], S) // the S diagonal: XOR of its cells is S
+			}
+			for l := 0; l < p; l++ {
+				if l == i || l == j {
+					continue
+				}
+				r := ((d-l)%p + p) % p
+				if r == p-1 {
+					continue // imaginary row
+				}
+				gf.XorSlice(cell(l, r), syn[d])
+			}
+		}
+		// Zigzag: start on the diagonal whose column-j cell is in the
+		// imaginary row, so the diagonal syndrome yields column i's cell
+		// directly; then the row syndrome yields column j's cell in the
+		// same row; hop to the next diagonal through that cell.
+		outI := make([]byte, rows*chunkLen)
+		outJ := make([]byte, rows*chunkLen)
+		carry := make([]byte, chunkLen) // the column-j cell on the current diagonal
+		d := (p - 1 + j) % p
+		for step := 0; step < p-1; step++ {
+			r := ((d-i)%p + p) % p
+			if r == p-1 {
+				// Column i's cell is imaginary: chain ends early (can
+				// only happen if the zigzag length were wrong — guard).
+				break
+			}
+			// a[r][i] = syn[d] XOR a[(d-j) mod p][j] (the carry).
+			ai := outI[r*chunkLen : (r+1)*chunkLen]
+			copy(ai, syn[d])
+			gf.XorSlice(carry, ai)
+			// a[r][j] = S0[r] XOR a[r][i].
+			aj := outJ[r*chunkLen : (r+1)*chunkLen]
+			copy(aj, S0[r])
+			gf.XorSlice(ai, aj)
+			// Next diagonal passes through (r, j).
+			copy(carry, aj)
+			d = (r + j) % p
+		}
+		shards[i] = outI
+		shards[j] = outJ
+		return true
+	}
+}

@@ -1,0 +1,132 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// genericOnlyEvenOdd builds an EVENODD code with the fast decoder disabled,
+// so tests can cross-check the zigzag against the generic GF(2) solver.
+func genericOnlyEvenOdd(t *testing.T, p int) *xorCode {
+	t.Helper()
+	c, err := NewEvenOdd(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc := c.(*xorCode)
+	xc.fastReconstruct = nil
+	return xc
+}
+
+func TestEvenOddZigzagMatchesGenericSolver(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11} {
+		fast, err := NewEvenOdd(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := genericOnlyEvenOdd(t, p)
+		msg := make([]byte, 311*(p-1))
+		rand.New(rand.NewSource(int64(p))).Read(msg)
+		shards, err := fast.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every pair of data columns: both decoders must agree exactly.
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				a := make([][]byte, len(shards))
+				b := make([][]byte, len(shards))
+				copy(a, shards)
+				copy(b, shards)
+				a[i], a[j], b[i], b[j] = nil, nil, nil, nil
+				if err := fast.Reconstruct(a); err != nil {
+					t.Fatalf("p=%d fast (%d,%d): %v", p, i, j, err)
+				}
+				if err := slow.Reconstruct(b); err != nil {
+					t.Fatalf("p=%d slow (%d,%d): %v", p, i, j, err)
+				}
+				for col := range a {
+					if !bytes.Equal(a[col], b[col]) {
+						t.Fatalf("p=%d cols (%d,%d): decoder mismatch at column %d", p, i, j, col)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvenOddZigzagRoundTrip(t *testing.T) {
+	c, err := NewEvenOdd(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 10007)
+	rand.New(rand.NewSource(99)).Read(msg)
+	shards, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[2], shards[5] = nil, nil // two data columns -> zigzag path
+	got, err := c.Decode(shards, len(msg))
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("zigzag decode: %v", err)
+	}
+}
+
+func TestEvenOddParityColumnErasureFallsBack(t *testing.T) {
+	// Patterns touching parity columns are not handled by the zigzag and
+	// must fall back to the generic solver — still correct.
+	c, err := NewEvenOdd(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 444)
+	rand.New(rand.NewSource(5)).Read(msg)
+	for _, pair := range [][2]int{{0, 5}, {0, 6}, {5, 6}, {4, 6}} {
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[pair[0]], shards[pair[1]] = nil, nil
+		got, err := c.Decode(shards, len(msg))
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("pair %v: %v", pair, err)
+		}
+	}
+}
+
+func BenchmarkEvenOddZigzagVsGeneric(b *testing.B) {
+	fast, err := NewEvenOdd(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slowCode, err := NewEvenOdd(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow := slowCode.(*xorCode)
+	slow.fastReconstruct = nil
+	msg := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(msg)
+	shards, err := fast.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		code Code
+	}{{"zigzag", fast}, {"generic", slow}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(msg)))
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				work[1], work[4] = nil, nil
+				if err := tc.code.Reconstruct(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

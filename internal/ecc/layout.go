@@ -1,0 +1,31 @@
+package ecc
+
+// CellDesc describes one cell of an array-code layout for display and
+// analysis: either a data cell (Data >= 0 giving the message chunk index)
+// or a parity cell (Data == -1) with Eq listing the chunk indices XORed.
+type CellDesc struct {
+	Data int
+	Eq   []int
+}
+
+// LayoutOf exposes the cell layout of an XOR array code, column by column,
+// in row order — the information Table 1a of the paper presents for the
+// (6,4) B-Code. ok is false for non-array codes (Reed-Solomon, mirroring).
+func LayoutOf(c Code) (cols [][]CellDesc, ok bool) {
+	xc, isXOR := c.(*xorCode)
+	if !isXOR {
+		return nil, false
+	}
+	out := make([][]CellDesc, xc.n)
+	for col := range xc.cells {
+		out[col] = make([]CellDesc, xc.rows)
+		for r, cl := range xc.cells[col] {
+			d := CellDesc{Data: cl.data}
+			if cl.data < 0 {
+				d.Eq = append([]int(nil), cl.eq...)
+			}
+			out[col][r] = d
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,96 @@
+package ecc
+
+import "fmt"
+
+// NewSingleParity constructs the (k+1, k) RAID-4 style code: k data shards
+// plus one XOR parity shard. It tolerates exactly one erasure. The paper
+// notes that traditional RAID offers only this ("parity") or mirroring, and
+// positions array codes as the generalisation trading storage for fault
+// tolerance; this implementation is the baseline for that comparison.
+func NewSingleParity(k int) (Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: single parity requires k >= 1, got %d", ErrInvalidParams, k)
+	}
+	n := k + 1
+	cells := make([][]cell, n)
+	for j := 0; j < k; j++ {
+		cells[j] = []cell{{data: j}}
+	}
+	eq := make([]int, k)
+	for j := range eq {
+		eq[j] = j
+	}
+	cells[k] = []cell{{data: -1, eq: eq}}
+	return newXORCode(fmt.Sprintf("parity(%d,%d)", n, k), n, 1, k, cells)
+}
+
+// mirror is r-way replication: n = r copies, k = 1. Tolerates r-1 erasures
+// at a storage overhead of r, the other traditional RAID baseline.
+type mirror struct {
+	r    int
+	name string
+}
+
+// NewMirror constructs an r-way replication "code" (n = r, k = 1).
+func NewMirror(r int) (Code, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("%w: mirror requires r >= 2, got %d", ErrInvalidParams, r)
+	}
+	return &mirror{r: r, name: fmt.Sprintf("mirror(%d,1)", r)}, nil
+}
+
+func (m *mirror) Name() string { return m.name }
+func (m *mirror) N() int       { return m.r }
+func (m *mirror) K() int       { return 1 }
+func (m *mirror) ShardSize(dataLen int) int {
+	if dataLen <= 0 {
+		return 1
+	}
+	return dataLen
+}
+
+func (m *mirror) Encode(data []byte) ([][]byte, error) {
+	size := m.ShardSize(len(data))
+	shards := make([][]byte, m.r)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		copy(shards[i], data)
+	}
+	return shards, nil
+}
+
+func (m *mirror) Reconstruct(shards [][]byte) error {
+	_, _, err := checkShards(shards, m.r, 1)
+	if err != nil {
+		return err
+	}
+	var src []byte
+	for _, s := range shards {
+		if s != nil {
+			src = s
+			break
+		}
+	}
+	for i, s := range shards {
+		if s == nil {
+			cp := make([]byte, len(src))
+			copy(cp, src)
+			shards[i] = cp
+		}
+	}
+	return nil
+}
+
+func (m *mirror) Decode(shards [][]byte, dataLen int) ([]byte, error) {
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	if err := m.Reconstruct(work); err != nil {
+		return nil, err
+	}
+	if dataLen > len(work[0]) {
+		return nil, fmt.Errorf("%w: dataLen %d exceeds shard size %d", ErrShardSize, dataLen, len(work[0]))
+	}
+	out := make([]byte, dataLen)
+	copy(out, work[0])
+	return out, nil
+}

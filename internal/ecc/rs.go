@@ -1,0 +1,142 @@
+package ecc
+
+import (
+	"fmt"
+
+	"rain/internal/gf"
+)
+
+// rsCode is a systematic Reed-Solomon (n, k) code over GF(2^8), the paper's
+// §4.1 example of a general MDS code. It tolerates any n-k erasures but pays
+// one field multiplication per byte per parity row, the cost the XOR-only
+// array codes avoid.
+type rsCode struct {
+	n, k int
+	name string
+	// gen is the n x k systematic generator matrix: the top k rows are the
+	// identity, the bottom n-k rows produce parity.
+	gen *gf.Matrix
+}
+
+// NewReedSolomon constructs a systematic Reed-Solomon code with k data
+// shards and n total shards. Requires 1 <= k < n <= 256.
+func NewReedSolomon(n, k int) (Code, error) {
+	if k < 1 || n <= k || n > 256 {
+		return nil, fmt.Errorf("%w: reed-solomon requires 1 <= k < n <= 256, got n=%d k=%d", ErrInvalidParams, n, k)
+	}
+	v := gf.Vandermonde(n, k)
+	top := gf.NewMatrix(k, k)
+	copy(top.Data, v.Data[:k*k])
+	inv, ok := top.Invert()
+	if !ok {
+		return nil, fmt.Errorf("%w: vandermonde top block singular", ErrInvalidParams)
+	}
+	return &rsCode{n: n, k: k, name: fmt.Sprintf("rs(%d,%d)", n, k), gen: v.Mul(inv)}, nil
+}
+
+func (c *rsCode) Name() string { return c.name }
+func (c *rsCode) N() int       { return c.n }
+func (c *rsCode) K() int       { return c.k }
+
+func (c *rsCode) shardLen(dataLen int) int {
+	if dataLen <= 0 {
+		return 1
+	}
+	return ceilDiv(dataLen, c.k)
+}
+
+func (c *rsCode) ShardSize(dataLen int) int { return c.shardLen(dataLen) }
+
+// Encode implements Code.
+func (c *rsCode) Encode(data []byte) ([][]byte, error) {
+	shardLen := c.shardLen(len(data))
+	shards := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, shardLen)
+		off := i * shardLen
+		if off < len(data) {
+			copy(shards[i], data[off:min(off+shardLen, len(data))])
+		}
+	}
+	for r := c.k; r < c.n; r++ {
+		shards[r] = make([]byte, shardLen)
+		row := c.gen.Row(r)
+		for j := 0; j < c.k; j++ {
+			gf.MulAddSlice(row[j], shards[j], shards[r])
+		}
+	}
+	return shards, nil
+}
+
+// Reconstruct implements Code.
+func (c *rsCode) Reconstruct(shards [][]byte) error {
+	shardLen, present, err := checkShards(shards, c.n, c.k)
+	if err != nil {
+		return err
+	}
+	if present == c.n {
+		return nil
+	}
+	// Select k present shards and invert the corresponding generator rows
+	// to obtain a decode matrix mapping those shards back to data shards.
+	sub := gf.NewMatrix(c.k, c.k)
+	chosen := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(chosen) < c.k; i++ {
+		if shards[i] != nil {
+			copy(sub.Row(len(chosen)), c.gen.Row(i))
+			chosen = append(chosen, i)
+		}
+	}
+	dec, ok := sub.Invert()
+	if !ok {
+		return fmt.Errorf("ecc: %s: decode matrix singular", c.name)
+	}
+	// Recover missing data shards.
+	data := make([][]byte, c.k)
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			data[j] = shards[j]
+			continue
+		}
+		out := make([]byte, shardLen)
+		row := dec.Row(j)
+		for i, src := range chosen {
+			gf.MulAddSlice(row[i], shards[src], out)
+		}
+		data[j] = out
+	}
+	for j := 0; j < c.k; j++ {
+		shards[j] = data[j]
+	}
+	// Recompute any missing parity shards from the recovered data.
+	for r := c.k; r < c.n; r++ {
+		if shards[r] != nil {
+			continue
+		}
+		out := make([]byte, shardLen)
+		row := c.gen.Row(r)
+		for j := 0; j < c.k; j++ {
+			gf.MulAddSlice(row[j], shards[j], out)
+		}
+		shards[r] = out
+	}
+	return nil
+}
+
+// Decode implements Code.
+func (c *rsCode) Decode(shards [][]byte, dataLen int) ([]byte, error) {
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	if err := c.Reconstruct(work); err != nil {
+		return nil, err
+	}
+	shardLen := len(work[0])
+	out := make([]byte, c.k*shardLen)
+	for i := 0; i < c.k; i++ {
+		copy(out[i*shardLen:], work[i])
+	}
+	if dataLen > len(out) {
+		return nil, fmt.Errorf("%w: dataLen %d exceeds capacity %d", ErrShardSize, dataLen, len(out))
+	}
+	return out[:dataLen], nil
+}

@@ -1,0 +1,46 @@
+package ecc
+
+import "fmt"
+
+// NewXCode constructs the (n, n-2) X-Code of Xu and Bruck ("X-Code: MDS
+// Array Codes with Optimal Encoding", IEEE-IT 45(1), 1999), cited by the
+// RAIN paper alongside the B-Code as an MDS array code with optimal
+// encoding/update complexity.
+//
+// The code array is n x n for prime n >= 5: rows 0..n-3 hold data and the
+// last two rows hold parity computed along diagonals of slopes +1 and -1:
+//
+//	C[n-2][i] = XOR_{k=0}^{n-3} C[k][(i+k+2) mod n]
+//	C[n-1][i] = XOR_{k=0}^{n-3} C[k][(i-k-2) mod n]
+//
+// Each column is one shard; any two column erasures are recoverable. Parity
+// is placed in the columns themselves (there are no dedicated parity
+// columns), so like the B-Code every data symbol participates in exactly two
+// parity equations.
+func NewXCode(n int) (Code, error) {
+	if n < 5 || !isPrime(n) {
+		return nil, fmt.Errorf("%w: xcode requires prime n >= 5, got n=%d", ErrInvalidParams, n)
+	}
+	rows := n
+	dataRows := n - 2
+	// Chunk indices: data cell at (row k, col i) is chunk i*dataRows + k,
+	// keeping each column's data contiguous in the message.
+	idx := func(k, i int) int { return i*dataRows + k }
+
+	cells := make([][]cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = make([]cell, rows)
+		for k := 0; k < dataRows; k++ {
+			cells[i][k] = cell{data: idx(k, i)}
+		}
+		eqDiag := make([]int, 0, dataRows)
+		eqAnti := make([]int, 0, dataRows)
+		for k := 0; k < dataRows; k++ {
+			eqDiag = append(eqDiag, idx(k, (i+k+2)%n))
+			eqAnti = append(eqAnti, idx(k, ((i-k-2)%n+n)%n))
+		}
+		cells[i][n-2] = cell{data: -1, eq: eqDiag}
+		cells[i][n-1] = cell{data: -1, eq: eqAnti}
+	}
+	return newXORCode(fmt.Sprintf("xcode(%d,%d)", n, n-2), n, rows, n-2, cells)
+}

@@ -1,0 +1,336 @@
+package ecc
+
+import (
+	"fmt"
+
+	"rain/internal/gf"
+)
+
+// cell describes one cell of an array code: either a data cell holding data
+// chunk `data`, or a parity cell (data == -1) whose value is the XOR of the
+// data chunks listed in eq.
+type cell struct {
+	data int
+	eq   []int
+}
+
+// xorCode is a generic XOR-based array code: n columns of `rows` cells each.
+// Every concrete array code in this package (B-Code, X-Code, EVENODD, single
+// parity) is an instance. The layout is fixed at construction; encoding XORs
+// chunks according to the parity equations, and erasure decoding solves the
+// surviving parity equations by Gaussian elimination over GF(2) — exact for
+// any linear layout, so one well-tested decoder serves every code family.
+// Concrete codes may install a faster specialised decoder via fastReconstruct.
+type xorCode struct {
+	name      string
+	n, rows   int
+	k         int
+	dataCells int      // == k*rows for the MDS array codes here
+	cells     [][]cell // [col][row]
+	dataPos   [][2]int // chunk index -> (col, row)
+	updateDeg []int    // chunk index -> number of parity cells touching it
+
+	// fastReconstruct, when non-nil, attempts a specialised reconstruction
+	// of the missing columns. It returns false to fall back to the generic
+	// Gaussian solver (e.g. for erasure patterns it does not handle).
+	fastReconstruct func(c *xorCode, shards [][]byte, chunkLen int) bool
+}
+
+// newXORCode validates a layout and precomputes the data-chunk position and
+// update-degree tables.
+func newXORCode(name string, n, rows, k int, cells [][]cell) (*xorCode, error) {
+	if len(cells) != n {
+		return nil, fmt.Errorf("%w: %s: %d columns, want %d", ErrInvalidParams, name, len(cells), n)
+	}
+	dataCells := 0
+	for c := range cells {
+		if len(cells[c]) != rows {
+			return nil, fmt.Errorf("%w: %s: column %d has %d rows, want %d", ErrInvalidParams, name, c, len(cells[c]), rows)
+		}
+		for r := range cells[c] {
+			if cells[c][r].data >= 0 {
+				dataCells++
+			}
+		}
+	}
+	code := &xorCode{
+		name:      name,
+		n:         n,
+		rows:      rows,
+		k:         k,
+		dataCells: dataCells,
+		cells:     cells,
+		dataPos:   make([][2]int, dataCells),
+		updateDeg: make([]int, dataCells),
+	}
+	seen := make([]bool, dataCells)
+	for c := range cells {
+		for r := range cells[c] {
+			cl := cells[c][r]
+			if cl.data >= 0 {
+				if cl.data >= dataCells || seen[cl.data] {
+					return nil, fmt.Errorf("%w: %s: bad data index %d at (%d,%d)", ErrInvalidParams, name, cl.data, c, r)
+				}
+				seen[cl.data] = true
+				code.dataPos[cl.data] = [2]int{c, r}
+				continue
+			}
+			for _, d := range cl.eq {
+				if d < 0 || d >= dataCells {
+					return nil, fmt.Errorf("%w: %s: parity at (%d,%d) references chunk %d", ErrInvalidParams, name, c, r, d)
+				}
+				code.updateDeg[d]++
+			}
+		}
+	}
+	return code, nil
+}
+
+func (c *xorCode) Name() string { return c.name }
+func (c *xorCode) N() int       { return c.n }
+func (c *xorCode) K() int       { return c.k }
+
+// chunkLen returns the per-cell chunk length for a message of dataLen bytes.
+func (c *xorCode) chunkLen(dataLen int) int {
+	if dataLen <= 0 {
+		return 1
+	}
+	return ceilDiv(dataLen, c.dataCells)
+}
+
+func (c *xorCode) ShardSize(dataLen int) int {
+	return c.chunkLen(dataLen) * c.rows
+}
+
+// Encode implements Code.
+func (c *xorCode) Encode(data []byte) ([][]byte, error) {
+	chunkLen := c.chunkLen(len(data))
+	// Lay the padded message out as dataCells chunks.
+	chunks := make([][]byte, c.dataCells)
+	shards := make([][]byte, c.n)
+	for col := range shards {
+		shards[col] = make([]byte, c.rows*chunkLen)
+	}
+	for idx := 0; idx < c.dataCells; idx++ {
+		pos := c.dataPos[idx]
+		dst := shards[pos[0]][pos[1]*chunkLen : (pos[1]+1)*chunkLen]
+		off := idx * chunkLen
+		if off < len(data) {
+			copy(dst, data[off:min(off+chunkLen, len(data))])
+		}
+		chunks[idx] = dst
+	}
+	for col := range c.cells {
+		for r, cl := range c.cells[col] {
+			if cl.data >= 0 {
+				continue
+			}
+			dst := shards[col][r*chunkLen : (r+1)*chunkLen]
+			for _, d := range cl.eq {
+				gf.XorSlice(chunks[d], dst)
+			}
+		}
+	}
+	return shards, nil
+}
+
+// Reconstruct implements Code. It fills nil shard entries in place.
+func (c *xorCode) Reconstruct(shards [][]byte) error {
+	shardLen, present, err := checkShards(shards, c.n, c.k)
+	if err != nil {
+		return err
+	}
+	if present == c.n {
+		return nil
+	}
+	if shardLen%c.rows != 0 {
+		return fmt.Errorf("%w: shard length %d not divisible by %d rows", ErrShardSize, shardLen, c.rows)
+	}
+	chunkLen := shardLen / c.rows
+	if c.fastReconstruct != nil {
+		// Work on a scratch copy of the nil-ness pattern: the fast path
+		// allocates the missing columns itself and reports success.
+		if c.fastReconstruct(c, shards, chunkLen) {
+			return nil
+		}
+	}
+	return c.genericReconstruct(shards, chunkLen)
+}
+
+// genericReconstruct recovers missing columns by solving the surviving
+// parity equations over GF(2). Unknowns are the data chunks located in
+// missing columns; each surviving parity cell contributes one equation.
+func (c *xorCode) genericReconstruct(shards [][]byte, chunkLen int) error {
+	missingCol := make([]bool, c.n)
+	for col, s := range shards {
+		missingCol[col] = s == nil
+	}
+	// Enumerate unknown data chunks and give them dense indices.
+	unknownIdx := make(map[int]int)
+	var unknownChunks []int
+	for idx := 0; idx < c.dataCells; idx++ {
+		if missingCol[c.dataPos[idx][0]] {
+			unknownIdx[idx] = len(unknownChunks)
+			unknownChunks = append(unknownChunks, idx)
+		}
+	}
+	nu := len(unknownChunks)
+	solved := make([][]byte, nu)
+	if nu > 0 {
+		// Build the linear system: one row per surviving parity cell
+		// that touches at least one unknown.
+		words := (nu + 63) / 64
+		type eqRow struct {
+			mask []uint64
+			rhs  []byte
+		}
+		var sys []eqRow
+		for col := range c.cells {
+			if missingCol[col] {
+				continue
+			}
+			for r, cl := range c.cells[col] {
+				if cl.data >= 0 {
+					continue
+				}
+				mask := make([]uint64, words)
+				touches := false
+				for _, d := range cl.eq {
+					if j, ok := unknownIdx[d]; ok {
+						mask[j/64] ^= 1 << (j % 64)
+						touches = true
+					}
+				}
+				if !touches {
+					continue
+				}
+				rhs := make([]byte, chunkLen)
+				copy(rhs, shards[col][r*chunkLen:(r+1)*chunkLen])
+				for _, d := range cl.eq {
+					if _, ok := unknownIdx[d]; ok {
+						continue
+					}
+					pos := c.dataPos[d]
+					gf.XorSlice(shards[pos[0]][pos[1]*chunkLen:(pos[1]+1)*chunkLen], rhs)
+				}
+				sys = append(sys, eqRow{mask: mask, rhs: rhs})
+			}
+		}
+		// Forward elimination with back substitution over GF(2).
+		pivotRow := make([]int, nu)
+		for i := range pivotRow {
+			pivotRow[i] = -1
+		}
+		row := 0
+		for colBit := 0; colBit < nu && row < len(sys); colBit++ {
+			sel := -1
+			for r := row; r < len(sys); r++ {
+				if sys[r].mask[colBit/64]&(1<<(colBit%64)) != 0 {
+					sel = r
+					break
+				}
+			}
+			if sel < 0 {
+				continue
+			}
+			sys[row], sys[sel] = sys[sel], sys[row]
+			for r := 0; r < len(sys); r++ {
+				if r == row {
+					continue
+				}
+				if sys[r].mask[colBit/64]&(1<<(colBit%64)) != 0 {
+					for w := range sys[r].mask {
+						sys[r].mask[w] ^= sys[row].mask[w]
+					}
+					gf.XorSlice(sys[row].rhs, sys[r].rhs)
+				}
+			}
+			pivotRow[colBit] = row
+			row++
+		}
+		for j := 0; j < nu; j++ {
+			r := pivotRow[j]
+			if r < 0 {
+				return fmt.Errorf("ecc: %s: erasure pattern unsolvable (chunk %d underdetermined)", c.name, unknownChunks[j])
+			}
+			solved[j] = sys[r].rhs
+		}
+	}
+	// Materialise the missing columns: place solved data chunks, then
+	// recompute parity cells (all their inputs are now available).
+	for col := range shards {
+		if !missingCol[col] {
+			continue
+		}
+		shards[col] = make([]byte, c.rows*chunkLen)
+	}
+	for j, idx := range unknownChunks {
+		pos := c.dataPos[idx]
+		copy(shards[pos[0]][pos[1]*chunkLen:(pos[1]+1)*chunkLen], solved[j])
+	}
+	for col := range c.cells {
+		if !missingCol[col] {
+			continue
+		}
+		for r, cl := range c.cells[col] {
+			if cl.data >= 0 {
+				continue
+			}
+			dst := shards[col][r*chunkLen : (r+1)*chunkLen]
+			for i := range dst {
+				dst[i] = 0
+			}
+			for _, d := range cl.eq {
+				pos := c.dataPos[d]
+				gf.XorSlice(shards[pos[0]][pos[1]*chunkLen:(pos[1]+1)*chunkLen], dst)
+			}
+		}
+	}
+	return nil
+}
+
+// Decode implements Code.
+func (c *xorCode) Decode(shards [][]byte, dataLen int) ([]byte, error) {
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	if err := c.Reconstruct(work); err != nil {
+		return nil, err
+	}
+	shardLen := len(work[0])
+	chunkLen := shardLen / c.rows
+	out := make([]byte, c.dataCells*chunkLen)
+	for idx := 0; idx < c.dataCells; idx++ {
+		pos := c.dataPos[idx]
+		copy(out[idx*chunkLen:], work[pos[0]][pos[1]*chunkLen:(pos[1]+1)*chunkLen])
+	}
+	if dataLen > len(out) {
+		return nil, fmt.Errorf("%w: dataLen %d exceeds capacity %d", ErrShardSize, dataLen, len(out))
+	}
+	return out[:dataLen], nil
+}
+
+// UpdatePenalty returns, for each data chunk, the number of parity cells
+// that must be rewritten when that chunk changes. The paper's optimality
+// claim for the B-Code and X-Code is that this equals 2 (the minimum for any
+// 2-erasure-correcting code) for every chunk.
+func (c *xorCode) UpdatePenalty() []int {
+	out := make([]int, len(c.updateDeg))
+	copy(out, c.updateDeg)
+	return out
+}
+
+// EncodeXORCount returns the number of chunk-XOR operations performed by
+// Encode, i.e. the sum of parity equation lengths. Dividing by the number of
+// parity cells gives the average equation density the paper's "low density"
+// codes minimise.
+func (c *xorCode) EncodeXORCount() int {
+	total := 0
+	for col := range c.cells {
+		for _, cl := range c.cells[col] {
+			if cl.data < 0 {
+				total += len(cl.eq)
+			}
+		}
+	}
+	return total
+}

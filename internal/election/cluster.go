@@ -1,0 +1,103 @@
+package election
+
+import (
+	"sort"
+
+	"rain/internal/sim"
+)
+
+// electNIC is the interface index reserved for election heartbeats.
+const electNIC = 91
+
+// Cluster drives election nodes over the simulated network: heartbeats ride
+// unreliable datagrams (the protocol tolerates loss by design).
+type Cluster struct {
+	S   *sim.Scheduler
+	Net *sim.Network
+
+	Members map[string]*Node
+	stopped map[string]bool
+	cfg     Config
+}
+
+// NewCluster builds one election node per name on a full mesh.
+func NewCluster(s *sim.Scheduler, net *sim.Network, names []string, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{S: s, Net: net, Members: make(map[string]*Node), stopped: make(map[string]bool), cfg: cfg}
+	for _, name := range names {
+		peers := make([]string, 0, len(names)-1)
+		for _, p := range names {
+			if p != name {
+				peers = append(peers, p)
+			}
+		}
+		n := NewNode(name, peers, cfg)
+		c.Members[name] = n
+		addr := sim.NodeAddr(name, electNIC)
+		net.Attach(addr, func(p sim.Packet) {
+			if c.stopped[name] {
+				return
+			}
+			n.OnHeartbeat(p.Payload.(Heartbeat), int64(s.Now()))
+		})
+		var loop func()
+		loop = func() {
+			if !c.stopped[name] {
+				hb := n.Tick(int64(s.Now()))
+				for _, p := range n.peers {
+					net.Send(addr, sim.NodeAddr(p, electNIC), hb)
+				}
+			}
+			s.After(cfg.Interval, loop)
+		}
+		s.After(0, loop)
+	}
+	return c
+}
+
+// Stop crashes a node (stops its heartbeats and reception, cuts links).
+func (c *Cluster) Stop(name string) {
+	c.stopped[name] = true
+	c.Net.CutNode(name)
+}
+
+// Restart revives a stopped node.
+func (c *Cluster) Restart(name string) {
+	c.stopped[name] = false
+	c.Net.HealNode(name)
+}
+
+// Partition cuts every link between the two groups.
+func (c *Cluster) Partition(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			c.Net.Cut(sim.NodeAddr(a, electNIC), sim.NodeAddr(b, electNIC))
+		}
+	}
+}
+
+// Heal restores every link between the two groups.
+func (c *Cluster) Heal(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			c.Net.Heal(sim.NodeAddr(a, electNIC), sim.NodeAddr(b, electNIC))
+		}
+	}
+}
+
+// Leaders returns the distinct leaders currently claimed by the given live
+// nodes, sorted.
+func (c *Cluster) Leaders(names []string) []string {
+	set := map[string]bool{}
+	for _, n := range names {
+		if !c.stopped[n] {
+			set[c.Members[n].Leader()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,293 @@
+// Package gf implements arithmetic over the finite field GF(2^8).
+//
+// The field is realised as polynomials over GF(2) modulo the primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for
+// storage-system Reed-Solomon codes. Multiplication and division are table
+// driven (exp/log), so the hot paths used by the Reed-Solomon encoder in
+// internal/ecc are branch-free per byte.
+//
+// GF(2^8) is the substrate for the Reed-Solomon baseline that the RAIN paper
+// (§4.1) compares its XOR-only array codes against: RS is MDS for any (n, k)
+// but pays one field multiplication per byte, whereas the B-Code, X-Code and
+// EVENODD codes need XOR only.
+package gf
+
+// Poly is the primitive polynomial used to construct the field, with the
+// x^8 term included (0x11d = x^8 + x^4 + x^3 + x^2 + 1).
+const Poly = 0x11d
+
+// Order is the number of elements of the field.
+const Order = 256
+
+var (
+	expTable [512]byte // expTable[i] = alpha^i, doubled to avoid a mod 255
+	logTable [256]byte // logTable[x] = i such that alpha^i == x, for x != 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Sub is the same operation.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8), identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Div panics if b is zero: division by zero is
+// a programming error in every caller (matrix inversion guards pivots).
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns alpha^n for the field generator alpha = 0x02. Negative n is
+// accepted and interpreted modulo 255.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// Log returns the discrete logarithm of a to base alpha. It panics for a = 0.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have equal
+// length. It is the inner loop of Reed-Solomon encoding.
+func MulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(logTable[c])
+	_ = dst[len(src)-1] // eliminate bounds checks in the loop below
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i: a fused multiply-
+// accumulate over the field, the dominant operation in RS encode/decode.
+func MulAddSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(src, dst)
+		return
+	}
+	logC := int(logTable[c])
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for all i. It XORs eight bytes at a time
+// through uint64 loads where alignment permits; this is the single hot loop
+// of every array code in internal/ecc.
+func XorSlice(src, dst []byte) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := uint64(dst[i]) | uint64(dst[i+1])<<8 | uint64(dst[i+2])<<16 | uint64(dst[i+3])<<24 |
+			uint64(dst[i+4])<<32 | uint64(dst[i+5])<<40 | uint64(dst[i+6])<<48 | uint64(dst[i+7])<<56
+		s := uint64(src[i]) | uint64(src[i+1])<<8 | uint64(src[i+2])<<16 | uint64(src[i+3])<<24 |
+			uint64(src[i+4])<<32 | uint64(src[i+5])<<40 | uint64(src[i+6])<<48 | uint64(src[i+7])<<56
+		d ^= s
+		dst[i] = byte(d)
+		dst[i+1] = byte(d >> 8)
+		dst[i+2] = byte(d >> 16)
+		dst[i+3] = byte(d >> 24)
+		dst[i+4] = byte(d >> 32)
+		dst[i+5] = byte(d >> 40)
+		dst[i+6] = byte(d >> 48)
+		dst[i+7] = byte(d >> 56)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Matrix is a dense matrix over GF(2^8), row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("gf: matrix dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			MulAddSlice(a, other.Row(k), out.Row(r))
+		}
+	}
+	return out
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows-by-cols Vandermonde matrix with
+// element (r, c) = alpha^(r*c). Any square submatrix formed from distinct
+// rows is invertible, which is what makes the derived Reed-Solomon code MDS.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}
+
+// Invert returns the inverse of the square matrix m, or ok=false when m is
+// singular. m is not modified.
+func (m *Matrix) Invert() (inv *Matrix, ok bool) {
+	if m.Rows != m.Cols {
+		panic("gf: cannot invert non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv = Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row so the pivot becomes 1.
+		p := work.At(col, col)
+		if p != 1 {
+			ip := Inv(p)
+			scaleRow(work.Row(col), ip)
+			scaleRow(inv.Row(col), ip)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			MulAddSlice(f, work.Row(col), work.Row(r))
+			MulAddSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, true
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(row []byte, c byte) {
+	for i := range row {
+		row[i] = Mul(row[i], c)
+	}
+}

@@ -1,0 +1,309 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xca) != 0x53^0xca {
+		t.Fatalf("Add(0x53, 0xca) = %#x, want %#x", Add(0x53, 0xca), 0x53^0xca)
+	}
+	if Sub(0x53, 0xca) != Add(0x53, 0xca) {
+		t.Fatal("Sub must equal Add in characteristic 2")
+	}
+}
+
+func TestMulByZeroAndOne(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d, 0) = %d, want 0", a, got)
+		}
+		if got := Mul(0, byte(a)); got != 0 {
+			t.Fatalf("Mul(0, %d) = %d, want 0", a, got)
+		}
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d, 1) = %d, want %d", a, got, a)
+		}
+	}
+}
+
+// mulSlow is bit-serial carry-less multiplication mod Poly, used as a
+// reference implementation for the table-driven Mul.
+func mulSlow(a, b byte) byte {
+	var p int
+	x, y := int(a), int(b)
+	for i := 0; i < 8; i++ {
+		if y&1 != 0 {
+			p ^= x
+		}
+		y >>= 1
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	return byte(p)
+}
+
+func TestMulMatchesBitSerial(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := mulSlow(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, b) == Mul(b, a) && Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a = %d", a)
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1, a) != Inv(a) for a = %d", a)
+		}
+	}
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for i := 0; i < 255; i++ {
+		if Log(Exp(i)) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, Log(Exp(i)))
+		}
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("negative exponent must wrap modulo 255")
+	}
+	if Exp(255) != Exp(0) {
+		t.Fatal("Exp(255) must wrap to Exp(0)")
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// alpha = 2 must generate the full multiplicative group: 255 distinct
+	// powers before repeating.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("alpha^%d = %d repeats an earlier power", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := make([]byte, 100)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	dst := make([]byte, 100)
+	MulSlice(0x1d, src, dst)
+	for i := range src {
+		if dst[i] != Mul(0x1d, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	MulSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice by zero must clear dst")
+		}
+	}
+	MulSlice(1, src, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("MulSlice by one must copy src")
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := make([]byte, 37) // odd length to hit the scalar tail
+	dst := make([]byte, 37)
+	want := make([]byte, 37)
+	for i := range src {
+		src[i] = byte(3 * i)
+		dst[i] = byte(11 * i)
+		want[i] = dst[i] ^ Mul(0x8e, src[i])
+	}
+	MulAddSlice(0x8e, src, dst)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("MulAddSlice mismatch")
+	}
+	saved := append([]byte(nil), dst...)
+	MulAddSlice(0, src, dst)
+	if !bytes.Equal(dst, saved) {
+		t.Fatal("MulAddSlice with c=0 must be a no-op")
+	}
+}
+
+func TestXorSliceAllLengths(t *testing.T) {
+	// Exercise every length 0..65 so both the 8-byte blocks and the scalar
+	// tail are covered.
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 65; n++ {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = src[i] ^ dst[i]
+		}
+		XorSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XorSlice wrong for length %d", n)
+		}
+	}
+}
+
+func TestXorSliceSelfInverse(t *testing.T) {
+	f := func(data []byte) bool {
+		dst := make([]byte, len(data))
+		XorSlice(data, dst)
+		XorSlice(data, dst)
+		for _, b := range dst {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixIdentityMul(t *testing.T) {
+	id := Identity(4)
+	m := NewMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = byte(i + 1)
+	}
+	if !bytes.Equal(id.Mul(m).Data, m.Data) {
+		t.Fatal("I * M != M")
+	}
+	if !bytes.Equal(m.Mul(id).Data, m.Data) {
+		t.Fatal("M * I != M")
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		rng.Read(m.Data)
+		inv, ok := m.Invert()
+		if !ok {
+			continue // singular random matrix; skip
+		}
+		prod := m.Mul(inv)
+		if !bytes.Equal(prod.Data, Identity(n).Data) {
+			t.Fatalf("M * M^-1 != I for n=%d trial=%d", n, trial)
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 5)
+	m.Set(0, 1, 10)
+	m.Set(1, 0, 5)
+	m.Set(1, 1, 10) // duplicate row: singular
+	if _, ok := m.Invert(); ok {
+		t.Fatal("Invert of singular matrix must report ok=false")
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// The MDS property of the derived RS code rests on every square
+	// submatrix built from distinct rows being invertible. Check all
+	// 3-row selections of a 7x3 Vandermonde matrix.
+	v := Vandermonde(7, 3)
+	for a := 0; a < 7; a++ {
+		for b := a + 1; b < 7; b++ {
+			for c := b + 1; c < 7; c++ {
+				sub := NewMatrix(3, 3)
+				copy(sub.Row(0), v.Row(a))
+				copy(sub.Row(1), v.Row(b))
+				copy(sub.Row(2), v.Row(c))
+				if _, ok := sub.Invert(); !ok {
+					t.Fatalf("Vandermonde rows (%d,%d,%d) singular", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	rand.New(rand.NewSource(7)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, src, dst)
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	rand.New(rand.NewSource(7)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

@@ -1,0 +1,169 @@
+// Package linkstate implements the consistent-history link-monitoring
+// protocol of RAIN §2.2-2.4 (LeMahieu & Bruck, IPPS 1999): a token-counting
+// state machine that guarantees both ends of a point-to-point channel
+// observe the same alternating Up/Down history, with the two ends never more
+// than N transitions apart (bounded slack), and with each physical channel
+// event causing a bounded number of observable transitions (stability).
+//
+// The package separates the protocol into two layers, mirroring the paper:
+//
+//   - Endpoint is the token-passing state machine (Figs 7 and 8). It is
+//     pure: inputs are tout/tin hints and token receipts; the only output is
+//     "send a token". Tokens are conserved — 2N exist per channel.
+//
+//   - Monitor maps the token stream onto unreliable ping messages carrying a
+//     sequence number, an acknowledgement and a cumulative token count —
+//     exactly the "reliable messaging on top of pings" realisation the
+//     paper describes — and derives the tout/tin hints from ping time-outs.
+//
+// Drivers (the discrete-event simulator in tests and experiments, the UDP
+// driver in internal/rudp) push packets and clock ticks into Monitor.
+package linkstate
+
+import "fmt"
+
+// Status is the observable channel state at one endpoint.
+type Status int
+
+// Channel states.
+const (
+	Up Status = iota
+	Down
+)
+
+func (s Status) String() string {
+	if s == Up {
+		return "Up"
+	}
+	return "Down"
+}
+
+// Mode selects how an endpoint learns the channel has recovered.
+type Mode int
+
+const (
+	// TinExplicit is the general-N machine of Fig 8: a separate tin event
+	// (from the ping layer or hardware) drives Down->Up transitions.
+	TinExplicit Mode = iota
+	// TinOnToken is the N=2 machine of Fig 7, where tokens ride on pings:
+	// a token arriving while Down and fully acknowledged is itself proof
+	// of bidirectional communication, so the endpoint comes back up
+	// without an explicit tin.
+	TinOnToken
+)
+
+// Endpoint is one side's protocol state machine. The zero value is not
+// usable; call NewEndpoint. Endpoint is not safe for concurrent use: drive
+// it from one goroutine or the simulator.
+type Endpoint struct {
+	slack int
+	mode  Mode
+
+	// h counts observable transitions this side has made; the channel is
+	// Up when h is even. r counts the peer's transitions learnt through
+	// token receipts. Tokens held = slack - (h - r); the protocol keeps
+	// 0 <= h-r <= slack, which is exactly the bounded-slack guarantee.
+	h, r uint64
+
+	// onTransition, when set, observes every local state transition; tests
+	// use it to record histories.
+	onTransition func(Status)
+}
+
+// NewEndpoint returns an endpoint with the given slack N >= 2 (the paper
+// proves N = 2 is the minimum for which any such protocol can work).
+func NewEndpoint(slack int, mode Mode) (*Endpoint, error) {
+	if slack < 2 {
+		return nil, fmt.Errorf("linkstate: slack %d < 2 (no consistent-history protocol exists)", slack)
+	}
+	return &Endpoint{slack: slack, mode: mode}, nil
+}
+
+// OnTransition registers a hook invoked with the new status after every
+// local transition.
+func (e *Endpoint) OnTransition(fn func(Status)) { e.onTransition = fn }
+
+// Status returns the current observable channel state.
+func (e *Endpoint) Status() Status {
+	if e.h%2 == 0 {
+		return Up
+	}
+	return Down
+}
+
+// Transitions returns the number of observable transitions this endpoint
+// has made (the length of its history).
+func (e *Endpoint) Transitions() uint64 { return e.h }
+
+// PeerTransitions returns how many peer transitions this endpoint has
+// learnt of via tokens.
+func (e *Endpoint) PeerTransitions() uint64 { return e.r }
+
+// TokensHeld returns the endpoint's current token count t = N - (h - r),
+// the quantity labelling the states in Figs 7 and 8.
+func (e *Endpoint) TokensHeld() int { return e.slack - int(e.h-e.r) }
+
+// Slack returns the configured slack N.
+func (e *Endpoint) Slack() int { return e.slack }
+
+func (e *Endpoint) transition() {
+	e.h++
+	if e.onTransition != nil {
+		e.onTransition(e.Status())
+	}
+}
+
+// Tout delivers a time-out hint: bidirectional communication has probably
+// been lost. It returns the number of tokens to send to the peer (0 or 1).
+// A tout while already Down, or while out of tokens (the bounded-slack
+// blocking state, e.g. Down t=0 in Fig 7), changes nothing.
+func (e *Endpoint) Tout() (sendTokens int) {
+	if e.Status() != Up {
+		return 0
+	}
+	if e.h-e.r >= uint64(e.slack) {
+		return 0 // blocked: would exceed the slack bound
+	}
+	e.transition()
+	return 1
+}
+
+// Tin delivers a time-in hint: bidirectional communication has probably
+// resumed. Only meaningful in TinExplicit mode; in TinOnToken mode recovery
+// rides on token receipt and Tin is ignored (the paper: "we would never
+// explicitly see a tin event"). It returns the number of tokens to send.
+func (e *Endpoint) Tin() (sendTokens int) {
+	if e.mode == TinOnToken {
+		return 0
+	}
+	if e.Status() != Down {
+		return 0
+	}
+	if e.h-e.r >= uint64(e.slack) {
+		return 0
+	}
+	e.transition()
+	return 1
+}
+
+// Token delivers one token from the peer. It returns the number of tokens
+// to send back (0 or 1). Three cases, matching Figs 7/8:
+//
+//  1. The peer is ahead (r would exceed h): mirror its transition so the
+//     histories stay identical, sending a token for our own transition.
+//  2. In TinOnToken mode, an acknowledging token that leaves us Down and
+//     fully caught-up proves the channel works: transition back Up.
+//  3. Otherwise the token simply acknowledges one of our past transitions
+//     (t increments; no state change).
+func (e *Endpoint) Token() (sendTokens int) {
+	e.r++
+	if e.r > e.h {
+		e.transition() // catch up with the peer's transition
+		return 1
+	}
+	if e.mode == TinOnToken && e.Status() == Down && e.r == e.h {
+		e.transition() // token arrival is an implicit tin
+		return 1
+	}
+	return 0
+}

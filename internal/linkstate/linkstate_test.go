@@ -1,0 +1,313 @@
+package linkstate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newEp(t *testing.T, slack int, mode Mode) *Endpoint {
+	t.Helper()
+	ep, err := NewEndpoint(slack, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func TestNewEndpointRejectsSlackBelowTwo(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if _, err := NewEndpoint(n, TinExplicit); err == nil {
+			t.Fatalf("slack %d accepted", n)
+		}
+	}
+}
+
+// TestFig7StateMachine walks the exact 5-state N=2 machine of Fig 7,
+// checking status and token count in every state (experiment E5).
+func TestFig7StateMachine(t *testing.T) {
+	ep := newEp(t, 2, TinOnToken)
+
+	check := func(label string, st Status, tokens int) {
+		t.Helper()
+		if ep.Status() != st || ep.TokensHeld() != tokens {
+			t.Fatalf("%s: status %v tokens %d, want %v %d", label, ep.Status(), ep.TokensHeld(), st, tokens)
+		}
+	}
+
+	check("initial (state 1)", Up, 2)
+
+	// Up(2) --tout/send--> Down(1)  (state 3)
+	if ep.Tout() != 1 {
+		t.Fatal("tout from Up(2) must send a token")
+	}
+	check("after tout (state 3)", Down, 1)
+
+	// Down(1) --T/send--> Up(1)  (state 4): ack + implicit tin.
+	if ep.Token() != 1 {
+		t.Fatal("token in Down(1) must trigger the Up transition and send")
+	}
+	check("after token (state 4)", Up, 1)
+
+	// Up(1) --tout/send--> Down(0)  (state 5): now blocked.
+	if ep.Tout() != 1 {
+		t.Fatal("tout from Up(1) must send a token")
+	}
+	check("after second tout (state 5)", Down, 0)
+
+	// Down(0): further touts are absorbed (bounded slack).
+	if ep.Tout() != 0 {
+		t.Fatal("tout in Down(0) must be blocked by the slack bound")
+	}
+	check("blocked (state 5)", Down, 0)
+
+	// Down(0) --T/0--> Down(1)  (state 3): ack only, no transition yet.
+	if ep.Token() != 0 {
+		t.Fatal("token in Down(0) must only acknowledge")
+	}
+	check("after token (state 3)", Down, 1)
+
+	// Down(1) --T/send--> Up(1) --T/0--> Up(2): fully recovered.
+	if ep.Token() != 1 {
+		t.Fatal("token in Down(1) must come back up")
+	}
+	check("state 4 again", Up, 1)
+	if ep.Token() != 0 {
+		t.Fatal("ack token in Up(1) must not send")
+	}
+	check("stable again (state 1)", Up, 2)
+}
+
+// TestFig7CatchUp checks the catch-up path: a token arriving in the stable
+// state mirrors the peer's transition (state 1 -> state 2 -> state 1).
+func TestFig7CatchUp(t *testing.T) {
+	ep := newEp(t, 2, TinOnToken)
+	if ep.Token() != 1 {
+		t.Fatal("catch-up transition must send a token")
+	}
+	if ep.Status() != Down || ep.TokensHeld() != 2 {
+		t.Fatalf("state 2: got %v t=%d, want Down t=2", ep.Status(), ep.TokensHeld())
+	}
+	// Peer comes back up; we mirror again.
+	if ep.Token() != 1 {
+		t.Fatal("mirroring the Up transition must send a token")
+	}
+	if ep.Status() != Up || ep.TokensHeld() != 2 {
+		t.Fatalf("back to state 1: got %v t=%d", ep.Status(), ep.TokensHeld())
+	}
+}
+
+func TestExplicitTinMachine(t *testing.T) {
+	ep := newEp(t, 4, TinExplicit)
+	// Go down, come up via explicit tin, repeatedly until blocked.
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if ep.Status() == Up {
+			sent += ep.Tout()
+		} else {
+			sent += ep.Tin()
+		}
+	}
+	if sent != 4 {
+		t.Fatalf("emitted %d tokens before blocking, want slack=4", sent)
+	}
+	if ep.TokensHeld() != 0 {
+		t.Fatalf("tokens held %d, want 0", ep.TokensHeld())
+	}
+	// Acks restore budget without transitions in explicit mode.
+	before := ep.Transitions()
+	if ep.Token() != 0 {
+		t.Fatal("ack must not send in explicit mode")
+	}
+	if ep.Transitions() != before {
+		t.Fatal("ack must not transition in explicit mode")
+	}
+	if ep.TokensHeld() != 1 {
+		t.Fatalf("tokens held %d after one ack, want 1", ep.TokensHeld())
+	}
+}
+
+func TestTinIgnoredWhenUpAndInTokenMode(t *testing.T) {
+	ep := newEp(t, 2, TinOnToken)
+	if ep.Tin() != 0 {
+		t.Fatal("tin in TinOnToken mode must be ignored")
+	}
+	ep2 := newEp(t, 2, TinExplicit)
+	if ep2.Tin() != 0 {
+		t.Fatal("tin while Up must be ignored")
+	}
+}
+
+// channelSim runs two endpoints over reliable in-order token queues with an
+// adversarial random schedule and verifies the paper's three properties.
+type channelSim struct {
+	a, b     *Endpoint
+	qAB, qBA []int // queued token counts in flight
+	histA    []Status
+	histB    []Status
+}
+
+func newChannelSim(t *testing.T, slack int, mode Mode) *channelSim {
+	cs := &channelSim{a: newEp(t, slack, mode), b: newEp(t, slack, mode)}
+	cs.a.OnTransition(func(s Status) { cs.histA = append(cs.histA, s) })
+	cs.b.OnTransition(func(s Status) { cs.histB = append(cs.histB, s) })
+	return cs
+}
+
+func (cs *channelSim) step(rng *rand.Rand) {
+	switch rng.Intn(6) {
+	case 0:
+		if n := cs.a.Tout(); n > 0 {
+			cs.qAB = append(cs.qAB, n)
+		}
+	case 1:
+		if n := cs.b.Tout(); n > 0 {
+			cs.qBA = append(cs.qBA, n)
+		}
+	case 2:
+		if n := cs.a.Tin(); n > 0 {
+			cs.qAB = append(cs.qAB, n)
+		}
+	case 3:
+		if n := cs.b.Tin(); n > 0 {
+			cs.qBA = append(cs.qBA, n)
+		}
+	case 4:
+		if len(cs.qAB) > 0 {
+			cs.qAB = cs.qAB[1:]
+			if n := cs.b.Token(); n > 0 {
+				cs.qBA = append(cs.qBA, n)
+			}
+		}
+	case 5:
+		if len(cs.qBA) > 0 {
+			cs.qBA = cs.qBA[1:]
+			if n := cs.a.Token(); n > 0 {
+				cs.qAB = append(cs.qAB, n)
+			}
+		}
+	}
+}
+
+func (cs *channelSim) drain() {
+	for len(cs.qAB) > 0 || len(cs.qBA) > 0 {
+		if len(cs.qAB) > 0 {
+			cs.qAB = cs.qAB[1:]
+			if n := cs.b.Token(); n > 0 {
+				cs.qBA = append(cs.qBA, n)
+			}
+		}
+		if len(cs.qBA) > 0 {
+			cs.qBA = cs.qBA[1:]
+			if n := cs.a.Token(); n > 0 {
+				cs.qAB = append(cs.qAB, n)
+			}
+		}
+	}
+}
+
+// TestBoundedSlackProperty: under any schedule, the two histories never
+// diverge by more than N transitions, and tokens are conserved (E4, E6).
+func TestBoundedSlackProperty(t *testing.T) {
+	for _, mode := range []Mode{TinExplicit, TinOnToken} {
+		for _, slack := range []int{2, 3, 5, 8} {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				cs := newChannelSim(t, slack, mode)
+				for i := 0; i < 500; i++ {
+					cs.step(rng)
+					lead := int64(cs.a.Transitions()) - int64(cs.b.Transitions())
+					if lead < 0 {
+						lead = -lead
+					}
+					if lead > int64(slack) {
+						return false
+					}
+					inflight := len(cs.qAB) + len(cs.qBA)
+					if cs.a.TokensHeld()+cs.b.TokensHeld()+inflight != 2*slack {
+						return false // tokens not conserved
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatalf("mode=%v slack=%d: %v", mode, slack, err)
+			}
+		}
+	}
+}
+
+// TestConsistentHistoryProperty: histories are alternating and, once the
+// channel quiesces, identical (E4).
+func TestConsistentHistoryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		cs := newChannelSim(t, 2, TinOnToken)
+		for i := 0; i < 300; i++ {
+			cs.step(rng)
+		}
+		cs.drain()
+		// After draining all tokens both sides must agree exactly.
+		if cs.a.Transitions() != cs.b.Transitions() {
+			t.Fatalf("trial %d: histories of different length after quiescence: %d vs %d",
+				trial, cs.a.Transitions(), cs.b.Transitions())
+		}
+		for _, hist := range [][]Status{cs.histA, cs.histB} {
+			want := Down // first transition is always Up -> Down
+			for i, s := range hist {
+				if s != want {
+					t.Fatalf("trial %d: history not alternating at %d: %v", trial, i, hist)
+				}
+				if want == Down {
+					want = Up
+				} else {
+					want = Down
+				}
+			}
+		}
+	}
+}
+
+// TestStability: one tout on a healthy channel causes exactly two
+// transitions per side (Down then back Up) and then quiesces (E6).
+func TestStability(t *testing.T) {
+	cs := newChannelSim(t, 2, TinOnToken)
+	if n := cs.a.Tout(); n > 0 {
+		cs.qAB = append(cs.qAB, n)
+	}
+	cs.drain()
+	if got := cs.a.Transitions(); got != 2 {
+		t.Fatalf("A made %d transitions, want 2 (Down, Up)", got)
+	}
+	if got := cs.b.Transitions(); got != 2 {
+		t.Fatalf("B made %d transitions, want 2 (Down, Up)", got)
+	}
+	if cs.a.Status() != Up || cs.b.Status() != Up {
+		t.Fatal("both sides must settle Up")
+	}
+	wantA := []Status{Down, Up}
+	for i, s := range cs.histA {
+		if s != wantA[i] {
+			t.Fatalf("A history %v", cs.histA)
+		}
+	}
+}
+
+// TestSimultaneousTouts: both sides time out at once; histories stay
+// consistent and settle Up after token exchange.
+func TestSimultaneousTouts(t *testing.T) {
+	cs := newChannelSim(t, 2, TinOnToken)
+	if n := cs.a.Tout(); n > 0 {
+		cs.qAB = append(cs.qAB, n)
+	}
+	if n := cs.b.Tout(); n > 0 {
+		cs.qBA = append(cs.qBA, n)
+	}
+	cs.drain()
+	if cs.a.Transitions() != cs.b.Transitions() {
+		t.Fatalf("histories diverge: %d vs %d", cs.a.Transitions(), cs.b.Transitions())
+	}
+	if cs.a.Status() != cs.b.Status() {
+		t.Fatal("statuses diverge after quiescence")
+	}
+}

@@ -1,0 +1,107 @@
+package linkstate
+
+import "time"
+
+// Ping is the wire message of the monitoring protocol: an unreliable
+// datagram carrying a sequence number, the highest peer sequence seen (the
+// acknowledgement), and the sender's cumulative token count. The cumulative
+// count maps the reliable token stream onto unreliable pings: the receiver
+// compares it with the tokens already consumed and feeds the difference into
+// the state machine, so lost pings never lose or duplicate tokens —
+// "tokens are conserved".
+type Ping struct {
+	Seq    uint64 // sender's ping sequence number
+	Echo   uint64 // highest Seq received from the peer
+	Tokens uint64 // cumulative tokens the sender has emitted
+}
+
+// Monitor binds an Endpoint to the ping realisation of the protocol for one
+// channel (one local interface paired with one remote interface). It is a
+// pure state machine over virtual time: the driver calls Tick every ping
+// interval and OnPing for every received datagram; both return the pings to
+// transmit. Monitor is not safe for concurrent use.
+type Monitor struct {
+	ep       *Endpoint
+	interval time.Duration
+	timeout  time.Duration
+
+	seq        uint64 // our ping sequence counter
+	peerSeq    uint64 // highest peer seq seen
+	tokensSent uint64 // cumulative tokens emitted by our endpoint
+	tokensSeen uint64 // cumulative peer tokens consumed
+
+	lastBidir int64 // last virtual time (ns) bidirectional traffic confirmed
+	started   bool
+}
+
+// NewMonitor wraps ep. interval is the ping period; timeout is how long
+// without evidence of bidirectional communication before a tout hint fires.
+// timeout should be a small multiple of interval (the paper's testbed used
+// roughly 2s detection).
+func NewMonitor(ep *Endpoint, interval, timeout time.Duration) *Monitor {
+	return &Monitor{ep: ep, interval: interval, timeout: timeout}
+}
+
+// Endpoint returns the wrapped state machine.
+func (m *Monitor) Endpoint() *Endpoint { return m.ep }
+
+// Status returns the channel status as seen by this side.
+func (m *Monitor) Status() Status { return m.ep.Status() }
+
+// buildPing assembles the datagram reflecting current counters.
+func (m *Monitor) buildPing() Ping {
+	m.seq++
+	return Ping{Seq: m.seq, Echo: m.peerSeq, Tokens: m.tokensSent}
+}
+
+// Tick advances the monitor at virtual time now (nanoseconds) and returns
+// the ping to send. The driver must call it every interval. Tick also
+// evaluates the time-out condition and injects tout into the endpoint when
+// bidirectional communication has been silent past the timeout.
+func (m *Monitor) Tick(now int64) Ping {
+	if !m.started {
+		m.started = true
+		m.lastBidir = now
+	}
+	if now-m.lastBidir > int64(m.timeout) {
+		m.tokensSent += uint64(m.ep.Tout())
+	}
+	return m.buildPing()
+}
+
+// OnPing processes a received datagram at virtual time now. It returns an
+// extra ping to send immediately when the endpoint emitted tokens in
+// response (so acknowledgements don't wait a full interval), or nil.
+func (m *Monitor) OnPing(p Ping, now int64) *Ping {
+	if p.Seq > m.peerSeq {
+		m.peerSeq = p.Seq
+	}
+	emitted := uint64(0)
+	// The peer echoing a recent sequence of ours proves both directions
+	// work: that is the paper's tin condition.
+	if p.Echo > 0 && m.seq >= p.Echo && int64(m.seq-p.Echo)*int64(m.interval) <= int64(m.timeout) {
+		m.lastBidir = now
+		emitted += uint64(m.ep.Tin())
+	}
+	// Consume any new tokens carried by the cumulative counter.
+	if p.Tokens > m.tokensSeen {
+		delta := p.Tokens - m.tokensSeen
+		m.tokensSeen = p.Tokens
+		for i := uint64(0); i < delta; i++ {
+			emitted += uint64(m.ep.Token())
+		}
+	}
+	if emitted == 0 {
+		return nil
+	}
+	m.tokensSent += emitted
+	out := m.buildPing()
+	return &out
+}
+
+// Interval returns the configured ping period (drivers schedule Tick with
+// it).
+func (m *Monitor) Interval() time.Duration { return m.interval }
+
+// Timeout returns the configured detection timeout.
+func (m *Monitor) Timeout() time.Duration { return m.timeout }

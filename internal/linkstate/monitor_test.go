@@ -1,0 +1,220 @@
+package linkstate
+
+import (
+	"testing"
+	"time"
+
+	"rain/internal/sim"
+)
+
+// pairDriver wires two Monitors across a simulated lossy link and keeps
+// them ticking, the test-side equivalent of the RUDP path monitor driver.
+type pairDriver struct {
+	s      *sim.Scheduler
+	net    *sim.Network
+	ma, mb *Monitor
+	aAddr  sim.Addr
+	bAddr  sim.Addr
+}
+
+func newPairDriver(t *testing.T, mode Mode, slack int, loss float64) *pairDriver {
+	t.Helper()
+	s := sim.New(2024)
+	net := sim.NewNetwork(s)
+	epA, err := NewEndpoint(slack, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := NewEndpoint(slack, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := 10 * time.Millisecond
+	timeout := 35 * time.Millisecond
+	d := &pairDriver{
+		s:     s,
+		net:   net,
+		ma:    NewMonitor(epA, interval, timeout),
+		mb:    NewMonitor(epB, interval, timeout),
+		aAddr: "a:0",
+		bAddr: "b:0",
+	}
+	net.SetLink(d.aAddr, d.bAddr, sim.LinkConfig{Delay: time.Millisecond, Jitter: 500 * time.Microsecond, Loss: loss})
+	net.Attach(d.aAddr, func(p sim.Packet) {
+		if extra := d.ma.OnPing(p.Payload.(Ping), int64(s.Now())); extra != nil {
+			net.Send(d.aAddr, d.bAddr, *extra)
+		}
+	})
+	net.Attach(d.bAddr, func(p sim.Packet) {
+		if extra := d.mb.OnPing(p.Payload.(Ping), int64(s.Now())); extra != nil {
+			net.Send(d.bAddr, d.aAddr, *extra)
+		}
+	})
+	var tickA, tickB func()
+	tickA = func() {
+		ping := d.ma.Tick(int64(s.Now()))
+		net.Send(d.aAddr, d.bAddr, ping)
+		s.After(interval, tickA)
+	}
+	tickB = func() {
+		ping := d.mb.Tick(int64(s.Now()))
+		net.Send(d.bAddr, d.aAddr, ping)
+		s.After(interval, tickB)
+	}
+	s.After(0, tickA)
+	s.After(time.Millisecond, tickB) // slight phase offset, as in reality
+	return d
+}
+
+func (d *pairDriver) run(dur time.Duration) { d.s.RunFor(dur) }
+
+func TestMonitorHealthyChannelStaysUp(t *testing.T) {
+	for _, mode := range []Mode{TinExplicit, TinOnToken} {
+		d := newPairDriver(t, mode, 2, 0)
+		d.run(2 * time.Second)
+		if d.ma.Status() != Up || d.mb.Status() != Up {
+			t.Fatalf("mode %v: healthy channel reported %v/%v", mode, d.ma.Status(), d.mb.Status())
+		}
+		if d.ma.Endpoint().Transitions() != 0 {
+			t.Fatalf("mode %v: spurious transitions on healthy channel: %d", mode, d.ma.Endpoint().Transitions())
+		}
+	}
+}
+
+func TestMonitorCorrectnessCutThenHeal(t *testing.T) {
+	// Correctness (§2.2.2): when the channel stops, both sides eventually
+	// mark Down; when it resumes, both eventually mark Up. And the
+	// histories agree after quiescence.
+	for _, mode := range []Mode{TinExplicit, TinOnToken} {
+		d := newPairDriver(t, mode, 2, 0)
+		d.run(500 * time.Millisecond)
+
+		d.net.Cut(d.aAddr, d.bAddr)
+		d.run(time.Second)
+		if d.ma.Status() != Down || d.mb.Status() != Down {
+			t.Fatalf("mode %v: after cut: %v/%v, want Down/Down", mode, d.ma.Status(), d.mb.Status())
+		}
+
+		d.net.Heal(d.aAddr, d.bAddr)
+		d.run(time.Second)
+		if d.ma.Status() != Up || d.mb.Status() != Up {
+			t.Fatalf("mode %v: after heal: %v/%v, want Up/Up", mode, d.ma.Status(), d.mb.Status())
+		}
+		ta, tb := d.ma.Endpoint().Transitions(), d.mb.Endpoint().Transitions()
+		if ta != tb {
+			t.Fatalf("mode %v: histories differ after quiescence: %d vs %d", mode, ta, tb)
+		}
+		if ta != 2 {
+			t.Fatalf("mode %v: %d transitions for one outage, want 2 (stability)", mode, ta)
+		}
+	}
+}
+
+func TestMonitorRepeatedOutages(t *testing.T) {
+	d := newPairDriver(t, TinExplicit, 2, 0)
+	for cycle := 0; cycle < 5; cycle++ {
+		d.run(300 * time.Millisecond)
+		d.net.Cut(d.aAddr, d.bAddr)
+		d.run(600 * time.Millisecond)
+		if d.ma.Status() != Down || d.mb.Status() != Down {
+			t.Fatalf("cycle %d: not Down after cut", cycle)
+		}
+		d.net.Heal(d.aAddr, d.bAddr)
+		d.run(600 * time.Millisecond)
+		if d.ma.Status() != Up || d.mb.Status() != Up {
+			t.Fatalf("cycle %d: not Up after heal", cycle)
+		}
+	}
+	ta, tb := d.ma.Endpoint().Transitions(), d.mb.Endpoint().Transitions()
+	if ta != tb || ta != 10 {
+		t.Fatalf("after 5 outages: %d/%d transitions, want 10/10", ta, tb)
+	}
+}
+
+func TestMonitorToleratesLoss(t *testing.T) {
+	// 30% packet loss: the cumulative token counters must keep the
+	// histories consistent, and the channel must be seen Up (pings still
+	// get through often enough for the 3.5-interval timeout).
+	d := newPairDriver(t, TinExplicit, 2, 0.30)
+	d.run(5 * time.Second)
+	if d.ma.Status() != d.mb.Status() {
+		t.Fatalf("statuses diverge under loss: %v vs %v", d.ma.Status(), d.mb.Status())
+	}
+	lead := int64(d.ma.Endpoint().Transitions()) - int64(d.mb.Endpoint().Transitions())
+	if lead < 0 {
+		lead = -lead
+	}
+	if lead > 2 {
+		t.Fatalf("slack bound violated under loss: lead %d > 2", lead)
+	}
+}
+
+func TestMonitorHeavyLossSlackBound(t *testing.T) {
+	// 70% loss flaps the channel; whatever happens, the bounded-slack and
+	// token-conservation invariants must hold at every instant we sample.
+	d := newPairDriver(t, TinOnToken, 2, 0.70)
+	for i := 0; i < 40; i++ {
+		d.run(250 * time.Millisecond)
+		lead := int64(d.ma.Endpoint().Transitions()) - int64(d.mb.Endpoint().Transitions())
+		if lead < 0 {
+			lead = -lead
+		}
+		if lead > 2 {
+			t.Fatalf("slack bound violated: lead %d", lead)
+		}
+	}
+}
+
+func TestMonitorPingSequencing(t *testing.T) {
+	ep, err := NewEndpoint(2, TinExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(ep, 10*time.Millisecond, 35*time.Millisecond)
+	p1 := m.Tick(0)
+	p2 := m.Tick(int64(10 * time.Millisecond))
+	if p2.Seq != p1.Seq+1 {
+		t.Fatalf("ping sequence did not increment: %d then %d", p1.Seq, p2.Seq)
+	}
+	if m.Interval() != 10*time.Millisecond || m.Timeout() != 35*time.Millisecond {
+		t.Fatal("accessors disagree with construction")
+	}
+	// A ping from the peer echoing our recent seq counts as bidirectional.
+	reply := m.OnPing(Ping{Seq: 1, Echo: p2.Seq, Tokens: 0}, int64(11*time.Millisecond))
+	if reply != nil {
+		t.Fatal("no tokens emitted, no immediate reply expected")
+	}
+	// Silence past the timeout must fire tout exactly once per outage.
+	p := m.Tick(int64(100 * time.Millisecond))
+	if m.Status() != Down {
+		t.Fatal("timeout did not mark channel Down")
+	}
+	if p.Tokens != 1 {
+		t.Fatalf("tout token not carried on ping: %+v", p)
+	}
+}
+
+func TestMonitorTokenDeltaConsumption(t *testing.T) {
+	ep, err := NewEndpoint(2, TinOnToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(ep, 10*time.Millisecond, 35*time.Millisecond)
+	m.Tick(0)
+	// Peer reports 1 cumulative token (its Up->Down transition): we mirror
+	// it and must answer immediately with our own token on an extra ping.
+	extra := m.OnPing(Ping{Seq: 1, Echo: 0, Tokens: 1}, int64(time.Millisecond))
+	if extra == nil {
+		t.Fatal("mirroring a transition must emit an immediate ping")
+	}
+	if extra.Tokens != 1 {
+		t.Fatalf("extra ping carries %d tokens, want 1", extra.Tokens)
+	}
+	if m.Status() != Down {
+		t.Fatal("catch-up transition missing")
+	}
+	// A duplicate of the same cumulative count must be idempotent.
+	if dup := m.OnPing(Ping{Seq: 2, Echo: 0, Tokens: 1}, int64(2*time.Millisecond)); dup != nil {
+		t.Fatal("duplicate cumulative count consumed twice")
+	}
+}

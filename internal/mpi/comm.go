@@ -1,0 +1,282 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Tag identifies a message stream between two ranks. User tags must be
+// non-negative; negative tags are reserved for collectives.
+type Tag int32
+
+// Reserved internal tags.
+const (
+	tagBarrierUp   Tag = -1
+	tagBarrierDown Tag = -2
+	tagBcast       Tag = -3
+	tagReduce      Tag = -4
+	tagGather      Tag = -5
+	tagScatter     Tag = -6
+	tagAllGather   Tag = -7
+)
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	Prod Op = func(a, b float64) float64 { return a * b }
+)
+
+type msgKey struct {
+	from int
+	tag  Tag
+}
+
+// Comm is one rank's communicator. All methods must be called from the rank
+// goroutine the runtime created for it.
+type Comm struct {
+	rt   *Runtime
+	rank int
+	size int
+
+	// queues holds arrived-but-unreceived messages, guarded by rt.mu
+	// (onMessage runs on the simulator thread, Recv on the rank thread).
+	queues map[msgKey][][]byte
+}
+
+func newComm(rt *Runtime, rank, size int) *Comm {
+	return &Comm{rt: rt, rank: rank, size: size, queues: make(map[msgKey][][]byte)}
+}
+
+// Rank returns this process's rank in 0..Size-1.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// frame prepends the (source rank, tag) header to a payload.
+func frame(from int, tag Tag, data []byte) []byte {
+	buf := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(from))
+	binary.BigEndian.PutUint32(buf[4:], uint32(tag))
+	copy(buf[8:], data)
+	return buf
+}
+
+// onMessage runs on the simulator thread when RUDP delivers a datagram.
+func (c *Comm) onMessage(from string, payload []byte) {
+	if len(payload) < 8 {
+		return
+	}
+	src := int(binary.BigEndian.Uint32(payload))
+	tag := Tag(int32(binary.BigEndian.Uint32(payload[4:])))
+	body := payload[8:]
+	key := msgKey{from: src, tag: tag}
+	c.rt.mu.Lock()
+	c.queues[key] = append(c.queues[key], body)
+	c.rt.cond.Broadcast()
+	c.rt.mu.Unlock()
+}
+
+// Send transmits data to rank `to` with the given tag. Like a buffered
+// MPI_Send it returns as soon as the message is queued on the reliable
+// transport.
+func (c *Comm) Send(to int, tag Tag, data []byte) {
+	if to < 0 || to >= c.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", to, c.size))
+	}
+	if to == c.rank {
+		// Self-send: loop back directly.
+		key := msgKey{from: c.rank, tag: tag}
+		c.rt.mu.Lock()
+		c.queues[key] = append(c.queues[key], append([]byte(nil), data...))
+		c.rt.cond.Broadcast()
+		c.rt.mu.Unlock()
+		return
+	}
+	payload := frame(c.rank, tag, data)
+	fromNode, toNode := c.rt.nodes[c.rank], c.rt.nodes[to]
+	c.rt.post(func() { c.rt.mesh.Send(fromNode, toNode, payload) })
+}
+
+// Recv blocks until a message with the given source rank and tag arrives
+// and returns its payload. Messages from the same (source, tag) stream are
+// received in send order.
+func (c *Comm) Recv(from int, tag Tag) []byte {
+	if from < 0 || from >= c.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d of %d", from, c.size))
+	}
+	key := msgKey{from: from, tag: tag}
+	var out []byte
+	c.rt.park(func() bool {
+		q := c.queues[key]
+		if len(q) == 0 {
+			return false
+		}
+		out = q[0]
+		c.queues[key] = q[1:]
+		return true
+	})
+	return out
+}
+
+// SendFloat64 / RecvFloat64 are scalar conveniences used by the reductions.
+func (c *Comm) SendFloat64(to int, tag Tag, v float64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+	c.Send(to, tag, buf[:])
+}
+
+// RecvFloat64 receives one float64 from the given rank and tag.
+func (c *Comm) RecvFloat64(from int, tag Tag) float64 {
+	b := c.Recv(from, tag)
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// Barrier blocks until every rank has entered it: a linear gather to rank 0
+// followed by a broadcast, the textbook two-phase barrier.
+func (c *Comm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.size; r++ {
+			c.Recv(r, tagBarrierUp)
+		}
+		for r := 1; r < c.size; r++ {
+			c.Send(r, tagBarrierDown, nil)
+		}
+		return
+	}
+	c.Send(0, tagBarrierUp, nil)
+	c.Recv(0, tagBarrierDown)
+}
+
+// Bcast distributes root's buffer to every rank and returns it (the root
+// returns its own data unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Reduce combines every rank's value with op at the root; non-root ranks
+// get 0 back. Combination is performed in rank order so non-commutative
+// effects are deterministic.
+func (c *Comm) Reduce(root int, op Op, value float64) float64 {
+	if c.rank != root {
+		c.SendFloat64(root, tagReduce, value)
+		return 0
+	}
+	acc := math.NaN()
+	for r := 0; r < c.size; r++ {
+		var v float64
+		if r == root {
+			v = value
+		} else {
+			v = c.RecvFloat64(r, tagReduce)
+		}
+		if math.IsNaN(acc) {
+			acc = v
+		} else {
+			acc = op(acc, v)
+		}
+	}
+	return acc
+}
+
+// AllReduce combines every rank's value with op and returns the result on
+// every rank.
+func (c *Comm) AllReduce(op Op, value float64) float64 {
+	res := c.Reduce(0, op, value)
+	var buf [8]byte
+	if c.rank == 0 {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(res))
+	}
+	out := c.Bcast(0, buf[:])
+	return math.Float64frombits(binary.BigEndian.Uint64(out))
+}
+
+// Gather collects every rank's buffer at the root, indexed by rank; other
+// ranks get nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.size)
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			out[r] = append([]byte(nil), data...)
+		} else {
+			out[r] = c.Recv(r, tagGather)
+		}
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from the root to rank i and returns this
+// rank's part. Only the root's parts argument is consulted; it must have
+// exactly Size entries.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	if c.rank == root {
+		if len(parts) != c.size {
+			panic(fmt.Sprintf("mpi: scatter with %d parts for %d ranks", len(parts), c.size))
+		}
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				c.Send(r, tagScatter, parts[r])
+			}
+		}
+		return append([]byte(nil), parts[root]...)
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// AllGather collects every rank's buffer on every rank, indexed by rank.
+func (c *Comm) AllGather(data []byte) [][]byte {
+	parts := c.Gather(0, data)
+	// Root flattens with length prefixes and broadcasts.
+	var flat []byte
+	if c.rank == 0 {
+		for _, p := range parts {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+			flat = append(flat, hdr[:]...)
+			flat = append(flat, p...)
+		}
+	}
+	flat = c.Bcast(0, flat)
+	out := make([][]byte, 0, c.size)
+	for off := 0; off < len(flat); {
+		n := int(binary.BigEndian.Uint32(flat[off:]))
+		off += 4
+		out = append(out, append([]byte(nil), flat[off:off+n]...))
+		off += n
+	}
+	if len(out) != c.size {
+		panic(fmt.Sprintf("mpi: allgather decoded %d parts for %d ranks", len(out), c.size))
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package mpi implements a message-passing programming interface in the
+// spirit of the paper's MPI port (§2.5): rank-addressed point-to-point
+// Send/Recv with tag matching plus the standard collectives (Barrier, Bcast,
+// Reduce, Allreduce, Gather, Scatter, Allgather), all running over the RUDP
+// communication layer.
+//
+// As in the paper, the API itself is not fault-tolerant: RUDP masks network
+// failures up to the redundancy of the bundled interfaces, and when every
+// path between two ranks is down a communication simply stalls until the
+// network heals. What the port demonstrates is that a standard
+// message-passing program runs unmodified while cables are pulled.
+//
+// Rank programs are ordinary Go functions executed on goroutines. The
+// Runtime coordinates them with the single-threaded discrete-event
+// simulator: a rank goroutine only runs while the simulator is paused, and
+// the simulator only advances while every rank is blocked — a conservative
+// co-simulation that keeps runs deterministic.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rain/internal/rudp"
+)
+
+// ErrDeadline reports that the virtual-time budget expired before every
+// rank returned — how tests observe "the MPI application hangs" when the
+// network is fully severed.
+var ErrDeadline = errors.New("mpi: virtual deadline exceeded with ranks still running")
+
+// Runtime couples a rank program to the simulator and the RUDP mesh.
+type Runtime struct {
+	mesh  *rudp.Mesh
+	nodes []string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	active   int      // rank goroutines currently runnable
+	finished int      // rank goroutines that returned
+	actions  []func() // closures to execute on the simulator thread
+	parked   []*parkedRank
+	comms    []*Comm
+	failure  error // first panic from a rank body
+	size     int
+}
+
+// parkedRank is a blocked rank goroutine waiting for its predicate. The
+// driver — not the delivering event — evaluates predicates and hands
+// execution back, so a rank is always accounted runnable before the
+// simulator may advance virtual time (otherwise a woken-but-unscheduled
+// rank would race the clock).
+type parkedRank struct {
+	pred func() bool
+	ch   chan struct{}
+}
+
+// NewRuntime builds a runtime over an existing mesh; one rank per mesh node,
+// rank i on nodes[i].
+func NewRuntime(mesh *rudp.Mesh) *Runtime {
+	rt := &Runtime{mesh: mesh, nodes: mesh.Nodes}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt
+}
+
+// post schedules fn to run on the simulator thread.
+func (rt *Runtime) post(fn func()) {
+	rt.mu.Lock()
+	rt.actions = append(rt.actions, fn)
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// park blocks the calling rank goroutine until pred() holds. pred is
+// evaluated under the runtime lock; when it returns true it has already
+// consumed whatever it was waiting for (the closures dequeue messages), so
+// evaluation happens exactly once per wake — on the driver thread.
+func (rt *Runtime) park(pred func() bool) {
+	rt.mu.Lock()
+	if pred() {
+		rt.mu.Unlock()
+		return
+	}
+	p := &parkedRank{pred: pred, ch: make(chan struct{})}
+	rt.parked = append(rt.parked, p)
+	rt.active--
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	<-p.ch // the driver satisfied pred and re-counted us active
+}
+
+// wakeSatisfied resumes every parked rank whose predicate now holds.
+// Callers hold rt.mu.
+func (rt *Runtime) wakeSatisfied() {
+	keep := rt.parked[:0]
+	for _, p := range rt.parked {
+		if p.pred() {
+			rt.active++
+			close(p.ch)
+			continue
+		}
+		keep = append(keep, p)
+	}
+	for i := len(keep); i < len(rt.parked); i++ {
+		rt.parked[i] = nil
+	}
+	rt.parked = keep
+}
+
+// Run executes body on size rank goroutines (rank i bound to mesh node i)
+// and drives the simulator until every rank returns or maxVirtual elapses.
+// It returns ErrDeadline when ranks are still blocked at the deadline (for
+// example because the network is partitioned), or the panic value of the
+// first failing rank.
+func (rt *Runtime) Run(size int, maxVirtual time.Duration, body func(*Comm)) error {
+	if size < 1 || size > len(rt.nodes) {
+		return fmt.Errorf("mpi: size %d out of range 1..%d", size, len(rt.nodes))
+	}
+	rt.size = size
+	rt.comms = make([]*Comm, size)
+	for rank := 0; rank < size; rank++ {
+		rt.comms[rank] = newComm(rt, rank, size)
+	}
+	for rank := 0; rank < size; rank++ {
+		rt.mesh.OnMessage(rt.nodes[rank], rt.comms[rank].onMessage)
+	}
+	rt.mu.Lock()
+	rt.active = size
+	rt.finished = 0
+	rt.mu.Unlock()
+	for rank := 0; rank < size; rank++ {
+		comm := rt.comms[rank]
+		go func() {
+			defer func() {
+				r := recover()
+				rt.mu.Lock()
+				if r != nil && rt.failure == nil {
+					rt.failure = fmt.Errorf("mpi: rank %d panicked: %v", comm.rank, r)
+				}
+				rt.active--
+				rt.finished++
+				rt.cond.Broadcast()
+				rt.mu.Unlock()
+			}()
+			body(comm)
+		}()
+	}
+	return rt.Resume(maxVirtual)
+}
+
+// Resume continues driving a job whose previous Run or Resume returned
+// ErrDeadline — typically after the test has healed the network — granting
+// a fresh virtual-time budget.
+func (rt *Runtime) Resume(maxVirtual time.Duration) error {
+	deadline := rt.mesh.S.Now().Add(maxVirtual)
+	rt.mu.Lock()
+	for {
+		// Drain actions posted by rank goroutines onto the sim thread.
+		for len(rt.actions) > 0 {
+			fn := rt.actions[0]
+			rt.actions = rt.actions[1:]
+			rt.mu.Unlock()
+			fn()
+			rt.mu.Lock()
+		}
+		// Resume any parked rank whose message has arrived.
+		rt.wakeSatisfied()
+		if rt.finished == rt.size {
+			err := rt.failure
+			rt.failure = nil
+			rt.mu.Unlock()
+			return err
+		}
+		if rt.active > 0 {
+			// Some rank is runnable: let it make progress.
+			rt.cond.Wait()
+			continue
+		}
+		// Everyone is blocked and no actions pending: advance virtual time.
+		rt.mu.Unlock()
+		if rt.mesh.S.Now() > deadline {
+			return ErrDeadline
+		}
+		stepped := rt.mesh.S.Step()
+		rt.mu.Lock()
+		if !stepped {
+			// No events left and all ranks blocked: true deadlock.
+			rt.mu.Unlock()
+			return fmt.Errorf("mpi: deadlock — all ranks blocked with no pending events")
+		}
+	}
+}

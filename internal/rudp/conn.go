@@ -1,0 +1,274 @@
+package rudp
+
+import (
+	"fmt"
+	"time"
+
+	"rain/internal/linkstate"
+)
+
+// Config parameterises a Conn. Zero fields take the defaults below.
+type Config struct {
+	// Paths is the number of independent network paths (bundled interface
+	// pairs) between the two nodes. Default 2, the paper's testbed layout.
+	Paths int
+	// Window is the maximum number of unacknowledged datagrams in flight.
+	Window int
+	// RTO is the retransmission timeout for unacknowledged datagrams.
+	RTO time.Duration
+	// PingInterval and PingTimeout drive the per-path link monitors.
+	PingInterval, PingTimeout time.Duration
+	// Slack is the link-state protocol slack N (default 2).
+	Slack int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Paths == 0 {
+		c.Paths = 2
+	}
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.RTO == 0 {
+		c.RTO = 40 * time.Millisecond
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 10 * time.Millisecond
+	}
+	if c.PingTimeout == 0 {
+		c.PingTimeout = 35 * time.Millisecond
+	}
+	if c.Slack == 0 {
+		c.Slack = 2
+	}
+	return c
+}
+
+// Stats counts a Conn's activity; all values are cumulative.
+type Stats struct {
+	Sent          uint64 // datagrams first transmitted
+	Retransmits   uint64
+	Delivered     uint64 // datagrams handed to the application, in order
+	Duplicates    uint64 // data arrivals below the receive cursor
+	AcksSent      uint64
+	PerPathData   []uint64 // data transmissions (incl. retransmits) per path
+	FailoverSends uint64   // retransmissions that switched paths
+}
+
+type pending struct {
+	seq      uint64
+	payload  []byte
+	lastSent int64
+	lastPath int
+	sent     bool
+}
+
+// Conn is the RUDP endpoint state machine for traffic from one local node
+// to one remote node (one direction of data, both directions of pings and
+// acks). It is pure: drivers feed OnWire and Tick with a monotonic
+// nanosecond clock and implement the transmit callback. Not safe for
+// concurrent use — drive from one goroutine or the simulator.
+type Conn struct {
+	cfg      Config
+	transmit func(path int, w Wire)
+	deliver  func([]byte)
+
+	monitors []*linkstate.Monitor
+	lastPing []int64
+
+	nextSeq  uint64 // next sequence to assign (1-based)
+	sendBase uint64 // lowest unacknowledged sequence
+	queue    []*pending
+	rr       int // round-robin cursor over up paths
+
+	recvNext uint64 // next in-order sequence expected
+	recvBuf  map[uint64][]byte
+
+	stats Stats
+}
+
+// NewConn builds a connection endpoint. transmit sends a wire datagram on a
+// path (unreliably); deliver receives application datagrams exactly once, in
+// order.
+func NewConn(cfg Config, transmit func(path int, w Wire), deliver func([]byte)) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Paths < 1 {
+		return nil, fmt.Errorf("rudp: need at least one path, got %d", cfg.Paths)
+	}
+	c := &Conn{
+		cfg:      cfg,
+		transmit: transmit,
+		deliver:  deliver,
+		monitors: make([]*linkstate.Monitor, cfg.Paths),
+		lastPing: make([]int64, cfg.Paths),
+		nextSeq:  1,
+		sendBase: 1,
+		recvNext: 1,
+		recvBuf:  make(map[uint64][]byte),
+	}
+	for i := range c.monitors {
+		ep, err := linkstate.NewEndpoint(cfg.Slack, linkstate.TinExplicit)
+		if err != nil {
+			return nil, err
+		}
+		c.monitors[i] = linkstate.NewMonitor(ep, cfg.PingInterval, cfg.PingTimeout)
+		c.lastPing[i] = -int64(cfg.PingInterval) // ping immediately on first tick
+	}
+	c.stats.PerPathData = make([]uint64, cfg.Paths)
+	return c, nil
+}
+
+// PathStatus reports the link-state view of path i.
+func (c *Conn) PathStatus(i int) linkstate.Status { return c.monitors[i].Status() }
+
+// UpPaths counts paths currently seen Up.
+func (c *Conn) UpPaths() int {
+	n := 0
+	for _, m := range c.monitors {
+		if m.Status() == linkstate.Up {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() Stats {
+	s := c.stats
+	s.PerPathData = append([]uint64(nil), c.stats.PerPathData...)
+	return s
+}
+
+// Backlog reports datagrams queued or in flight but not yet acknowledged.
+func (c *Conn) Backlog() int { return len(c.queue) }
+
+// Send queues one datagram for reliable delivery and attempts immediate
+// transmission. The queue is unbounded; when every path is down the data
+// waits, exactly the paper's MPI-over-RUDP behaviour ("the application may
+// hang until the link is restored").
+func (c *Conn) Send(payload []byte, now int64) {
+	p := &pending{seq: c.nextSeq, payload: append([]byte(nil), payload...)}
+	c.nextSeq++
+	c.queue = append(c.queue, p)
+	c.pump(now)
+}
+
+// pickPath returns the next Up path in round-robin order, an arbitrary path
+// if none are Up (pings must still flow), and whether any path was Up.
+func (c *Conn) pickPath() (int, bool) {
+	for off := 0; off < c.cfg.Paths; off++ {
+		i := (c.rr + off) % c.cfg.Paths
+		if c.monitors[i].Status() == linkstate.Up {
+			c.rr = (i + 1) % c.cfg.Paths
+			return i, true
+		}
+	}
+	return c.rr, false
+}
+
+// pump transmits queued datagrams while the window has room and a path is
+// up.
+func (c *Conn) pump(now int64) {
+	inFlightLimit := c.cfg.Window
+	for _, p := range c.queue {
+		if p.seq >= c.sendBase+uint64(inFlightLimit) {
+			break
+		}
+		if p.sent {
+			continue
+		}
+		path, up := c.pickPath()
+		if !up {
+			break
+		}
+		p.sent = true
+		p.lastSent = now
+		p.lastPath = path
+		c.stats.Sent++
+		c.stats.PerPathData[path]++
+		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload})
+	}
+}
+
+// Tick drives timers: per-path pings and retransmission of datagrams older
+// than the RTO. Call it at least every PingInterval.
+func (c *Conn) Tick(now int64) {
+	for i, m := range c.monitors {
+		if now-c.lastPing[i] >= int64(c.cfg.PingInterval) {
+			c.lastPing[i] = now
+			c.transmit(i, Wire{Kind: KindPing, Ping: m.Tick(now)})
+		}
+	}
+	for _, p := range c.queue {
+		if !p.sent || now-p.lastSent < int64(c.cfg.RTO) {
+			continue
+		}
+		path, up := c.pickPath()
+		if !up {
+			// Leave it marked sent; it will be retried when a path
+			// comes back (Tick keeps firing).
+			continue
+		}
+		if path != p.lastPath {
+			c.stats.FailoverSends++
+		}
+		p.lastSent = now
+		p.lastPath = path
+		c.stats.Retransmits++
+		c.stats.PerPathData[path]++
+		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload})
+	}
+	c.pump(now)
+}
+
+// OnWire processes a datagram received on path i.
+func (c *Conn) OnWire(path int, w Wire, now int64) {
+	switch w.Kind {
+	case KindPing:
+		if extra := c.monitors[path].OnPing(w.Ping, now); extra != nil {
+			c.transmit(path, Wire{Kind: KindPing, Ping: *extra})
+		}
+		// A path recovering may unblock queued data.
+		c.pump(now)
+	case KindData:
+		if w.Seq < c.recvNext {
+			c.stats.Duplicates++
+		} else if _, dup := c.recvBuf[w.Seq]; dup {
+			c.stats.Duplicates++
+		} else {
+			c.recvBuf[w.Seq] = w.Payload
+			for {
+				payload, ok := c.recvBuf[c.recvNext]
+				if !ok {
+					break
+				}
+				delete(c.recvBuf, c.recvNext)
+				c.recvNext++
+				c.stats.Delivered++
+				if c.deliver != nil {
+					c.deliver(payload)
+				}
+			}
+		}
+		c.stats.AcksSent++
+		c.transmit(path, Wire{Kind: KindAck, Ack: c.recvNext - 1})
+	case KindAck:
+		if w.Ack+1 <= c.sendBase {
+			return
+		}
+		newBase := w.Ack + 1
+		keep := c.queue[:0]
+		for _, p := range c.queue {
+			if p.seq >= newBase {
+				keep = append(keep, p)
+			}
+		}
+		// Zero the tail so released datagrams can be collected.
+		for i := len(keep); i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = keep
+		c.sendBase = newBase
+		c.pump(now)
+	}
+}

@@ -1,0 +1,156 @@
+package rudp
+
+import (
+	"fmt"
+
+	"rain/internal/sim"
+)
+
+// envelope is the simulator's wire format: the Wire plus the sender's node
+// name for demultiplexing at the receiver.
+type envelope struct {
+	From string
+	W    Wire
+}
+
+// Mesh wires a full mesh of RUDP connections between simulated nodes, each
+// pair joined by cfg.Paths independent paths (node X's NIC i talks to node
+// Y's NIC i, the bundled-interface layout of the paper's testbed). It is the
+// communication substrate the simulated MPI jobs, membership rings and
+// applications run on.
+type Mesh struct {
+	S     *sim.Scheduler
+	Net   *sim.Network
+	Nodes []string
+	Paths int
+
+	cfg      Config
+	conns    map[string]map[string]*Conn
+	handlers map[string]func(from string, payload []byte)
+	stopped  map[string]bool
+}
+
+// NewMesh builds the mesh and starts per-node tick loops on the scheduler.
+func NewMesh(s *sim.Scheduler, net *sim.Network, nodes []string, cfg Config) (*Mesh, error) {
+	cfg = cfg.withDefaults()
+	m := &Mesh{
+		S:        s,
+		Net:      net,
+		Nodes:    append([]string(nil), nodes...),
+		Paths:    cfg.Paths,
+		cfg:      cfg,
+		conns:    make(map[string]map[string]*Conn),
+		handlers: make(map[string]func(string, []byte)),
+		stopped:  make(map[string]bool),
+	}
+	for _, a := range nodes {
+		m.conns[a] = make(map[string]*Conn)
+		for _, b := range nodes {
+			if a == b {
+				continue
+			}
+			a, b := a, b
+			conn, err := NewConn(cfg,
+				func(path int, w Wire) { m.transmit(a, b, path, w) },
+				func(payload []byte) {
+					if h := m.handlers[a]; h != nil {
+						h(b, payload)
+					}
+				})
+			if err != nil {
+				return nil, err
+			}
+			m.conns[a][b] = conn
+		}
+	}
+	for _, a := range nodes {
+		for i := 0; i < m.Paths; i++ {
+			addr := sim.NodeAddr(a, i)
+			a, i := a, i
+			net.Attach(addr, func(p sim.Packet) { m.onPacket(a, i, p) })
+		}
+	}
+	for _, a := range nodes {
+		a := a
+		var loop func()
+		loop = func() {
+			if !m.stopped[a] {
+				now := int64(s.Now())
+				for _, c := range m.conns[a] {
+					c.Tick(now)
+				}
+			}
+			s.After(cfg.PingInterval/2, loop)
+		}
+		s.After(0, loop)
+	}
+	return m, nil
+}
+
+func (m *Mesh) transmit(from, to string, path int, w Wire) {
+	if m.stopped[from] {
+		return
+	}
+	m.Net.SendSized(sim.NodeAddr(from, path), sim.NodeAddr(to, path), envelope{From: from, W: w}, w.WireSize())
+}
+
+func (m *Mesh) onPacket(node string, path int, p sim.Packet) {
+	if m.stopped[node] {
+		return
+	}
+	env := p.Payload.(envelope)
+	conn, ok := m.conns[node][env.From]
+	if !ok {
+		return
+	}
+	conn.OnWire(path, env.W, int64(m.S.Now()))
+}
+
+// OnMessage registers the application handler for datagrams delivered to a
+// node (from any peer).
+func (m *Mesh) OnMessage(node string, fn func(from string, payload []byte)) {
+	m.handlers[node] = fn
+}
+
+// Send queues a reliable datagram from one node to another.
+func (m *Mesh) Send(from, to string, payload []byte) {
+	conn, ok := m.conns[from][to]
+	if !ok {
+		panic(fmt.Sprintf("rudp: no conn %s->%s", from, to))
+	}
+	conn.Send(payload, int64(m.S.Now()))
+}
+
+// Conn exposes the connection state machine from node a toward node b,
+// for tests and experiments inspecting path status and stats.
+func (m *Mesh) Conn(a, b string) *Conn { return m.conns[a][b] }
+
+// CutPath severs path i between two nodes in both directions.
+func (m *Mesh) CutPath(a, b string, path int) {
+	m.Net.Cut(sim.NodeAddr(a, path), sim.NodeAddr(b, path))
+}
+
+// HealPath restores path i between two nodes.
+func (m *Mesh) HealPath(a, b string, path int) {
+	m.Net.Heal(sim.NodeAddr(a, path), sim.NodeAddr(b, path))
+}
+
+// StopNode freezes a node: it stops ticking, transmitting and receiving —
+// the simulator's process crash. The network links are also cut so
+// in-flight traffic dies.
+func (m *Mesh) StopNode(node string) {
+	m.stopped[node] = true
+	m.Net.CutNode(node)
+}
+
+// StartNode revives a stopped node and heals its links. Connection state
+// machines retain their sequence numbers, modelling a process that was
+// paused rather than restarted; full crash-restart semantics are the
+// business of the membership layer above.
+func (m *Mesh) StartNode(node string) {
+	m.stopped[node] = false
+	m.Net.HealNode(node)
+}
+
+// Stopped reports whether a node is currently stopped.
+func (m *Mesh) Stopped(node string) bool { return m.stopped[node] }

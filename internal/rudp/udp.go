@@ -1,0 +1,183 @@
+package rudp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPNode drives a Conn over real UDP sockets, one socket per bundled path —
+// the deployment the paper ran on its testbed. Like the original RUDP it
+// keeps every piece of protocol state in user space: the kernel is used only
+// for unreliable packet delivery (§2.5), which is what made transparent
+// checkpointing of communicating processes possible.
+//
+// Lifecycle: NewUDPNode binds the local sockets; Connect supplies the remote
+// addresses and starts the receive and timer loops; Close stops them.
+type UDPNode struct {
+	cfg   Config
+	socks []*net.UDPConn
+
+	mu      sync.Mutex // serialises access to the Conn state machine
+	conn    *Conn
+	remotes []*net.UDPAddr
+	start   time.Time
+
+	deliver func([]byte)
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewUDPNode binds one UDP socket per local address ("host:port", port 0
+// for ephemeral). deliver receives datagrams exactly once, in order.
+func NewUDPNode(locals []string, cfg Config, deliver func([]byte)) (*UDPNode, error) {
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("rudp: need at least one local address")
+	}
+	cfg.Paths = len(locals)
+	n := &UDPNode{cfg: cfg.withDefaults(), deliver: deliver, done: make(chan struct{}), start: time.Now()}
+	for _, addr := range locals {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			n.closeSocks()
+			return nil, fmt.Errorf("rudp: resolving %s: %w", addr, err)
+		}
+		sock, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			n.closeSocks()
+			return nil, fmt.Errorf("rudp: binding %s: %w", addr, err)
+		}
+		n.socks = append(n.socks, sock)
+	}
+	return n, nil
+}
+
+func (n *UDPNode) closeSocks() {
+	for _, s := range n.socks {
+		s.Close()
+	}
+}
+
+// LocalAddrs returns the bound local addresses, in path order.
+func (n *UDPNode) LocalAddrs() []string {
+	out := make([]string, len(n.socks))
+	for i, s := range n.socks {
+		out[i] = s.LocalAddr().String()
+	}
+	return out
+}
+
+// now returns nanoseconds since the node started (a monotonic clock for the
+// protocol engine).
+func (n *UDPNode) now() int64 { return int64(time.Since(n.start)) }
+
+// Connect supplies the peer's addresses (one per path, matching the local
+// path order) and starts the protocol loops.
+func (n *UDPNode) Connect(remotes []string) error {
+	if len(remotes) != len(n.socks) {
+		return fmt.Errorf("rudp: %d remote addrs for %d paths", len(remotes), len(n.socks))
+	}
+	for _, addr := range remotes {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return fmt.Errorf("rudp: resolving %s: %w", addr, err)
+		}
+		n.remotes = append(n.remotes, ua)
+	}
+	conn, err := NewConn(n.cfg, n.transmit, n.deliver)
+	if err != nil {
+		return err
+	}
+	n.conn = conn
+	for i := range n.socks {
+		n.wg.Add(1)
+		go n.readLoop(i)
+	}
+	n.wg.Add(1)
+	go n.tickLoop()
+	return nil
+}
+
+// transmit runs with n.mu held (all Conn entry points lock it).
+func (n *UDPNode) transmit(path int, w Wire) {
+	// Socket writes never block meaningfully for UDP; errors (e.g. peer
+	// gone) surface as silence, which the link monitor translates into
+	// Down — exactly the fault model the protocol expects.
+	_, _ = n.socks[path].WriteToUDP(w.Marshal(), n.remotes[path])
+}
+
+func (n *UDPNode) readLoop(path int) {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		_ = n.socks[path].SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		sz, _, err := n.socks[path].ReadFromUDP(buf)
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		if err != nil {
+			continue // deadline or transient error: keep listening
+		}
+		w, err := UnmarshalWire(buf[:sz])
+		if err != nil {
+			continue // garbage datagram: drop, as UDP would
+		}
+		n.mu.Lock()
+		n.conn.OnWire(path, w, n.now())
+		n.mu.Unlock()
+	}
+}
+
+func (n *UDPNode) tickLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.PingInterval / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.mu.Lock()
+			n.conn.Tick(n.now())
+			n.mu.Unlock()
+		}
+	}
+}
+
+// Send queues one datagram for reliable delivery to the peer.
+func (n *UDPNode) Send(payload []byte) {
+	n.mu.Lock()
+	n.conn.Send(payload, n.now())
+	n.mu.Unlock()
+}
+
+// PathStatus reports the link-state view of path i.
+func (n *UDPNode) PathStatus(i int) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn.PathStatus(i).String()
+}
+
+// Stats returns a snapshot of the connection counters.
+func (n *UDPNode) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn.Stats()
+}
+
+// Backlog reports unacknowledged datagrams.
+func (n *UDPNode) Backlog() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn.Backlog()
+}
+
+// Close stops the loops and closes the sockets.
+func (n *UDPNode) Close() {
+	close(n.done)
+	n.closeSocks()
+	n.wg.Wait()
+}

@@ -1,0 +1,114 @@
+// Package rudp implements RUDP, the RAIN communication layer of §2.5: a
+// reliable datagram protocol over unreliable packet delivery that monitors
+// every network path with the consistent-history link protocol and exploits
+// bundled interfaces — several NICs per node — for both fault tolerance and
+// added bandwidth.
+//
+// The centrepiece is Conn, a pure state machine for one node pair: a
+// sliding-window sender with cumulative acknowledgements, an in-order
+// exactly-once receiver, one linkstate.Monitor per path, round-robin
+// striping of fresh traffic across Up paths, and retransmission that prefers
+// a different live path (fail-over). Like the paper's implementation it
+// keeps all protocol state in user space: the driver only moves opaque
+// datagrams.
+//
+// Drivers bind Conns to the discrete-event simulator (Mesh, used by MPI,
+// group membership and the applications in tests/experiments) or to real UDP
+// sockets (cmd/rainnode).
+package rudp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rain/internal/linkstate"
+)
+
+// Kind discriminates wire messages.
+type Kind uint8
+
+// Wire message kinds.
+const (
+	// KindData carries one application datagram.
+	KindData Kind = iota + 1
+	// KindAck carries a cumulative acknowledgement.
+	KindAck
+	// KindPing carries the link-state monitoring protocol.
+	KindPing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindPing:
+		return "ping"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Wire is one RUDP datagram. Exactly one of the field groups is meaningful,
+// selected by Kind.
+type Wire struct {
+	Kind    Kind
+	Seq     uint64         // KindData: sequence number (1-based)
+	Ack     uint64         // KindAck: highest in-order sequence received
+	Ping    linkstate.Ping // KindPing
+	Payload []byte         // KindData
+}
+
+const wireHeader = 1 + 8 + 8 + 8 + 8 + 8 + 4 // kind + seq + ack + ping(3x8) + len
+
+// WireSize returns the datagram's encoded size in bytes, used by the
+// simulator's link-capacity model.
+func (w Wire) WireSize() int { return wireHeader + len(w.Payload) }
+
+// Marshal encodes w for transmission over a byte-oriented transport (the
+// real-UDP driver). The simulator passes Wire values directly and skips
+// this.
+func (w Wire) Marshal() []byte {
+	buf := make([]byte, wireHeader+len(w.Payload))
+	buf[0] = byte(w.Kind)
+	binary.BigEndian.PutUint64(buf[1:], w.Seq)
+	binary.BigEndian.PutUint64(buf[9:], w.Ack)
+	binary.BigEndian.PutUint64(buf[17:], w.Ping.Seq)
+	binary.BigEndian.PutUint64(buf[25:], w.Ping.Echo)
+	binary.BigEndian.PutUint64(buf[33:], w.Ping.Tokens)
+	binary.BigEndian.PutUint32(buf[41:], uint32(len(w.Payload)))
+	copy(buf[wireHeader:], w.Payload)
+	return buf
+}
+
+// ErrBadWire reports a malformed encoded datagram.
+var ErrBadWire = errors.New("rudp: malformed wire datagram")
+
+// UnmarshalWire decodes a datagram produced by Marshal.
+func UnmarshalWire(buf []byte) (Wire, error) {
+	if len(buf) < wireHeader {
+		return Wire{}, fmt.Errorf("%w: %d bytes", ErrBadWire, len(buf))
+	}
+	w := Wire{
+		Kind: Kind(buf[0]),
+		Seq:  binary.BigEndian.Uint64(buf[1:]),
+		Ack:  binary.BigEndian.Uint64(buf[9:]),
+		Ping: linkstate.Ping{
+			Seq:    binary.BigEndian.Uint64(buf[17:]),
+			Echo:   binary.BigEndian.Uint64(buf[25:]),
+			Tokens: binary.BigEndian.Uint64(buf[33:]),
+		},
+	}
+	n := binary.BigEndian.Uint32(buf[41:])
+	if int(n) != len(buf)-wireHeader {
+		return Wire{}, fmt.Errorf("%w: payload length %d vs %d", ErrBadWire, n, len(buf)-wireHeader)
+	}
+	if w.Kind != KindData && w.Kind != KindAck && w.Kind != KindPing {
+		return Wire{}, fmt.Errorf("%w: kind %d", ErrBadWire, w.Kind)
+	}
+	if n > 0 {
+		w.Payload = append([]byte(nil), buf[wireHeader:]...)
+	}
+	return w, nil
+}

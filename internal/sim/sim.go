@@ -1,0 +1,147 @@
+// Package sim is a deterministic discrete-event simulator used to drive the
+// RAIN protocol engines (link-state monitoring, RUDP, group membership,
+// leader election, the applications) through reproducible fault schedules.
+//
+// The paper's testbed was ten workstations with two Myrinet interfaces each;
+// pulling cables and powering off boxes were the fault injectors. Here the
+// same protocol code runs over a simulated network whose links can be cut,
+// healed, delayed, and made lossy at scripted virtual times, so every
+// experiment in EXPERIMENTS.md is exactly repeatable from a seed.
+//
+// The simulator is intentionally single-threaded: events execute one at a
+// time in (time, sequence) order, which makes protocol interleavings
+// deterministic. Wall-clock drivers for the same engines live next to each
+// protocol package (see cmd/rainnode) — the engines themselves never import
+// sim or time.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration converts a standard library duration to a simulator duration.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns virtual time and the pending event queue.
+type Scheduler struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+	rng *rand.Rand
+}
+
+// New returns a scheduler whose random source is seeded deterministically.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All randomness
+// in a simulation (jitter, loss coins, workload generation) should come from
+// here so a seed reproduces the run bit-for-bit.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Timer is a handle to a scheduled callback that can be stopped.
+type Timer struct{ cancelled *bool }
+
+// Stop cancels the timer; the callback will not run. Stopping an already
+// fired or stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t != nil && t.cancelled != nil {
+		*t.cancelled = true
+	}
+}
+
+// At schedules fn at absolute virtual time at (clamped to now if in the
+// past) and returns a cancellable handle.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	cancelled := new(bool)
+	s.seq++
+	heap.Push(&s.pq, &event{at: at, seq: s.seq, fn: fn, cancel: cancelled})
+	return &Timer{cancelled: cancelled}
+}
+
+// After schedules fn after duration d of virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing virtual time. It returns
+// false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		if *e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. Protocols with periodic
+// timers never drain; use RunUntil or RunFor for those.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, leaving later events
+// queued, and advances the clock to the deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.pq) > 0 && s.pq[0].at <= deadline {
+		if !s.Step() {
+			break
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Pending reports the number of queued (possibly cancelled) events,
+// useful for leak checks in tests.
+func (s *Scheduler) Pending() int { return len(s.pq) }

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(3*time.Millisecond, func() { order = append(order, 3) })
+	s.After(1*time.Millisecond, func() { order = append(order, 1) })
+	s.After(2*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("clock at %d, want 3ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(5), func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	tm.Stop()
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Stop() // double stop is a no-op
+	var nilTimer *Timer
+	nilTimer.Stop() // nil stop is a no-op
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var hits []Time
+	s.After(time.Millisecond, func() {
+		hits = append(hits, s.Now())
+		s.After(time.Millisecond, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[1] != Time(2*time.Millisecond) {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New(1)
+	var fired []int
+	s.After(1*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(5*time.Millisecond, func() { fired = append(fired, 5) })
+	s.RunUntil(Time(2 * time.Millisecond))
+	if len(fired) != 1 {
+		t.Fatalf("fired %v, want only the 1ms event", fired)
+	}
+	if s.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock %v, want advanced to deadline", s.Now())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event lost: %v", fired)
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	s := New(1)
+	s.RunUntil(Time(time.Second))
+	ran := false
+	s.At(0, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+	if s.Now() != Time(time.Second) {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		n := NewNetwork(s)
+		var got []int64
+		n.Attach("b:0", func(p Packet) { got = append(got, int64(s.Now())) })
+		n.SetLink("a:0", "b:0", LinkConfig{Delay: time.Millisecond, Jitter: time.Millisecond, Loss: 0.3})
+		for i := 0; i < 50; i++ {
+			d := time.Duration(i) * 100 * time.Microsecond
+			s.After(d, func() { n.Send("a:0", "b:0", i) })
+		}
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic delivery time at %d", i)
+		}
+	}
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("loss=0.3 delivered %d of 50; loss model broken", len(a))
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	var got []string
+	n.Attach("b:0", func(p Packet) { got = append(got, p.Payload.(string)) })
+	n.SetLink("a:0", "b:0", LinkConfig{Delay: time.Millisecond})
+	n.Send("a:0", "b:0", "hello")
+	s.Run()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("delivery failed: %v", got)
+	}
+	sent, delivered, dropped, cut := n.Stats()
+	if sent != 1 || delivered != 1 || dropped != 0 || cut != 0 {
+		t.Fatalf("stats %d %d %d %d", sent, delivered, dropped, cut)
+	}
+}
+
+func TestCutAndHeal(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	count := 0
+	n.Attach("b:0", func(Packet) { count++ })
+	n.Cut("a:0", "b:0")
+	n.Send("a:0", "b:0", 1)
+	s.Run()
+	if count != 0 {
+		t.Fatal("packet crossed a cut link")
+	}
+	if !n.IsCut("a:0", "b:0") {
+		t.Fatal("IsCut lost the cut")
+	}
+	n.Heal("a:0", "b:0")
+	n.Send("a:0", "b:0", 2)
+	s.Run()
+	if count != 1 {
+		t.Fatal("packet not delivered after heal")
+	}
+}
+
+func TestCutWhileInFlight(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	count := 0
+	n.Attach("b:0", func(Packet) { count++ })
+	n.SetLink("a:0", "b:0", LinkConfig{Delay: 10 * time.Millisecond})
+	n.Send("a:0", "b:0", 1)
+	s.After(time.Millisecond, func() { n.Cut("a:0", "b:0") })
+	s.Run()
+	if count != 0 {
+		t.Fatal("in-flight packet survived a cable pull")
+	}
+}
+
+func TestCutNodeSeversAllInterfaces(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	count := 0
+	n.Attach("a:0", func(Packet) {})
+	n.Attach("a:1", func(Packet) {})
+	n.Attach("b:0", func(Packet) { count++ })
+	n.CutNode("a")
+	n.Send("a:0", "b:0", 1)
+	n.Send("a:1", "b:0", 2)
+	s.Run()
+	if count != 0 {
+		t.Fatal("CutNode left a path open")
+	}
+	n.HealNode("a")
+	n.Send("a:1", "b:0", 3)
+	s.Run()
+	if count != 1 {
+		t.Fatal("HealNode did not restore connectivity")
+	}
+}
+
+func TestSendToUnknownEndpointIsSilentDrop(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	n.Send("a:0", "ghost:0", 1)
+	s.Run()
+	_, _, dropped, _ := n.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	count := 0
+	n.Attach("b:0", func(Packet) { count++ })
+	n.SetLink("a:0", "b:0", LinkConfig{Delay: time.Millisecond})
+	n.Send("a:0", "b:0", 1)
+	n.Detach("b:0") // crash before delivery
+	s.Run()
+	if count != 0 {
+		t.Fatal("packet delivered to detached endpoint")
+	}
+}
+
+func TestNodeAddr(t *testing.T) {
+	if NodeAddr("gw1", 2) != Addr("gw1:2") {
+		t.Fatalf("NodeAddr = %q", NodeAddr("gw1", 2))
+	}
+}

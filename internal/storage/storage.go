@@ -1,0 +1,339 @@
+// Package storage implements the RAIN distributed store/retrieve operations
+// of §4.2: a block of data is encoded with an (n, k) MDS code into n
+// symbols, one stored per node; retrieval collects the symbols from any k
+// nodes and decodes.
+//
+// The scheme's attractions, all reproduced here and exercised by experiment
+// E16: reliability (survives up to n-k node failures), dynamic
+// reconfigurability and hot swapping (failed nodes can be replaced and their
+// symbols rebuilt from the surviving k), and load balancing through the
+// freedom to pick which k nodes serve a read (least-loaded, geographically
+// nearest, or random).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"rain/internal/ecc"
+)
+
+// Errors returned by the store.
+var (
+	// ErrObjectNotFound reports a retrieve of an unknown object.
+	ErrObjectNotFound = errors.New("storage: object not found")
+	// ErrNotEnoughReplicas reports fewer than k reachable symbols.
+	ErrNotEnoughReplicas = errors.New("storage: fewer than k symbols reachable")
+	// ErrServerDown reports an operation against a down server.
+	ErrServerDown = errors.New("storage: server down")
+)
+
+// Server is a storage node: it holds one symbol per object. The in-memory
+// implementation carries the fault-injection and instrumentation hooks the
+// experiments need (down/up, request counters, a location for the
+// geographic policy).
+type Server struct {
+	mu       sync.Mutex
+	name     string
+	distance int // abstract distance for the "geographically closest" policy
+	down     bool
+	shards   map[string][]byte
+	reads    int
+	writes   int
+}
+
+// NewServer creates an empty storage server. distance is an abstract cost
+// used by the Nearest selection policy (e.g. network hops).
+func NewServer(name string, distance int) *Server {
+	return &Server{name: name, distance: distance, shards: make(map[string][]byte)}
+}
+
+// Name returns the server's identity.
+func (s *Server) Name() string { return s.name }
+
+// SetDown injects or clears a failure.
+func (s *Server) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+// Down reports the injected failure state.
+func (s *Server) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// Put stores the symbol for an object.
+func (s *Server) Put(id string, shard []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	s.shards[id] = append([]byte(nil), shard...)
+	s.writes++
+	return nil
+}
+
+// Get fetches the symbol for an object.
+func (s *Server) Get(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	shard, ok := s.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrObjectNotFound, id, s.name)
+	}
+	s.reads++
+	return append([]byte(nil), shard...), nil
+}
+
+// Delete removes an object's symbol.
+func (s *Server) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.shards, id)
+}
+
+// Loads returns the cumulative read and write counts (the load-balancing
+// experiments read these).
+func (s *Server) Loads() (reads, writes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// Objects returns the number of symbols held.
+func (s *Server) Objects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// Wipe discards all symbols (a replaced blank node).
+func (s *Server) Wipe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = make(map[string][]byte)
+}
+
+// Policy selects which k servers serve a retrieve.
+type Policy int
+
+// Selection policies of §4.2.
+const (
+	// FirstK picks the first k reachable servers in index order.
+	FirstK Policy = iota
+	// LeastLoaded picks the k reachable servers with the fewest reads
+	// ("select the k nodes with the smallest load").
+	LeastLoaded
+	// Nearest picks the k reachable servers with the smallest distance
+	// ("the k nodes that are geographically closest").
+	Nearest
+	// RandomK picks k reachable servers uniformly at random.
+	RandomK
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FirstK:
+		return "firstk"
+	case LeastLoaded:
+		return "leastloaded"
+	case Nearest:
+		return "nearest"
+	case RandomK:
+		return "random"
+	}
+	return "unknown"
+}
+
+// Store is the client-side distributed store: an (n, k) code plus n servers.
+type Store struct {
+	code    ecc.Code
+	servers []*Server
+	policy  Policy
+	rng     *rand.Rand
+
+	mu    sync.Mutex
+	sizes map[string]int // object id -> original length
+}
+
+// New builds a Store. The number of servers must equal the code's n.
+func New(code ecc.Code, servers []*Server, policy Policy, seed int64) (*Store, error) {
+	if len(servers) != code.N() {
+		return nil, fmt.Errorf("storage: %d servers for an n=%d code", len(servers), code.N())
+	}
+	return &Store{
+		code:    code,
+		servers: servers,
+		policy:  policy,
+		rng:     rand.New(rand.NewSource(seed)),
+		sizes:   make(map[string]int),
+	}, nil
+}
+
+// Code returns the store's erasure code.
+func (st *Store) Code() ecc.Code { return st.code }
+
+// Servers returns the backing servers (index i holds symbol i).
+func (st *Store) Servers() []*Server { return st.servers }
+
+// Put encodes data and stores one symbol per node (the distributed store
+// operation). It succeeds if at least k symbols were stored, returning the
+// number stored; with fewer than k it returns ErrNotEnoughReplicas and
+// removes any partial symbols.
+func (st *Store) Put(id string, data []byte) (stored int, err error) {
+	shards, err := st.code.Encode(data)
+	if err != nil {
+		return 0, err
+	}
+	var placed []int
+	for i, shard := range shards {
+		if err := st.servers[i].Put(id, shard); err == nil {
+			placed = append(placed, i)
+		}
+	}
+	if len(placed) < st.code.K() {
+		for _, i := range placed {
+			st.servers[i].Delete(id)
+		}
+		return len(placed), fmt.Errorf("%w: stored %d of required %d", ErrNotEnoughReplicas, len(placed), st.code.K())
+	}
+	st.mu.Lock()
+	st.sizes[id] = len(data)
+	st.mu.Unlock()
+	return len(placed), nil
+}
+
+// selectServers orders reachable server indices according to the policy.
+func (st *Store) selectServers() []int {
+	type cand struct {
+		idx    int
+		weight int
+	}
+	var cands []cand
+	for i, s := range st.servers {
+		if s.Down() {
+			continue
+		}
+		c := cand{idx: i}
+		switch st.policy {
+		case LeastLoaded:
+			r, _ := s.Loads()
+			c.weight = r
+		case Nearest:
+			c.weight = s.distance
+		case RandomK:
+			c.weight = st.rng.Int()
+		case FirstK:
+			c.weight = i
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].weight != cands[b].weight {
+			return cands[a].weight < cands[b].weight
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// Get retrieves and decodes an object from any k reachable symbols (the
+// distributed retrieve operation). Servers that fail mid-read are skipped
+// and further candidates tried.
+func (st *Store) Get(id string) ([]byte, error) {
+	st.mu.Lock()
+	size, known := st.sizes[id]
+	st.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
+	}
+	shards := make([][]byte, st.code.N())
+	have := 0
+	for _, idx := range st.selectServers() {
+		if have == st.code.K() {
+			break
+		}
+		shard, err := st.servers[idx].Get(id)
+		if err != nil {
+			continue
+		}
+		shards[idx] = shard
+		have++
+	}
+	if have < st.code.K() {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughReplicas, have, st.code.K())
+	}
+	return st.code.Decode(shards, size)
+}
+
+// Rebuild reconstructs server i's symbols for every known object from the
+// surviving nodes and stores them on (a possibly replacement) server i —
+// the hot-swap path of §4.2.
+func (st *Store) Rebuild(i int) error {
+	st.mu.Lock()
+	ids := make([]string, 0, len(st.sizes))
+	for id := range st.sizes {
+		ids = append(ids, id)
+	}
+	st.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		shards := make([][]byte, st.code.N())
+		have := 0
+		for j, s := range st.servers {
+			if j == i || s.Down() {
+				continue
+			}
+			if shard, err := s.Get(id); err == nil {
+				shards[j] = shard
+				have++
+				if have == st.code.K() {
+					break
+				}
+			}
+		}
+		if have < st.code.K() {
+			return fmt.Errorf("%w: rebuilding %s", ErrNotEnoughReplicas, id)
+		}
+		if err := st.code.Reconstruct(shards); err != nil {
+			return fmt.Errorf("storage: rebuild %s: %w", id, err)
+		}
+		if err := st.servers[i].Put(id, shards[i]); err != nil {
+			return fmt.Errorf("storage: rebuild %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ReplaceServer swaps in a blank replacement at index i and rebuilds its
+// symbols (dynamic reconfiguration / hot swap).
+func (st *Store) ReplaceServer(i int, replacement *Server) error {
+	st.servers[i] = replacement
+	return st.Rebuild(i)
+}
+
+// Objects lists the stored object ids, sorted.
+func (st *Store) Objects() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.sizes))
+	for id := range st.sizes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+// Package rain is a Go implementation of the RAIN system — "Computing in
+// the RAIN: A Reliable Array of Independent Nodes" (Bohossian, Fan,
+// LeMahieu, Riedel, Xu, Bruck; IPPS 2000 / IEEE TPDS Feb 2001): reliable
+// distributed computing and storage from inexpensive off-the-shelf
+// components, with no single point of failure.
+//
+// The library provides the paper's three building blocks and the systems
+// built on them:
+//
+//   - Communication: fault-tolerant interconnect topology analysis
+//     (internal/topology), the consistent-history link-state protocol
+//     (internal/linkstate), the RUDP reliable datagram layer with bundled
+//     interfaces (internal/rudp) and an MPI-style API (internal/mpi).
+//
+//   - Fault management: token-ring group membership with the 911 mechanism
+//     (internal/membership) and leader election (internal/election).
+//
+//   - Storage: the B-Code, X-Code and EVENODD MDS array codes plus
+//     Reed-Solomon and RAID baselines (internal/ecc), and distributed
+//     store/retrieve over any k of n nodes (internal/storage).
+//
+//   - Applications: RAINVideo (internal/video), the SNOW web cluster
+//     (internal/snow), RAINCheck distributed checkpointing
+//     (internal/checkpoint) and the Rainwall firewall cluster
+//     (internal/rainwall).
+//
+// This package is the facade: erasure codes for standalone use and Cluster,
+// a simulated RAIN deployment wiring every subsystem together. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the reproduced results.
+package rain
+
+import (
+	"rain/internal/core"
+	"rain/internal/ecc"
+	"rain/internal/storage"
+)
+
+// Code is an (n, k) erasure code: Encode produces n shards of which any k
+// reconstruct the data. All implementations are safe for concurrent use.
+type Code = ecc.Code
+
+// NewBCode returns the (n, n-2) B-Code of §4.1/Table 1: an MDS array code
+// with XOR-only encode/decode and optimal update complexity. n must be even
+// with n+1 prime.
+func NewBCode(n int) (Code, error) { return ecc.NewBCode(n) }
+
+// NewXCode returns the (n, n-2) X-Code for prime n: diagonal-parity MDS
+// array code with optimal encoding complexity.
+func NewXCode(n int) (Code, error) { return ecc.NewXCode(n) }
+
+// NewEvenOdd returns the (p+2, p) EVENODD code for prime p, the classic
+// double-erasure array code the paper's codes improve upon.
+func NewEvenOdd(p int) (Code, error) { return ecc.NewEvenOdd(p) }
+
+// NewReedSolomon returns a systematic (n, k) Reed-Solomon code over
+// GF(2^8), the general MDS baseline.
+func NewReedSolomon(n, k int) (Code, error) { return ecc.NewReedSolomon(n, k) }
+
+// NewMirror returns r-way replication (n = r, k = 1), the traditional RAID
+// baseline.
+func NewMirror(r int) (Code, error) { return ecc.NewMirror(r) }
+
+// NewSingleParity returns the (k+1, k) XOR-parity code, the other
+// traditional RAID baseline.
+func NewSingleParity(k int) (Code, error) { return ecc.NewSingleParity(k) }
+
+// Cluster is a full RAIN deployment: a simulated set of nodes with bundled
+// network interfaces, running the membership ring, leader election, RUDP
+// communication and erasure-coded storage, with fault injection for every
+// layer. See internal/core for the composition.
+type Cluster = core.Platform
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions = core.Options
+
+// NewCluster builds and starts a RAIN cluster on the named nodes.
+func NewCluster(nodes []string, opts ClusterOptions) (*Cluster, error) {
+	return core.New(nodes, opts)
+}
+
+// Storage node-selection policies for retrieves (§4.2): any k of the n
+// symbols suffice, so the client may pick the least-loaded or nearest nodes.
+const (
+	PolicyFirstK      = storage.FirstK
+	PolicyLeastLoaded = storage.LeastLoaded
+	PolicyNearest     = storage.Nearest
+	PolicyRandom      = storage.RandomK
+)

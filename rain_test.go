@@ -1,0 +1,58 @@
+package rain
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFacadeCodes(t *testing.T) {
+	msg := []byte("facade round trip")
+	ctors := []func() (Code, error){
+		func() (Code, error) { return NewBCode(6) },
+		func() (Code, error) { return NewXCode(5) },
+		func() (Code, error) { return NewEvenOdd(5) },
+		func() (Code, error) { return NewReedSolomon(6, 4) },
+		func() (Code, error) { return NewMirror(3) },
+		func() (Code, error) { return NewSingleParity(4) },
+	}
+	for _, ctor := range ctors {
+		c, err := ctor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards, err := c.Encode(msg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		shards[0] = nil
+		got, err := c.Decode(shards, len(msg))
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	cl, err := NewCluster([]string{"n1", "n2", "n3", "n4", "n5", "n6"},
+		ClusterOptions{Seed: 1, Policy: PolicyLeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Second)
+	if err := cl.Put("hello", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Crash("n3"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get("hello")
+	if err != nil || string(got) != "world" {
+		t.Fatalf("get after crash: %v", err)
+	}
+	cl.Run(2 * time.Second)
+	view, ok := cl.Consensus()
+	if !ok || len(view) != 5 {
+		t.Fatalf("membership after crash: %v ok=%v", view, ok)
+	}
+}
