@@ -1,0 +1,3 @@
+module rain
+
+go 1.21

@@ -113,6 +113,17 @@ func runCodes(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// rs(10,8) rides the P+Q slice-kernel fast path; rs(14,10) the general
+	// fused table kernels — both measured here so the §4.1 comparison shows
+	// what a tuned RS baseline actually costs (ISSUE 1).
+	rs108, err := ecc.NewReedSolomon(10, 8)
+	if err != nil {
+		return err
+	}
+	rs1410, err := ecc.NewReedSolomon(14, 10)
+	if err != nil {
+		return err
+	}
 	par, err := ecc.NewSingleParity(4)
 	if err != nil {
 		return err
@@ -121,7 +132,7 @@ func runCodes(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range []ecc.Code{b6, x7, e5, rs64, par, mir} {
+	for _, c := range []ecc.Code{b6, x7, e5, rs64, rs108, rs1410, par, mir} {
 		entries = append(entries, entry{code: c})
 	}
 	fmt.Fprintf(w, "%-14s %4s %4s %9s %8s %8s %8s %12s %12s\n",
@@ -136,7 +147,7 @@ func runCodes(w io.Writer) error {
 			cen.Name, cen.N, cen.K, cen.StorageOverhead, cen.MinUpdate, cen.MaxUpdate,
 			cen.XORsPerEncode, encMBps, decMBps)
 	}
-	fmt.Fprintln(w, "note: bcode/xcode update penalty = 2 is the §4.1 optimum; evenodd exceeds it; rs pays GF(256) multiplies")
+	fmt.Fprintln(w, "note: bcode/xcode update penalty = 2 is the §4.1 optimum; evenodd exceeds it; rs pays GF(256) multiplies (for n-k<=2 its P row is XOR-only — see the xors column)")
 	return nil
 }
 

@@ -8,10 +8,12 @@ type Census struct {
 	Name string
 	N, K int
 	// XORsPerEncode is the number of chunk-XOR operations a full encode
-	// performs (0 for Reed-Solomon, which multiplies instead).
+	// performs. For Reed-Solomon this counts the unit coefficients of the
+	// parity block (the all-ones P row of the P+Q construction is pure
+	// XOR).
 	XORsPerEncode int
-	// MulsPerEncode is the number of chunk-multiply-accumulate operations
-	// (Reed-Solomon only).
+	// MulsPerEncode is the number of chunk-multiply-accumulate operations:
+	// the parity-block coefficients outside {0, 1} (Reed-Solomon only).
 	MulsPerEncode int
 	// ParityCells is the number of parity cells in the layout.
 	ParityCells int
@@ -60,7 +62,21 @@ func TakeCensus(c Code) Census {
 			}
 		}
 	case *rsCode:
-		out.MulsPerEncode = (cc.n - cc.k) * cc.k
+		// Count the actual structure of the parity block: the P+Q
+		// construction has an all-ones row that is pure XOR, so lumping it
+		// in with the multiplies would overstate the cost of the very
+		// fast path the kernels add.
+		for r := cc.k; r < cc.n; r++ {
+			for _, coeff := range cc.gen.Row(r) {
+				switch coeff {
+				case 0:
+				case 1:
+					out.XORsPerEncode++
+				default:
+					out.MulsPerEncode++
+				}
+			}
+		}
 		out.ParityCells = cc.n - cc.k
 		out.MinUpdate = cc.n - cc.k
 		out.MaxUpdate = cc.n - cc.k

@@ -30,7 +30,10 @@ type Code interface {
 	// Encode for a message of dataLen bytes.
 	ShardSize(dataLen int) int
 	// Encode splits and encodes data into exactly N shards. The input is
-	// not modified. Encode never returns fewer than N shards.
+	// not modified. Encode never returns fewer than N shards. To keep the
+	// hot path copy-free, implementations may return data shards that
+	// alias the input: callers that mutate data after Encode, or write
+	// into the returned shards, must copy first.
 	Encode(data []byte) ([][]byte, error)
 	// Reconstruct fills in the nil entries of shards in place. At least K
 	// entries must be non-nil and all non-nil entries must have equal

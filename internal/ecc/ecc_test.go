@@ -29,7 +29,8 @@ func testCodes(t *testing.T) []Code {
 		mc(NewBCode(6)),
 		mc(NewXCode(5)),
 		mc(NewEvenOdd(5)),
-		mc(NewReedSolomon(6, 4)),
+		mc(NewReedSolomon(6, 4)),   // P+Q slice-kernel fast path
+		mc(NewReedSolomon(14, 10)), // general fused-table-kernel path
 		mc(NewSingleParity(4)),
 		mc(NewMirror(3)),
 	}
@@ -473,8 +474,22 @@ func TestCensusOptimality(t *testing.T) {
 	if e.MaxUpdate <= 2 {
 		t.Fatalf("evenodd max update %d, expected > 2", e.MaxUpdate)
 	}
-	if r.MulsPerEncode != (7-5)*5 {
-		t.Fatalf("rs muls per encode = %d, want %d", r.MulsPerEncode, 10)
+	// rs(7,5) takes the P+Q path: the P row is 5 XOR columns, the Q row is
+	// [1, a, a^2, a^3, a^4] — one more XOR and 4 true multiplies.
+	if r.XORsPerEncode != 6 || r.MulsPerEncode != 4 {
+		t.Fatalf("rs(7,5) xors=%d muls=%d, want 6 and 4", r.XORsPerEncode, r.MulsPerEncode)
+	}
+	if r.XORsPerEncode+r.MulsPerEncode != (7-5)*5 {
+		t.Fatalf("rs parity columns = %d, want %d", r.XORsPerEncode+r.MulsPerEncode, 10)
+	}
+	// The seed-reference Vandermonde construction pays a multiply for
+	// essentially every parity column.
+	rv := TakeCensus(mustCode(t)(NewReedSolomon(14, 10)))
+	if rv.XORsPerEncode+rv.MulsPerEncode != (14-10)*10 {
+		t.Fatalf("rs(14,10) parity columns = %d, want %d", rv.XORsPerEncode+rv.MulsPerEncode, 40)
+	}
+	if rv.MulsPerEncode < 30 {
+		t.Fatalf("rs(14,10) muls = %d, expected a multiply-dominated generator", rv.MulsPerEncode)
 	}
 	if b.StorageOverhead != 6.0/4.0 {
 		t.Fatalf("bcode storage overhead %v", b.StorageOverhead)

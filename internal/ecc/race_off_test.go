@@ -1,0 +1,5 @@
+//go:build !race
+
+package ecc
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ecc
+
+// raceEnabled lets the big erasure-pattern sweeps subsample when the race
+// detector multiplies the cost of every kernel byte access.
+const raceEnabled = true

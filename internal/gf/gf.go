@@ -2,9 +2,20 @@
 //
 // The field is realised as polynomials over GF(2) modulo the primitive
 // polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for
-// storage-system Reed-Solomon codes. Multiplication and division are table
-// driven (exp/log), so the hot paths used by the Reed-Solomon encoder in
-// internal/ecc are branch-free per byte.
+// storage-system Reed-Solomon codes.
+//
+// Two table layers back the arithmetic. Scalar Mul/Div/Inv/Exp/Log use the
+// classic exp/log tables: Mul(a, b) = expTable[logTable[a]+logTable[b]] with
+// a zero test per operand. The slice kernels that dominate Reed-Solomon
+// encode and decode use a second layer: mulTable, a full 256x256 product
+// table (64 KiB) giving each coefficient c a dense 256-byte row, so
+// MulSlice/MulAddSlice cost one branch-free indexed load per byte and the
+// row stays in L1 for the whole pass. On top of those, MulVecSlice and
+// Matrix.MulVecSlices fuse up to four source slices per destination pass,
+// eliminating most of the destination read-modify-write traffic of repeated
+// multiply-accumulate sweeps — the kernels are memory-bound, so this fusion
+// is worth more than the table swap itself. The pre-kernel scalar loops are
+// kept as MulSliceRef/MulAddSliceRef for differential tests and benchmarks.
 //
 // GF(2^8) is the substrate for the Reed-Solomon baseline that the RAIN paper
 // (§4.1) compares its XOR-only array codes against: RS is MDS for any (n, k)
@@ -90,49 +101,6 @@ func Log(a byte) int {
 		panic("gf: log of zero")
 	}
 	return int(logTable[a])
-}
-
-// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have equal
-// length. It is the inner loop of Reed-Solomon encoding.
-func MulSlice(c byte, src, dst []byte) {
-	if c == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	}
-	if c == 1 {
-		copy(dst, src)
-		return
-	}
-	logC := int(logTable[c])
-	_ = dst[len(src)-1] // eliminate bounds checks in the loop below
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = expTable[logC+int(logTable[s])]
-		}
-	}
-}
-
-// MulAddSlice sets dst[i] ^= c * src[i] for all i: a fused multiply-
-// accumulate over the field, the dominant operation in RS encode/decode.
-func MulAddSlice(c byte, src, dst []byte) {
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		XorSlice(src, dst)
-		return
-	}
-	logC := int(logTable[c])
-	_ = dst[len(src)-1]
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[logC+int(logTable[s])]
-		}
-	}
 }
 
 // XorSlice sets dst[i] ^= src[i] for all i. It XORs eight bytes at a time

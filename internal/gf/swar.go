@@ -1,0 +1,169 @@
+package gf
+
+import "encoding/binary"
+
+// SWAR kernels: eight field elements packed in one uint64, used by the
+// Reed-Solomon P+Q fast path in internal/ecc (PQSlice, called from
+// rs.go Encode). Multiplying a packed lane vector by the generator
+// alpha = x (0x02) is six ALU operations for eight bytes — far cheaper than
+// eight table lookups — and evaluating a parity row of ascending alpha
+// powers by Horner's rule needs exactly one such multiply per data shard
+// per 8-byte column.
+
+const (
+	swarHi = 0x8080808080808080 // high bit of every lane
+	swarLo = 0x7f7f7f7f7f7f7f7f // low seven bits of every lane
+)
+
+// mulAlpha64 multiplies each of the eight packed field elements by alpha:
+// shift each lane left one bit and reduce lanes that overflowed by the low
+// byte of the field polynomial. (hi>>7)*0x1d broadcasts 0x1d into exactly
+// the lanes whose high bit was set; the per-lane products cannot carry.
+func mulAlpha64(v uint64) uint64 {
+	hi := v & swarHi
+	return ((v & swarLo) << 1) ^ ((hi >> 7) * (Poly & 0xff))
+}
+
+// PQSlice computes the two RAID-6-style parity rows of the inputs in one
+// fused pass: p[i] = xor of in[j][i], and q[i] = sum_j alpha^j * in[j][i],
+// with q evaluated by Horner's rule. Each input byte is loaded exactly once
+// and both accumulators live in registers, four independent 8-byte lanes at
+// a time so the serial multiply-by-alpha dependency chains overlap. p and q
+// must have equal length, every input must be at least that long, and
+// neither output may alias an input. At least one input is required.
+func PQSlice(in [][]byte, p, q []byte) {
+	if len(in) == 0 {
+		panic("gf: PQSlice needs at least one input")
+	}
+	n := len(p)
+	q = q[:n]
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		var p0, p1, p2, p3, q0, q1, q2, q3 uint64
+		for j := len(in) - 1; j >= 0; j-- {
+			s := in[j][i:]
+			a := binary.LittleEndian.Uint64(s)
+			b := binary.LittleEndian.Uint64(s[8:])
+			c := binary.LittleEndian.Uint64(s[16:])
+			d := binary.LittleEndian.Uint64(s[24:])
+			p0 ^= a
+			p1 ^= b
+			p2 ^= c
+			p3 ^= d
+			q0 = mulAlpha64(q0) ^ a
+			q1 = mulAlpha64(q1) ^ b
+			q2 = mulAlpha64(q2) ^ c
+			q3 = mulAlpha64(q3) ^ d
+		}
+		binary.LittleEndian.PutUint64(p[i:], p0)
+		binary.LittleEndian.PutUint64(p[i+8:], p1)
+		binary.LittleEndian.PutUint64(p[i+16:], p2)
+		binary.LittleEndian.PutUint64(p[i+24:], p3)
+		binary.LittleEndian.PutUint64(q[i:], q0)
+		binary.LittleEndian.PutUint64(q[i+8:], q1)
+		binary.LittleEndian.PutUint64(q[i+16:], q2)
+		binary.LittleEndian.PutUint64(q[i+24:], q3)
+	}
+	t2 := &mulTable[2]
+	for ; i < n; i++ {
+		var pv, qv byte
+		for j := len(in) - 1; j >= 0; j-- {
+			s := in[j][i]
+			pv ^= s
+			qv = t2[qv] ^ s
+		}
+		p[i] = pv
+		q[i] = qv
+	}
+}
+
+// XorVecSlice sets out to the XOR of all inputs: out[i] = in[0][i] ^ ... ^
+// in[len(in)-1][i]. Inputs are consumed in fused groups of four so out is
+// touched once per four sources. Every input must be at least len(out)
+// bytes; out must not alias any input. With no inputs, out is zeroed.
+func XorVecSlice(in [][]byte, out []byte) {
+	if len(out) == 0 {
+		return
+	}
+	j := 0
+	switch {
+	case len(in) == 0:
+		clearSlice(out)
+		return
+	case len(in) >= 4:
+		xorVec4(in[0], in[1], in[2], in[3], out)
+		j = 4
+	case len(in) >= 2:
+		xorVec2(in[0], in[1], out)
+		j = 2
+	default:
+		copy(out, in[0][:len(out)])
+		j = 1
+	}
+	for ; j+4 <= len(in); j += 4 {
+		xorAddVec4(in[j], in[j+1], in[j+2], in[j+3], out)
+	}
+	if j+2 <= len(in) {
+		xorAddVec2(in[j], in[j+1], out)
+		j += 2
+	}
+	if j < len(in) {
+		XorSlice(in[j][:len(out)], out)
+	}
+}
+
+func xorVec4(s0, s1, s2, s3, dst []byte) {
+	n := len(dst)
+	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(s0[i:])^binary.LittleEndian.Uint64(s1[i:])^
+				binary.LittleEndian.Uint64(s2[i:])^binary.LittleEndian.Uint64(s3[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = s0[i] ^ s1[i] ^ s2[i] ^ s3[i]
+	}
+}
+
+func xorAddVec4(s0, s1, s2, s3, dst []byte) {
+	n := len(dst)
+	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(s0[i:])^binary.LittleEndian.Uint64(s1[i:])^
+				binary.LittleEndian.Uint64(s2[i:])^binary.LittleEndian.Uint64(s3[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= s0[i] ^ s1[i] ^ s2[i] ^ s3[i]
+	}
+}
+
+func xorVec2(s0, s1, dst []byte) {
+	n := len(dst)
+	s0, s1 = s0[:n], s1[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(s0[i:])^binary.LittleEndian.Uint64(s1[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = s0[i] ^ s1[i]
+	}
+}
+
+func xorAddVec2(s0, s1, dst []byte) {
+	n := len(dst)
+	s0, s1 = s0[:n], s1[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(s0[i:])^binary.LittleEndian.Uint64(s1[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= s0[i] ^ s1[i]
+	}
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rain/internal/ecc"
+)
+
+// newRSStore builds an RS(10,8) store over ten servers with distance = index,
+// the shape whose encode path runs the P+Q slice kernels of ISSUE 1.
+func newRSStore(t *testing.T, policy Policy) (*Store, []*Server) {
+	t.Helper()
+	code, err := ecc.NewReedSolomon(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*Server, code.N())
+	for i := range servers {
+		servers[i] = NewServer(fmt.Sprintf("node%d", i), i)
+	}
+	st, err := New(code, servers, policy, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, servers
+}
+
+// readDeltas snapshots cumulative read counters.
+func readDeltas(servers []*Server, before []int) []int {
+	out := make([]int, len(servers))
+	for i, s := range servers {
+		r, _ := s.Loads()
+		out[i] = r
+		if before != nil {
+			out[i] -= before[i]
+		}
+	}
+	return out
+}
+
+// TestHotSwapUnderLoadPolicies is the ISSUE 1 storage scenario: a read
+// workload is interrupted by n-k = 2 node deaths, reads keep succeeding
+// degraded, both nodes are hot-swapped with blank replacements and rebuilt,
+// the rebuilt symbols are byte-identical to the originals, and afterwards
+// each read policy still balances load according to its own contract.
+func TestHotSwapUnderLoadPolicies(t *testing.T) {
+	for _, policy := range []Policy{RandomK, LeastLoaded, Nearest} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			st, servers := newRSStore(t, policy)
+			rng := rand.New(rand.NewSource(int64(policy)))
+			// Objects of assorted sizes, including one large enough
+			// (1 MiB) to exercise the chunked kernel path end to end.
+			want := map[string][]byte{}
+			for i := 0; i < 6; i++ {
+				size := 1 + rng.Intn(8<<10)
+				if i == 0 {
+					size = 1 << 20
+				}
+				data := make([]byte, size)
+				rng.Read(data)
+				id := fmt.Sprintf("obj%d", i)
+				want[id] = data
+				if _, err := st.Put(id, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Record the symbols the doomed nodes hold so the rebuild can
+			// be checked byte for byte.
+			const dead1, dead2 = 2, 5
+			origShards := map[int]map[string][]byte{dead1: {}, dead2: {}}
+			for id := range want {
+				for _, di := range []int{dead1, dead2} {
+					shard, err := servers[di].Get(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					origShards[di][id] = shard
+				}
+			}
+			// Workload phase 1: reads with all nodes up.
+			ids := st.Objects()
+			for i := 0; i < 40; i++ {
+				id := ids[i%len(ids)]
+				got, err := st.Get(id)
+				if err != nil || !bytes.Equal(got, want[id]) {
+					t.Fatalf("read %s before failure: %v", id, err)
+				}
+			}
+			// Mid-workload: kill n-k nodes. Reads must keep succeeding.
+			servers[dead1].SetDown(true)
+			servers[dead2].SetDown(true)
+			for i := 0; i < 40; i++ {
+				id := ids[i%len(ids)]
+				got, err := st.Get(id)
+				if err != nil || !bytes.Equal(got, want[id]) {
+					t.Fatalf("degraded read %s: %v", id, err)
+				}
+			}
+			// Hot swap: blank replacements, rebuilt from the survivors.
+			repl1 := NewServer("node2b", dead1)
+			if err := st.ReplaceServer(dead1, repl1); err != nil {
+				t.Fatal(err)
+			}
+			repl2 := NewServer("node5b", dead2)
+			if err := st.ReplaceServer(dead2, repl2); err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct {
+				repl *Server
+				di   int
+			}{{repl1, dead1}, {repl2, dead2}} {
+				if tc.repl.Objects() != len(want) {
+					t.Fatalf("replacement %s rebuilt %d objects, want %d", tc.repl.Name(), tc.repl.Objects(), len(want))
+				}
+				for id, orig := range origShards[tc.di] {
+					got, err := tc.repl.Get(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, orig) {
+						t.Fatalf("rebuilt symbol for %s on %s differs from original", id, tc.repl.Name())
+					}
+				}
+			}
+			// Workload phase 2: all bytes intact through the new nodes.
+			for id, data := range want {
+				got, err := st.Get(id)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("read %s after hot swap: %v", id, err)
+				}
+			}
+			// Policy phase: measure read deltas over a fresh batch of reads
+			// and assert the policy-specific balance contract.
+			const reads = 200
+			before := readDeltas(servers, nil)
+			for i := 0; i < reads; i++ {
+				id := ids[i%len(ids)]
+				if _, err := st.Get(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delta := readDeltas(servers, before)
+			k := st.Code().K()
+			switch policy {
+			case RandomK:
+				for i, d := range delta {
+					if d == 0 {
+						t.Fatalf("random policy never read from server %d: %v", i, delta)
+					}
+				}
+			case LeastLoaded:
+				// k of n servers per read, self-balancing: every server
+				// should sit near mean = reads*k/n, within a 2x band.
+				mean := reads * k / len(servers)
+				for i, d := range delta {
+					if d < mean/2 || d > mean*2 {
+						t.Fatalf("least-loaded server %d served %d reads, mean %d: %v", i, d, mean, delta)
+					}
+				}
+			case Nearest:
+				// distance = index: the k nearest serve everything, the
+				// n-k farthest nothing.
+				for i, d := range delta {
+					if i < k && d != reads {
+						t.Fatalf("nearest server %d served %d of %d reads: %v", i, d, reads, delta)
+					}
+					if i >= k && d != 0 {
+						t.Fatalf("far server %d served %d reads: %v", i, d, delta)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLargeObjectRoundTripRS pushes a 1 MiB object through store, retrieve
+// and a single-node rebuild on RS(10,8) — the §4.2 path on top of the new
+// parallel encode pipeline.
+func TestLargeObjectRoundTripRS(t *testing.T) {
+	st, servers := newRSStore(t, FirstK)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(99)).Read(data)
+	if _, err := st.Put("big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("big")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("large round trip: %v", err)
+	}
+	servers[0].SetDown(true)
+	repl := NewServer("node0b", 0)
+	if err := st.ReplaceServer(0, repl); err != nil {
+		t.Fatal(err)
+	}
+	servers = st.Servers()
+	// Force the read through the replacement by downing two other nodes.
+	servers[1].SetDown(true)
+	servers[2].SetDown(true)
+	got, err = st.Get("big")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("large round trip via rebuilt node: %v", err)
+	}
+}

@@ -37,6 +37,8 @@ import (
 
 // Code is an (n, k) erasure code: Encode produces n shards of which any k
 // reconstruct the data. All implementations are safe for concurrent use.
+// Encode may return data shards that alias the input buffer; callers that
+// mutate the input afterwards must copy first (see ecc.Code).
 type Code = ecc.Code
 
 // NewBCode returns the (n, n-2) B-Code of §4.1/Table 1: an MDS array code
@@ -53,7 +55,9 @@ func NewXCode(n int) (Code, error) { return ecc.NewXCode(n) }
 func NewEvenOdd(p int) (Code, error) { return ecc.NewEvenOdd(p) }
 
 // NewReedSolomon returns a systematic (n, k) Reed-Solomon code over
-// GF(2^8), the general MDS baseline.
+// GF(2^8), the general MDS baseline. Encode and reconstruct run on the
+// fused slice kernels of internal/gf (with a RAID-6-style P+Q fast path
+// when n-k <= 2) and fan out across goroutines for large blocks.
 func NewReedSolomon(n, k int) (Code, error) { return ecc.NewReedSolomon(n, k) }
 
 // NewMirror returns r-way replication (n = r, k = 1), the traditional RAID
