@@ -3,14 +3,16 @@ package rain
 // Benchmarks regenerating the computational side of every paper artifact;
 // `go run ./cmd/rainbench` produces the corresponding tables. The mapping
 // from benchmarks to tables/figures is the per-experiment index in
-// DESIGN.md; recorded results live in EXPERIMENTS.md.
+// DESIGN.md.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
+	"rain/internal/dstore"
 	"rain/internal/ecc"
 	"rain/internal/linkstate"
 	"rain/internal/membership"
@@ -193,6 +195,44 @@ func BenchmarkRSDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkRSRepairSingleErasure measures the §4.2 common repair case — one
+// lost data shard with parity P surviving — with the SWAR XOR fast path
+// ("xor") against the general decode-matrix route ("general"). The xor/
+// general ratio at 1 MiB is the ISSUE 2 satellite's before/after number.
+func BenchmarkRSRepairSingleErasure(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		opts []ecc.RSOption
+	}{
+		{"xor", nil},
+		{"general", []ecc.RSOption{ecc.RSNoXorRepair()}},
+	} {
+		c, err := ecc.NewReedSolomon(10, 8, m.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range rsBenchSizes {
+			data := make([]byte, size.n)
+			rand.New(rand.NewSource(23)).Read(data)
+			shards, err := c.Encode(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", m.name, size.name), func(b *testing.B) {
+				b.SetBytes(int64(size.n))
+				for i := 0; i < b.N; i++ {
+					work := make([][]byte, len(shards))
+					copy(work, shards)
+					work[i%c.K()] = nil
+					if err := c.Reconstruct(work); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- E1-E3: Figs 3-5 / Theorem 2.1 ---
 
 // BenchmarkTopologyWorstCase3Faults measures exhaustive 3-fault analysis of
@@ -316,6 +356,50 @@ func BenchmarkStoreRetrieve(b *testing.B) {
 		}
 		if _, err := st.Get(id); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDStorePutGet measures the networked distributed store: one op is
+// a 256 KiB object encoded rs(6,4), fanned out to six storage daemons over
+// the simulated two-path RUDP mesh, and read back through a quorum of
+// daemons (shard traffic crosses the network both ways).
+func BenchmarkDStorePutGet(b *testing.B) {
+	code, err := ecc.NewReedSolomon(6, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(16)
+	net := sim.NewNetwork(s)
+	nodes := []string{"a", "b", "c", "d", "e", "f"}
+	sim.ApplyProfile(net, nodes, 2, sim.ProfileLAN)
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range nodes {
+		dstore.NewDaemon(mesh, n, i, storage.NewBackend(), 0)
+	}
+	cl, err := dstore.NewClient(s, mesh, "a", dstore.Config{Code: code, Peers: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.RunFor(100 * time.Millisecond)
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(24)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("obj%d", i%8)
+		if _, err := cl.Put(id, data); err != nil {
+			b.Fatal(err)
+		}
+		got, err := cl.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			b.Fatal("roundtrip corrupted")
 		}
 	}
 }

@@ -14,6 +14,13 @@
 // by unplugging the interface) and watch the traffic fail over; drop both
 // and it stalls until one heals — the behaviour the paper demonstrated by
 // pulling Myrinet cables.
+//
+// The channel can also carry the dstore storage protocol. Run a storage
+// daemon on one end and push/pull shards from the other:
+//
+//	rainnode -local ... -remote ... -store -shard 0
+//	rainnode -local ... -remote ... -putshard obj -file shard.bin
+//	rainnode -local ... -remote ... -getshard obj -out shard.bin
 package main
 
 import (
@@ -21,9 +28,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"rain/internal/dstore"
 	"rain/internal/rudp"
+	"rain/internal/storage"
 )
 
 func main() {
@@ -32,6 +42,12 @@ func main() {
 	send := flag.Int("send", 0, "number of datagrams to send (0 = receive only)")
 	size := flag.Int("size", 1024, "payload size in bytes")
 	interval := flag.Duration("report", time.Second, "status report interval")
+	store := flag.Bool("store", false, "run a dstore storage daemon on this end")
+	shard := flag.Int("shard", 0, "shard index this daemon holds (-store)")
+	putShard := flag.String("putshard", "", "store the -file bytes as this object's shard on the remote daemon")
+	getShard := flag.String("getshard", "", "fetch this object's shard from the remote daemon")
+	file := flag.String("file", "", "input file for -putshard")
+	out := flag.String("out", "", "output file for -getshard (default stdout summary only)")
 	flag.Parse()
 
 	if *local == "" || *remote == "" {
@@ -41,9 +57,11 @@ func main() {
 	locals := strings.Split(*local, ",")
 	remotes := strings.Split(*remote, ",")
 
+	ch := newUDPChannel()
 	received := 0
 	node, err := rudp.NewUDPNode(locals, rudp.Config{}, func(p []byte) {
 		received++
+		ch.deliver(p)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bind:", err)
@@ -54,7 +72,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "connect:", err)
 		os.Exit(1)
 	}
+	ch.node = node
+	go ch.dispatchLoop()
 	fmt.Println("rainnode up on", node.LocalAddrs(), "->", remotes)
+
+	if *store {
+		runDaemon(ch, node, *shard, *interval)
+		return
+	}
+	// -putshard and -getshard may be combined in one invocation; RUDP
+	// connection state is per process, so a restarted client needs a
+	// restarted daemon (crash-restart handshakes are the membership
+	// layer's business, per §3).
+	if *putShard != "" || *getShard != "" {
+		if *putShard != "" {
+			if err := runPutShard(ch, *putShard, *file); err != nil {
+				fmt.Fprintln(os.Stderr, "putshard:", err)
+				os.Exit(1)
+			}
+		}
+		if *getShard != "" {
+			if err := runGetShard(ch, *getShard, *out); err != nil {
+				fmt.Fprintln(os.Stderr, "getshard:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *send > 0 {
 		payload := make([]byte, *size)
@@ -76,6 +120,170 @@ func main() {
 		if *send > 0 && node.Backlog() == 0 {
 			fmt.Println("all datagrams acknowledged")
 			return
+		}
+	}
+}
+
+// udpChannel adapts the point-to-point UDP channel to the dstore.Mesh
+// interface: the local end is node "local", the remote end is "remote".
+// Deliveries are queued and dispatched on a dedicated goroutine because the
+// UDPNode invokes its deliver callback while holding the connection lock —
+// replying inline would deadlock. The queue is unbounded: RUDP has already
+// delivered these datagrams reliably and will not retransmit, so dropping
+// here would lose them for good (and blocking the receive path against the
+// dispatcher, which takes the same lock to reply, could deadlock).
+type udpChannel struct {
+	node *rudp.UDPNode
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	handlers map[string]func(from string, payload []byte)
+	queue    [][]byte
+}
+
+func newUDPChannel() *udpChannel {
+	c := &udpChannel{handlers: make(map[string]func(string, []byte))}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *udpChannel) Handle(node, service string, fn func(from string, payload []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[service] = fn
+}
+
+func (c *udpChannel) SendService(from, to, service string, payload []byte) {
+	c.node.Send(rudp.FrameService(service, payload))
+}
+
+func (c *udpChannel) deliver(p []byte) {
+	buf := append([]byte(nil), p...)
+	c.mu.Lock()
+	c.queue = append(c.queue, buf)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+func (c *udpChannel) dispatchLoop() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 {
+			c.cond.Wait()
+		}
+		p := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+		service, payload, ok := rudp.SplitService(p)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		h := c.handlers[service]
+		c.mu.Unlock()
+		if h != nil {
+			h("remote", payload)
+		}
+	}
+}
+
+// runDaemon serves the dstore protocol until interrupted.
+func runDaemon(ch *udpChannel, node *rudp.UDPNode, shard int, interval time.Duration) {
+	backend := storage.NewBackend()
+	d := dstore.NewDaemon(ch, "local", shard, backend, 0)
+	fmt.Printf("storage daemon up, shard %d\n", shard)
+	for {
+		time.Sleep(interval)
+		st := d.Stats()
+		reads, writes := backend.Loads()
+		fmt.Printf("objects=%d reads=%d writes=%d commits=%d chunks_in=%d chunks_out=%d backlog=%d\n",
+			backend.Objects(), reads, writes, st.Commits, st.ChunksStored, st.ChunksServed, node.Backlog())
+	}
+}
+
+// runPutShard streams one file to the remote daemon as a shard.
+func runPutShard(ch *udpChannel, id, path string) error {
+	if path == "" {
+		return fmt.Errorf("-putshard requires -file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	acks := make(chan dstore.Msg, 64)
+	ch.Handle("local", dstore.ServiceClient, func(from string, payload []byte) {
+		if m, err := dstore.Unmarshal(payload); err == nil {
+			acks <- m
+		}
+	})
+	const chunk = dstore.DefaultChunkSize
+	for off := 0; off < len(data) || off == 0; off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		ch.SendService("local", "remote", dstore.ServiceDaemon, dstore.Msg{
+			Kind:     dstore.KindPutChunk,
+			Req:      1,
+			ID:       id,
+			Off:      int64(off),
+			ShardLen: int64(len(data)),
+			DataLen:  storage.UnknownSize,
+			Data:     data[off:end],
+		}.Marshal())
+		if end == len(data) {
+			break
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case m := <-acks:
+			if m.Err != "" {
+				return fmt.Errorf("daemon: %s", m.Err)
+			}
+			if m.Off >= int64(len(data)) {
+				fmt.Printf("stored %s: %d bytes\n", id, len(data))
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("timed out waiting for acks")
+		}
+	}
+}
+
+// runGetShard fetches one shard from the remote daemon.
+func runGetShard(ch *udpChannel, id, outPath string) error {
+	chunks := make(chan dstore.Msg, 64)
+	ch.Handle("local", dstore.ServiceClient, func(from string, payload []byte) {
+		if m, err := dstore.Unmarshal(payload); err == nil {
+			chunks <- m
+		}
+	})
+	ch.SendService("local", "remote", dstore.ServiceDaemon, dstore.Msg{Kind: dstore.KindGetReq, Req: 1, ID: id}.Marshal())
+	var buf []byte
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case m := <-chunks:
+			if m.Err != "" {
+				return fmt.Errorf("daemon: %s", m.Err)
+			}
+			if m.Off != int64(len(buf)) {
+				return fmt.Errorf("chunk at %d, expected %d", m.Off, len(buf))
+			}
+			buf = append(buf, m.Data...)
+			if int64(len(buf)) >= m.ShardLen {
+				if outPath != "" {
+					if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+						return err
+					}
+				}
+				fmt.Printf("fetched %s: %d bytes (object size %d)\n", id, len(buf), m.DataLen)
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("timed out waiting for chunks")
 		}
 	}
 }

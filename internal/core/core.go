@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"rain/internal/dstore"
 	"rain/internal/ecc"
 	"rain/internal/election"
 	"rain/internal/membership"
@@ -67,7 +68,10 @@ func (o Options) withDefaults(nodes int) (Options, error) {
 	return o, nil
 }
 
-// Platform is a running RAIN cluster.
+// Platform is a running RAIN cluster. Every node runs a storage daemon on
+// the mesh and a client session; Put/Get/Rebuild are mesh operations. Store
+// is the direct in-process frontend over the same per-node backends, kept
+// for experiments that poke shards without network traffic.
 type Platform struct {
 	Scheduler *sim.Scheduler
 	Network   *sim.Network
@@ -77,6 +81,8 @@ type Platform struct {
 	Membership *membership.Cluster
 	Election   *election.Cluster
 	Store      *storage.Store
+	Daemons    map[string]*dstore.Daemon
+	Clients    map[string]*dstore.Client
 
 	opts Options
 }
@@ -110,22 +116,53 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		return nil, err
 	}
 	servers := make([]*storage.Server, len(nodes))
+	backends := make([]*storage.Backend, len(nodes))
 	for i, n := range nodes {
-		servers[i] = storage.NewServer(n, i)
+		backends[i] = storage.NewBackend()
+		servers[i] = storage.NewServerWithBackend(n, i, backends[i])
 	}
 	store, err := storage.New(opts.Code, servers, opts.Policy, opts.Seed+1)
 	if err != nil {
 		return nil, err
 	}
+	mbr := membership.NewCluster(s, net, nodes, membership.Config{Detection: opts.Detection})
 	p := &Platform{
 		Scheduler:  s,
 		Network:    net,
 		Nodes:      append([]string(nil), nodes...),
 		Mesh:       mesh,
-		Membership: membership.NewCluster(s, net, nodes, membership.Config{Detection: opts.Detection}),
+		Membership: mbr,
 		Election:   election.NewCluster(s, net, nodes, election.Config{}),
 		Store:      store,
+		Daemons:    make(map[string]*dstore.Daemon),
+		Clients:    make(map[string]*dstore.Client),
 		opts:       opts,
+	}
+	for i, n := range nodes {
+		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0)
+		self := n
+		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
+			Code:   opts.Code,
+			Peers:  nodes,
+			Policy: opts.Policy,
+			// Liveness is the membership protocol's view from this node; the
+			// client's hedging covers the detection gap after a crash.
+			Alive: func(peer string) bool {
+				if peer == self {
+					return true
+				}
+				for _, v := range mbr.Members[self].View() {
+					if v == peer {
+						return true
+					}
+				}
+				return false
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Clients[n] = cl
 	}
 	return p, nil
 }
@@ -133,15 +170,66 @@ func New(nodes []string, opts Options) (*Platform, error) {
 // Run advances the cluster by d of virtual time.
 func (p *Platform) Run(d time.Duration) { p.Scheduler.RunFor(d) }
 
+// client returns a store client on a live node, excluding any named nodes.
+func (p *Platform) client(exclude ...string) (*dstore.Client, error) {
+	for _, n := range p.Nodes {
+		if p.Mesh.Stopped(n) {
+			continue
+		}
+		skip := false
+		for _, x := range exclude {
+			if n == x {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			return p.Clients[n], nil
+		}
+	}
+	return nil, fmt.Errorf("core: no live node to run a store client")
+}
+
 // Put stores an object across the cluster with a distributed store
-// operation (§4.2).
+// operation (§4.2): the shards travel to the storage daemons over the RUDP
+// mesh. Blocks in virtual time; call from outside scheduler callbacks.
 func (p *Platform) Put(id string, data []byte) error {
-	_, err := p.Store.Put(id, data)
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	_, err = cl.Put(id, data)
 	return err
 }
 
-// Get retrieves an object from any k reachable nodes (§4.2).
-func (p *Platform) Get(id string) ([]byte, error) { return p.Store.Get(id) }
+// Get retrieves an object from any k reachable nodes over the mesh (§4.2).
+func (p *Platform) Get(id string) ([]byte, error) {
+	cl, err := p.client()
+	if err != nil {
+		return nil, err
+	}
+	return cl.Get(id)
+}
+
+// ReplaceNode hot-swaps a blank node in at the given name (dynamic
+// reconfiguration, §4.2): the node's shards are wiped, the node is revived
+// across every subsystem, and a surviving node's client rebuilds its shards
+// entirely over the mesh. Returns the number of objects rebuilt.
+func (p *Platform) ReplaceNode(node string) (int, error) {
+	srv := p.serverOf(node)
+	if srv == nil {
+		return 0, fmt.Errorf("core: unknown node %q", node)
+	}
+	srv.Wipe()
+	if err := p.Recover(node); err != nil {
+		return 0, err
+	}
+	cl, err := p.client(node)
+	if err != nil {
+		return 0, err
+	}
+	return cl.Rebuild(node)
+}
 
 // Send queues a reliable datagram between two nodes over the bundled
 // RUDP paths.

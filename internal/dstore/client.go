@@ -1,0 +1,670 @@
+package dstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rain/internal/ecc"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// Defaults for the client session layer.
+const (
+	// DefaultChunkSize keeps every chunk comfortably under datagram limits.
+	DefaultChunkSize = 16 << 10
+	// DefaultWindow bounds un-acked chunks in flight per peer transfer.
+	DefaultWindow = 4
+	// DefaultReqTimeout is how long a request may stall before the client
+	// gives up on the peer (and, on retrieves, hedges to another).
+	DefaultReqTimeout = 500 * time.Millisecond
+	// DefaultOpTimeout bounds one whole store/retrieve/rebuild operation.
+	DefaultOpTimeout = 15 * time.Second
+)
+
+// Errors returned by the client.
+var (
+	// ErrNotEnoughDaemons reports fewer than k shards stored or retrieved.
+	ErrNotEnoughDaemons = errors.New("dstore: quorum not reached")
+	// ErrUnknownSize reports a retrieve of an object whose original length
+	// no reachable daemon recorded.
+	ErrUnknownSize = errors.New("dstore: object size unknown")
+	// ErrUnknownPeer reports a rebuild target that is not in the peer set.
+	ErrUnknownPeer = errors.New("dstore: unknown peer")
+	// ErrTimeout reports an operation that hit its deadline.
+	ErrTimeout = errors.New("dstore: operation deadline exceeded")
+)
+
+// Config parameterises a Client. Zero fields take the defaults above.
+type Config struct {
+	// Code is the erasure code; shard i is stored on Peers[i].
+	Code ecc.Code
+	// Peers are the daemon nodes in shard order; len(Peers) must be Code.N().
+	Peers []string
+	// Policy ranks daemons for retrieves (§4.2 selection freedom).
+	Policy storage.Policy
+	// Alive reports whether a peer is currently believed reachable —
+	// typically the membership layer's view. nil means always alive; the
+	// hedging machinery covers stale answers either way.
+	Alive func(peer string) bool
+	// Distance is the abstract cost to a peer for the Nearest policy. nil
+	// falls back to shard-index order.
+	Distance func(peer string) int
+	// ChunkSize bounds the bytes per datagram on shard transfers.
+	ChunkSize int
+	// Window bounds un-acked chunks in flight per peer transfer.
+	Window int
+	// ReqTimeout and OpTimeout are the stall and operation deadlines.
+	ReqTimeout, OpTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.ReqTimeout <= 0 {
+		c.ReqTimeout = DefaultReqTimeout
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = DefaultOpTimeout
+	}
+	return c
+}
+
+// Client is the store/retrieve/rebuild session layer running on one mesh
+// node. All operations are asynchronous state machines driven by the
+// simulator's scheduler: requests carry ids, responses are demultiplexed to
+// per-request handlers, stalled peers time out, and retrieves hedge to spare
+// daemons. The blocking wrappers (Put/Get/Rebuild) pump the scheduler and
+// must only be called from outside scheduler callbacks.
+type Client struct {
+	s    *sim.Scheduler
+	mesh Mesh
+	node string
+	cfg  Config
+
+	nextReq uint64
+	pending map[uint64]func(m Msg)
+	loads   map[string]int // per-peer requests issued, for LeastLoaded
+	sizes   map[string]int // object id -> length, learned from own puts
+}
+
+// NewClient registers a client session on the mesh node.
+func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Code == nil {
+		return nil, errors.New("dstore: config needs a code")
+	}
+	if len(cfg.Peers) != cfg.Code.N() {
+		return nil, fmt.Errorf("dstore: %d peers for an n=%d code", len(cfg.Peers), cfg.Code.N())
+	}
+	c := &Client{
+		s:       s,
+		mesh:    mesh,
+		node:    node,
+		cfg:     cfg,
+		pending: make(map[uint64]func(Msg)),
+		loads:   make(map[string]int),
+		sizes:   make(map[string]int),
+	}
+	mesh.Handle(node, ServiceClient, c.onMessage)
+	return c, nil
+}
+
+// Node returns the mesh node the client runs on.
+func (c *Client) Node() string { return c.node }
+
+// PendingRequests reports requests with registered response handlers —
+// zero once every operation has fully resolved (a leak check).
+func (c *Client) PendingRequests() int { return len(c.pending) }
+
+// Loads returns a copy of the per-peer request counters the LeastLoaded
+// policy balances on.
+func (c *Client) Loads() map[string]int {
+	out := make(map[string]int, len(c.loads))
+	for k, v := range c.loads {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Client) onMessage(from string, payload []byte) {
+	m, err := Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	if h := c.pending[m.Req]; h != nil {
+		h(m)
+	}
+}
+
+func (c *Client) alive(peer string) bool {
+	return c.cfg.Alive == nil || c.cfg.Alive(peer)
+}
+
+func (c *Client) distance(i int) int {
+	if c.cfg.Distance != nil {
+		return c.cfg.Distance(c.cfg.Peers[i])
+	}
+	return i
+}
+
+// rank orders the indices of currently-alive peers by retrieval preference,
+// excluding any in skip.
+func (c *Client) rank(skip map[int]bool) []int {
+	var cands []storage.Candidate
+	for i, peer := range c.cfg.Peers {
+		if skip[i] || !c.alive(peer) {
+			continue
+		}
+		cands = append(cands, storage.Candidate{Idx: i, Load: c.loads[peer], Distance: c.distance(i)})
+	}
+	return storage.Rank(c.cfg.Policy, cands, c.s.Rand())
+}
+
+func (c *Client) send(to string, m Msg) {
+	c.mesh.SendService(c.node, to, ServiceDaemon, m.Marshal())
+}
+
+// ---- shard transfers (the put direction) ----
+
+// transfer streams one shard to one daemon: a windowed sequence of PutChunk
+// datagrams, resolved by the daemon's cumulative acks or by a stall timeout.
+type transfer struct {
+	c        *Client
+	peer     string
+	req      uint64
+	id       string
+	shard    []byte
+	dataLen  int
+	next     int64 // next offset to send
+	acked    int64
+	progress sim.Time // virtual time of last ack progress
+	resolved bool
+	onDone   func(ok bool)
+}
+
+// startTransfer begins streaming a shard; onDone fires exactly once.
+func (c *Client) startTransfer(peer, id string, shard []byte, dataLen int, onDone func(ok bool)) *transfer {
+	c.nextReq++
+	t := &transfer{
+		c:        c,
+		peer:     peer,
+		req:      c.nextReq,
+		id:       id,
+		shard:    shard,
+		dataLen:  dataLen,
+		progress: c.s.Now(),
+		onDone:   onDone,
+	}
+	c.pending[t.req] = t.onAck
+	t.pump()
+	t.watch()
+	return t
+}
+
+// pump sends chunks while the in-flight window has room.
+func (t *transfer) pump() {
+	chunk := int64(t.c.cfg.ChunkSize)
+	window := int64(t.c.cfg.Window) * chunk
+	for t.next < int64(len(t.shard)) && t.next-t.acked < window {
+		end := min(t.next+chunk, int64(len(t.shard)))
+		t.c.send(t.peer, Msg{
+			Kind:     KindPutChunk,
+			Req:      t.req,
+			ID:       t.id,
+			Off:      t.next,
+			ShardLen: int64(len(t.shard)),
+			DataLen:  int64(t.dataLen),
+			Data:     t.shard[t.next:end],
+		})
+		t.next = end
+	}
+}
+
+// watch re-arms the stall timer until the transfer resolves.
+func (t *transfer) watch() {
+	t.c.s.After(t.c.cfg.ReqTimeout, func() {
+		if t.resolved {
+			return
+		}
+		if t.c.s.Now()-t.progress >= sim.Time(t.c.cfg.ReqTimeout) {
+			t.resolve(false)
+			return
+		}
+		t.watch()
+	})
+}
+
+func (t *transfer) onAck(m Msg) {
+	if t.resolved {
+		return
+	}
+	if m.Err != "" {
+		t.resolve(false)
+		return
+	}
+	if m.Off > t.acked {
+		t.acked = m.Off
+		t.progress = t.c.s.Now()
+	}
+	if t.acked >= int64(len(t.shard)) {
+		t.resolve(true)
+		return
+	}
+	t.pump()
+}
+
+func (t *transfer) resolve(ok bool) {
+	if t.resolved {
+		return
+	}
+	t.resolved = true
+	delete(t.c.pending, t.req)
+	t.onDone(ok)
+}
+
+// ---- store ----
+
+// PutAsync encodes data and fans the n shards out to the daemons in
+// parallel, each transfer windowed and independently timed out. done fires
+// once with the number of shards stored; err is nil when at least k daemons
+// committed.
+func (c *Client) PutAsync(id string, data []byte, done func(stored int, err error)) {
+	shards, err := c.cfg.Code.Encode(data)
+	if err != nil {
+		done(0, err)
+		return
+	}
+	unresolved := len(shards)
+	stored := 0
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		if stored >= c.cfg.Code.K() {
+			c.sizes[id] = len(data)
+			done(stored, nil)
+		} else {
+			done(stored, fmt.Errorf("%w: stored %d of required %d", ErrNotEnoughDaemons, stored, c.cfg.Code.K()))
+		}
+	}
+	resolveOne := func(ok bool) {
+		if ok {
+			stored++
+		}
+		unresolved--
+		if unresolved == 0 {
+			finish()
+		}
+	}
+	for i, shard := range shards {
+		peer := c.cfg.Peers[i]
+		if !c.alive(peer) {
+			resolveOne(false)
+			continue
+		}
+		c.startTransfer(peer, id, shard, len(data), resolveOne)
+	}
+	if unresolved > 0 {
+		c.s.After(c.cfg.OpTimeout, finish)
+	}
+}
+
+// ---- retrieve ----
+
+// getStream is one outstanding shard read.
+type getStream struct {
+	peerIdx  int
+	req      uint64
+	buf      []byte
+	total    int64
+	progress sim.Time // virtual time of the last chunk received
+	complete bool
+	dead     bool // the daemon answered with an error
+	hedged   bool // a spare was already issued on this stream's behalf
+}
+
+// getOp races shard reads against a ranked k-subset of daemons, hedging to
+// the remaining n-k on stalls or errors, and resolves once k shards are
+// assembled.
+type getOp struct {
+	c          *Client
+	id         string
+	shards     [][]byte
+	have, need int
+	candidates []int
+	cursor     int
+	streams    []*getStream
+	dataLen    int64
+	lastErr    string // most recent daemon-reported error, for diagnostics
+	finished   bool
+	done       func(shards [][]byte, dataLen int64, err error)
+}
+
+// getShards collects any k shards of an object over the mesh. exclude marks
+// peer indices never to ask (the rebuild target). done receives the shard
+// slice with at least k non-nil entries.
+func (c *Client) getShards(id string, exclude map[int]bool, done func(shards [][]byte, dataLen int64, err error)) {
+	op := &getOp{
+		c:          c,
+		id:         id,
+		shards:     make([][]byte, c.cfg.Code.N()),
+		need:       c.cfg.Code.K(),
+		candidates: c.rank(exclude),
+		dataLen:    int64(storage.UnknownSize),
+		done:       done,
+	}
+	for i := 0; i < op.need && op.cursor < len(op.candidates); i++ {
+		op.issueNext()
+	}
+	op.failIfStuck()
+	// The deadline covers stale liveness views: candidates that never
+	// answer and never error (crashed peers) are only resolved by time.
+	c.s.After(c.cfg.OpTimeout, func() {
+		op.finish(fmt.Errorf("%w: have %d, need %d (%w)", ErrNotEnoughDaemons, op.have, op.need, ErrTimeout))
+	})
+}
+
+// issueNext sends a GetReq to the next unused candidate, arming its stall
+// watcher.
+func (op *getOp) issueNext() {
+	if op.finished || op.cursor >= len(op.candidates) {
+		return
+	}
+	idx := op.candidates[op.cursor]
+	op.cursor++
+	peer := op.c.cfg.Peers[idx]
+	op.c.loads[peer]++
+	op.c.nextReq++
+	st := &getStream{peerIdx: idx, req: op.c.nextReq, total: -1, progress: op.c.s.Now()}
+	op.streams = append(op.streams, st)
+	op.c.pending[st.req] = func(m Msg) { op.onChunk(st, m) }
+	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id})
+	op.watch(st)
+}
+
+// watch re-arms a stall timer on the stream: a hedge fires only when no
+// chunk has arrived for ReqTimeout (a slow-but-flowing stream is left
+// alone), and at most once per stream. The stalled request itself stays
+// outstanding in case its chunks straggle in later.
+func (op *getOp) watch(st *getStream) {
+	op.c.s.After(op.c.cfg.ReqTimeout, func() {
+		if op.finished || st.complete || st.dead || st.hedged {
+			return
+		}
+		if op.c.s.Now()-st.progress >= sim.Time(op.c.cfg.ReqTimeout) {
+			st.hedged = true
+			op.issueNext()
+			op.failIfStuck()
+			return
+		}
+		op.watch(st)
+	})
+}
+
+// failIfStuck fails the op early once no outstanding stream can still
+// deliver a shard and no spare candidates remain — e.g. every daemon
+// answered "object not found" — instead of waiting out the deadline.
+func (op *getOp) failIfStuck() {
+	if op.finished || op.cursor < len(op.candidates) {
+		return
+	}
+	for _, st := range op.streams {
+		if !st.complete && !st.dead {
+			return // still in flight (possibly stalled; the deadline rules)
+		}
+	}
+	detail := op.lastErr
+	if detail == "" {
+		detail = fmt.Sprintf("no reachable daemons (have %d, need %d)", op.have, op.need)
+	}
+	op.finish(fmt.Errorf("%w: %s", ErrNotEnoughDaemons, detail))
+}
+
+func (op *getOp) onChunk(st *getStream, m Msg) {
+	if op.finished || st.complete || st.dead {
+		return
+	}
+	if m.Err != "" {
+		st.dead = true
+		op.lastErr = m.Err
+		delete(op.c.pending, st.req)
+		if !st.hedged {
+			st.hedged = true
+			op.issueNext()
+		}
+		op.failIfStuck()
+		return
+	}
+	if m.Off != int64(len(st.buf)) {
+		return // out-of-protocol chunk; RUDP is FIFO so this is a stale req
+	}
+	if st.total < 0 {
+		st.total = m.ShardLen
+		st.buf = make([]byte, 0, m.ShardLen)
+	}
+	st.buf = append(st.buf, m.Data...)
+	st.progress = op.c.s.Now()
+	if m.DataLen >= 0 {
+		op.dataLen = m.DataLen
+	}
+	if int64(len(st.buf)) < st.total {
+		return
+	}
+	st.complete = true
+	delete(op.c.pending, st.req)
+	op.shards[st.peerIdx] = st.buf
+	op.have++
+	if op.have >= op.need {
+		op.finish(nil)
+		return
+	}
+	// This may have been the last stream in flight (fewer than k reachable
+	// candidates): fail now rather than at the deadline.
+	op.failIfStuck()
+}
+
+func (op *getOp) finish(err error) {
+	if op.finished {
+		return
+	}
+	op.finished = true
+	// Unregister every stream, including ones that never completed (dead
+	// peers): their handlers would otherwise accumulate in the pending map
+	// for the life of the client.
+	for _, st := range op.streams {
+		delete(op.c.pending, st.req)
+	}
+	op.done(op.shards, op.dataLen, err)
+}
+
+// GetAsync retrieves and decodes an object from any k reachable daemons.
+// The daemons' recorded object length is authoritative — another client may
+// have overwritten the object since this one last put it — with the local
+// cache of own puts as the fallback for objects written through the direct
+// in-process frontend, which records no size.
+func (c *Client) GetAsync(id string, done func(data []byte, err error)) {
+	c.getShards(id, nil, func(shards [][]byte, dataLen int64, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		size := int(dataLen)
+		if dataLen < 0 {
+			cached, known := c.sizes[id]
+			if !known {
+				done(nil, fmt.Errorf("%w: %s", ErrUnknownSize, id))
+				return
+			}
+			size = cached
+		}
+		data, err := c.cfg.Code.Decode(shards, size)
+		done(data, err)
+	})
+}
+
+// ---- rebuild ----
+
+// RebuildAsync restores a replaced node's shards entirely over the mesh: it
+// gathers the object inventory from the survivors, then for each object
+// streams k shards in, reconstructs the target's shard, and streams it out
+// to the newcomer. done receives the number of objects rebuilt.
+func (c *Client) RebuildAsync(target string, done func(objects int, err error)) {
+	targetIdx := -1
+	for i, p := range c.cfg.Peers {
+		if p == target {
+			targetIdx = i
+			break
+		}
+	}
+	if targetIdx < 0 {
+		done(0, fmt.Errorf("%w: %s", ErrUnknownPeer, target))
+		return
+	}
+	c.listObjects(targetIdx, func(infos []storage.ObjectInfo, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		exclude := map[int]bool{targetIdx: true}
+		rebuilt := 0
+		var step func(i int)
+		step = func(i int) {
+			if i == len(infos) {
+				done(rebuilt, nil)
+				return
+			}
+			info := infos[i]
+			c.getShards(info.ID, exclude, func(shards [][]byte, dataLen int64, err error) {
+				if err != nil {
+					done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, err))
+					return
+				}
+				if err := c.cfg.Code.Reconstruct(shards); err != nil {
+					done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, err))
+					return
+				}
+				if dataLen < 0 && info.DataLen >= 0 {
+					dataLen = int64(info.DataLen)
+				}
+				c.startTransfer(target, info.ID, shards[targetIdx], int(dataLen), func(ok bool) {
+					if !ok {
+						done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, ErrNotEnoughDaemons))
+						return
+					}
+					rebuilt++
+					step(i + 1)
+				})
+			})
+		}
+		step(0)
+	})
+}
+
+// listObjects gathers the union of the survivors' inventories.
+func (c *Client) listObjects(targetIdx int, done func([]storage.ObjectInfo, error)) {
+	type state struct {
+		infos     map[string]storage.ObjectInfo
+		reqs      []uint64
+		waiting   int
+		responded int
+		finished  bool
+	}
+	st := &state{infos: make(map[string]storage.ObjectInfo)}
+	finish := func() {
+		if st.finished {
+			return
+		}
+		st.finished = true
+		for _, req := range st.reqs {
+			delete(c.pending, req) // incl. peers that never responded
+		}
+		if st.responded == 0 {
+			done(nil, fmt.Errorf("%w: no inventory responses", ErrNotEnoughDaemons))
+			return
+		}
+		out := make([]storage.ObjectInfo, 0, len(st.infos))
+		for _, in := range st.infos {
+			out = append(out, in)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		done(out, nil)
+	}
+	for i, peer := range c.cfg.Peers {
+		if i == targetIdx || !c.alive(peer) {
+			continue
+		}
+		st.waiting++
+		c.nextReq++
+		req := c.nextReq
+		st.reqs = append(st.reqs, req)
+		c.pending[req] = func(m Msg) {
+			if st.finished || m.Kind != KindListResp {
+				return
+			}
+			delete(c.pending, req)
+			infos, err := decodeInventory(m.Data)
+			if err == nil {
+				st.responded++
+				for _, in := range infos {
+					if prev, ok := st.infos[in.ID]; !ok || (prev.DataLen < 0 && in.DataLen >= 0) {
+						st.infos[in.ID] = in
+					}
+				}
+			}
+			st.waiting--
+			if st.waiting == 0 {
+				finish()
+			}
+		}
+		c.send(peer, Msg{Kind: KindListReq, Req: req})
+	}
+	if st.waiting == 0 {
+		finish()
+		return
+	}
+	c.s.After(c.cfg.ReqTimeout, finish)
+}
+
+// ---- blocking wrappers ----
+
+// drive pumps the scheduler until *done or the event queue drains. Only for
+// use from outside scheduler callbacks.
+func (c *Client) drive(done *bool) {
+	for !*done && c.s.Step() {
+	}
+}
+
+// Put stores an object, blocking in virtual time until the operation
+// resolves. It returns the number of shards stored.
+func (c *Client) Put(id string, data []byte) (stored int, err error) {
+	finished := false
+	c.PutAsync(id, data, func(s int, e error) { stored, err, finished = s, e, true })
+	c.drive(&finished)
+	return stored, err
+}
+
+// Get retrieves an object, blocking in virtual time.
+func (c *Client) Get(id string) (data []byte, err error) {
+	finished := false
+	c.GetAsync(id, func(d []byte, e error) { data, err, finished = d, e, true })
+	c.drive(&finished)
+	return data, err
+}
+
+// Rebuild restores a replaced node's shards, blocking in virtual time. It
+// returns the number of objects rebuilt.
+func (c *Client) Rebuild(target string) (objects int, err error) {
+	finished := false
+	c.RebuildAsync(target, func(n int, e error) { objects, err, finished = n, e, true })
+	c.drive(&finished)
+	return objects, err
+}

@@ -1,0 +1,164 @@
+package dstore
+
+import (
+	"fmt"
+	"sync"
+
+	"rain/internal/storage"
+)
+
+// DaemonStats counts a daemon's activity; all values are cumulative.
+type DaemonStats struct {
+	ChunksStored int // put chunks accepted
+	Commits      int // shards committed to the backend
+	ChunksServed int // get chunks streamed out
+	Lists        int // inventory requests answered
+	Errors       int // error responses sent
+}
+
+// Daemon is the storage server loop of one node: it owns no transport state
+// beyond a mesh registration and serves the wire protocol against the
+// node-local backend. The same backend may simultaneously back a
+// storage.Server for direct in-process calls. The daemon is pure
+// request/response — it needs no timers — so it also runs over real sockets
+// (cmd/rainnode).
+type Daemon struct {
+	mesh    Mesh
+	node    string
+	shard   int
+	backend *storage.Backend
+	chunk   int
+
+	asm map[asmKey]*assembly
+
+	// statsMu guards stats: messages arrive on one goroutine (the simulator
+	// or a socket driver's dispatch loop) but Stats may be read from another
+	// (rainnode's report ticker).
+	statsMu sync.Mutex
+	stats   DaemonStats
+}
+
+type asmKey struct {
+	from string
+	req  uint64
+}
+
+// assembly is one in-progress put transfer.
+type assembly struct {
+	id       string
+	buf      []byte
+	shardLen int64
+	dataLen  int64
+}
+
+// NewDaemon registers a storage daemon for node on the mesh. shard is the
+// index this node holds in the code's shard order; chunkSize bounds streamed
+// get chunks (0 for the default).
+func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chunkSize int) *Daemon {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	d := &Daemon{
+		mesh:    mesh,
+		node:    node,
+		shard:   shard,
+		backend: backend,
+		chunk:   chunkSize,
+		asm:     make(map[asmKey]*assembly),
+	}
+	mesh.Handle(node, ServiceDaemon, d.onMessage)
+	return d
+}
+
+// Node returns the mesh node the daemon serves on.
+func (d *Daemon) Node() string { return d.node }
+
+// Backend returns the daemon's shard store.
+func (d *Daemon) Backend() *storage.Backend { return d.backend }
+
+// Stats returns a copy of the daemon's counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+func (d *Daemon) bump(fn func(*DaemonStats)) {
+	d.statsMu.Lock()
+	fn(&d.stats)
+	d.statsMu.Unlock()
+}
+
+func (d *Daemon) reply(to string, m Msg) {
+	if m.Err != "" {
+		d.bump(func(st *DaemonStats) { st.Errors++ })
+	}
+	d.mesh.SendService(d.node, to, ServiceClient, m.Marshal())
+}
+
+func (d *Daemon) onMessage(from string, payload []byte) {
+	m, err := Unmarshal(payload)
+	if err != nil {
+		return // garbage datagram: drop, like an unparseable UDP packet
+	}
+	switch m.Kind {
+	case KindPutChunk:
+		d.onPutChunk(from, m)
+	case KindGetReq:
+		d.onGetReq(from, m)
+	case KindListReq:
+		d.bump(func(st *DaemonStats) { st.Lists++ })
+		d.reply(from, Msg{Kind: KindListResp, Req: m.Req, Shard: int32(d.shard), Data: encodeInventory(d.backend.List())})
+	}
+}
+
+func (d *Daemon) onPutChunk(from string, m Msg) {
+	key := asmKey{from: from, req: m.Req}
+	a, ok := d.asm[key]
+	if !ok {
+		if m.Off != 0 {
+			// A chunk for a transfer we never saw start — the daemon
+			// restarted mid-stream. Refuse so the client retries afresh.
+			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: "dstore: no such transfer"})
+			return
+		}
+		a = &assembly{id: m.ID, buf: make([]byte, 0, m.ShardLen), shardLen: m.ShardLen, dataLen: m.DataLen}
+		d.asm[key] = a
+	}
+	if m.Off != int64(len(a.buf)) || m.ID != a.id {
+		delete(d.asm, key)
+		d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: fmt.Sprintf("dstore: chunk at %d, expected %d", m.Off, len(a.buf))})
+		return
+	}
+	a.buf = append(a.buf, m.Data...)
+	d.bump(func(st *DaemonStats) { st.ChunksStored++ })
+	if int64(len(a.buf)) >= a.shardLen {
+		d.backend.Put(a.id, a.buf, int(a.dataLen))
+		d.bump(func(st *DaemonStats) { st.Commits++ })
+		delete(d.asm, key)
+	}
+	d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: a.id, Off: int64(len(a.buf)), ShardLen: a.shardLen})
+}
+
+func (d *Daemon) onGetReq(from string, m Msg) {
+	shard, dataLen, err := d.backend.Get(m.ID)
+	if err != nil {
+		d.reply(from, Msg{Kind: KindGetChunk, Req: m.Req, ID: m.ID, Err: err.Error()})
+		return
+	}
+	total := int64(len(shard))
+	for off := 0; off < len(shard); off += d.chunk {
+		end := min(off+d.chunk, len(shard))
+		d.bump(func(st *DaemonStats) { st.ChunksServed++ })
+		d.reply(from, Msg{
+			Kind:     KindGetChunk,
+			Req:      m.Req,
+			ID:       m.ID,
+			Shard:    int32(d.shard),
+			Off:      int64(off),
+			ShardLen: total,
+			DataLen:  int64(dataLen),
+			Data:     shard[off:end],
+		})
+	}
+}

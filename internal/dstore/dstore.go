@@ -1,0 +1,40 @@
+// Package dstore is the networked distributed object store of §4.2 run as an
+// actual message protocol: the store/retrieve/rebuild operations that
+// internal/storage performs with direct method calls here cross the RUDP
+// mesh as chunked datagrams, so every experiment exercises the real
+// interleaving of erasure coding with a lossy, laggy, partitionable network.
+//
+// A RAIN node contributes a Daemon — a storage server loop registered as a
+// mesh service, backed by the node-local storage.Backend — and may run a
+// Client, the session layer that
+//
+//   - stores by encoding with any ecc.Code and fanning the n shards out to
+//     the daemons in parallel, each transfer a windowed stream of chunks
+//     sized under the datagram limit;
+//   - retrieves by ranking reachable daemons with the §4.2 selection
+//     policies (least-loaded, nearest, random), racing requests to a chosen
+//     k-subset and hedging to the remaining n-k when peers stall; and
+//   - rebuilds a replaced node by streaming reads from k survivors,
+//     reconstructing the missing shard and streaming it to the newcomer —
+//     entirely over the mesh, no shared memory between nodes.
+//
+// Liveness comes from the membership layer (a view callback), not from
+// poking failure flags on server objects: a crashed node is one the
+// membership protocol has excised, and the client's hedging covers the
+// detection gap.
+package dstore
+
+// Service names on the RUDP mesh. Daemons listen on ServiceDaemon; clients
+// listen for responses on ServiceClient. A node may run both.
+const (
+	ServiceDaemon = "dstore"
+	ServiceClient = "dstore.client"
+)
+
+// Mesh is the transport the store runs over: per-service registration and
+// addressed sends. *rudp.Mesh implements it; cmd/rainnode adapts a real-UDP
+// channel to it.
+type Mesh interface {
+	Handle(node, service string, fn func(from string, payload []byte))
+	SendService(from, to, service string, payload []byte)
+}

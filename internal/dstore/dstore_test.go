@@ -1,0 +1,471 @@
+package dstore_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/ecc"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// cluster is the dstore test harness: n nodes on a simulated mesh, each
+// running a storage daemon, plus one client session per node.
+type cluster struct {
+	t        *testing.T
+	s        *sim.Scheduler
+	net      *sim.Network
+	mesh     *rudp.Mesh
+	nodes    []string
+	code     ecc.Code
+	backends map[string]*storage.Backend
+	daemons  map[string]*dstore.Daemon
+	clients  map[string]*dstore.Client
+}
+
+func newCluster(t *testing.T, seed int64, n, k int, link sim.LinkConfig, tweak func(*dstore.Config)) *cluster {
+	t.Helper()
+	code, err := ecc.NewReedSolomon(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = string(rune('a' + i))
+	}
+	s := sim.New(seed)
+	net := sim.NewNetwork(s)
+	sim.ApplyProfile(net, nodes, 2, link)
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{
+		t: t, s: s, net: net, mesh: mesh, nodes: nodes, code: code,
+		backends: make(map[string]*storage.Backend),
+		daemons:  make(map[string]*dstore.Daemon),
+		clients:  make(map[string]*dstore.Client),
+	}
+	for i, node := range nodes {
+		c.backends[node] = storage.NewBackend()
+		c.daemons[node] = dstore.NewDaemon(mesh, node, i, c.backends[node], 4<<10)
+		cfg := dstore.Config{Code: code, Peers: nodes, ChunkSize: 4 << 10}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		cl, err := dstore.NewClient(s, mesh, node, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.clients[node] = cl
+	}
+	s.RunFor(100 * time.Millisecond) // let path monitors come up
+	return c
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c := newCluster(t, 1, 6, 4, sim.ProfileLAN, nil)
+	for _, size := range []int{0, 1, 1023, 100 << 10} {
+		id := string(rune('A' + size%26))
+		data := randBytes(int64(size), size)
+		stored, err := c.clients["a"].Put(id, data)
+		if err != nil {
+			t.Fatalf("put %d bytes: %v", size, err)
+		}
+		if stored != 6 {
+			t.Fatalf("put %d bytes: stored %d of 6", size, stored)
+		}
+		// Retrieve through a different node's client, which has no local
+		// size metadata: the daemons' recorded object length must serve.
+		got, err := c.clients["b"].Get(id)
+		if err != nil {
+			t.Fatalf("get %d bytes: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("roundtrip %d bytes: corrupted", size)
+		}
+	}
+	// Every daemon committed one shard per object.
+	for node, b := range c.backends {
+		if b.Objects() != 4 {
+			t.Fatalf("backend %s holds %d objects, want 4", node, b.Objects())
+		}
+	}
+}
+
+// TestAcceptanceEndToEnd is the PR's acceptance scenario: store through the
+// mesh, kill n-k daemons mid-read, still retrieve bit-exact, hot-swap a
+// replacement node, and verify its shards were rebuilt entirely via mesh
+// messages.
+func TestAcceptanceEndToEnd(t *testing.T) {
+	c := newCluster(t, 2, 6, 4, sim.ProfileLAN, nil)
+	objects := map[string][]byte{
+		"alpha": randBytes(10, 200<<10),
+		"beta":  randBytes(11, 37<<10),
+		"gamma": randBytes(12, 1<<10),
+	}
+	for id, data := range objects {
+		if _, err := c.clients["a"].Put(id, data); err != nil {
+			t.Fatalf("put %s: %v", id, err)
+		}
+	}
+
+	// Kill n-k = 2 daemons mid-read: start the retrieve, let the first
+	// chunks fly, then freeze two of the daemons serving it (FirstK ranks
+	// b and c among the chosen). The read must hedge to the spares and
+	// still decode bit-exact.
+	var got []byte
+	var gotErr error
+	finished := false
+	c.clients["a"].GetAsync("alpha", func(d []byte, e error) { got, gotErr, finished = d, e, true })
+	c.s.RunFor(300 * time.Microsecond) // requests issued, streams starting
+	if finished {
+		t.Fatal("read finished before the kill — not mid-read")
+	}
+	c.mesh.StopNode("b")
+	c.mesh.StopNode("c")
+	for !finished && c.s.Step() {
+	}
+	if gotErr != nil {
+		t.Fatalf("get with 2 daemons killed mid-read: %v", gotErr)
+	}
+	if !bytes.Equal(got, objects["alpha"]) {
+		t.Fatal("mid-read-kill retrieve corrupted")
+	}
+
+	// Hot-swap node b: blank replacement joins under the same name and a
+	// survivor's client rebuilds its shards by streaming reads from k
+	// survivors across the mesh. Node c stays dead throughout.
+	c.backends["b"].Wipe()
+	c.mesh.StartNode("b")
+	c.s.RunFor(200 * time.Millisecond) // links re-detected Up
+	if c.backends["b"].Objects() != 0 {
+		t.Fatal("replacement node not blank")
+	}
+	preStats := c.daemons["b"].Stats()
+	_, deliveredBefore, _, _ := c.net.Stats()
+	rebuilt, err := c.clients["d"].Rebuild("b")
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if rebuilt != len(objects) {
+		t.Fatalf("rebuilt %d objects, want %d", rebuilt, len(objects))
+	}
+	// The shards arrived as mesh messages: the replacement daemon committed
+	// them chunk by chunk and the network moved the traffic.
+	post := c.daemons["b"].Stats()
+	if post.Commits-preStats.Commits != len(objects) || post.ChunksStored == preStats.ChunksStored {
+		t.Fatalf("replacement daemon commits=%+v->%+v — shards did not arrive via mesh", preStats, post)
+	}
+	if _, deliveredAfter, _, _ := c.net.Stats(); deliveredAfter == deliveredBefore {
+		t.Fatal("no network traffic during rebuild")
+	}
+	// Bit-exact shards: what b holds must equal what encoding produces.
+	for id, data := range objects {
+		want, err := c.code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, dataLen, err := c.backends["b"].Get(id)
+		if err != nil {
+			t.Fatalf("replacement missing %s: %v", id, err)
+		}
+		if !bytes.Equal(shard, want[1]) {
+			t.Fatalf("rebuilt shard of %s differs", id)
+		}
+		if dataLen != len(data) {
+			t.Fatalf("rebuilt %s recorded size %d, want %d", id, dataLen, len(data))
+		}
+	}
+
+	// Rebuild restored read availability: with c still dead, kill d too
+	// (back to n-k dead) — reads now need the rebuilt b shard to reach
+	// quorum on some subsets, and must succeed for every object.
+	c.mesh.StopNode("d")
+	for id, data := range objects {
+		got, err := c.clients["a"].Get(id)
+		if err != nil {
+			t.Fatalf("get %s after swap: %v", id, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("get %s after swap: corrupted", id)
+		}
+	}
+}
+
+// TestRetrieveUnderLoss sweeps packet loss from 1% to 10% with asymmetric
+// latency on some links: put/get/rebuild must all succeed, with quorum reads
+// tolerating n-k dead daemons.
+func TestRetrieveUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.01, 0.05, 0.10} {
+		c := newCluster(t, int64(1000*loss), 5, 3, sim.Lossy(sim.ProfileLAN, loss), nil)
+		// Responses from d crawl back over a WAN-ish return path while
+		// requests arrive quickly: the asymmetric regime.
+		sim.ApplyAsymmetric(c.net, "a", "d", 2, sim.Lossy(sim.ProfileLAN, loss), sim.Lossy(sim.ProfileWAN, loss))
+		data := randBytes(7, 64<<10)
+		if _, err := c.clients["a"].Put("obj", data); err != nil {
+			t.Fatalf("loss %.0f%%: put: %v", loss*100, err)
+		}
+		// n-k = 2 daemons die; quorum reads must still succeed.
+		c.mesh.StopNode("b")
+		c.mesh.StopNode("e")
+		got, err := c.clients["a"].Get("obj")
+		if err != nil {
+			t.Fatalf("loss %.0f%%: get with n-k dead: %v", loss*100, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("loss %.0f%%: corrupted", loss*100)
+		}
+		// Hot-swap e and verify the rebuild also survives the loss.
+		c.backends["e"].Wipe()
+		c.mesh.StartNode("e")
+		c.s.RunFor(200 * time.Millisecond)
+		if n, err := c.clients["c"].Rebuild("e"); err != nil || n != 1 {
+			t.Fatalf("loss %.0f%%: rebuild: n=%d err=%v", loss*100, n, err)
+		}
+		shard, _, err := c.backends["e"].Get("obj")
+		if err != nil {
+			t.Fatalf("loss %.0f%%: rebuilt shard missing: %v", loss*100, err)
+		}
+		want, _ := c.code.Encode(data)
+		if !bytes.Equal(shard, want[4]) {
+			t.Fatalf("loss %.0f%%: rebuilt shard differs", loss*100)
+		}
+	}
+}
+
+func TestGetFailsBelowQuorum(t *testing.T) {
+	c := newCluster(t, 4, 5, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.OpTimeout = 2 * time.Second
+	})
+	data := randBytes(3, 8<<10)
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// n-k+1 = 3 daemons dead: below quorum, the read must fail.
+	c.mesh.StopNode("c")
+	c.mesh.StopNode("d")
+	c.mesh.StopNode("e")
+	if _, err := c.clients["a"].Get("obj"); !errors.Is(err, dstore.ErrNotEnoughDaemons) {
+		t.Fatalf("get below quorum: err=%v, want ErrNotEnoughDaemons", err)
+	}
+}
+
+func TestPutQuorum(t *testing.T) {
+	c := newCluster(t, 5, 5, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.ReqTimeout = 200 * time.Millisecond
+		cfg.OpTimeout = 3 * time.Second
+	})
+	// With n-k dead, Put still reaches quorum and reports the shortfall.
+	c.mesh.StopNode("d")
+	c.mesh.StopNode("e")
+	data := randBytes(9, 16<<10)
+	stored, err := c.clients["a"].Put("obj", data)
+	if err != nil {
+		t.Fatalf("put with n-k dead: %v", err)
+	}
+	if stored != 3 {
+		t.Fatalf("stored %d shards, want 3", stored)
+	}
+	got, err := c.clients["b"].Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get of quorum-put object: %v", err)
+	}
+	// One more death and Put cannot reach quorum.
+	c.mesh.StopNode("c")
+	if _, err := c.clients["a"].Put("obj2", data); !errors.Is(err, dstore.ErrNotEnoughDaemons) {
+		t.Fatalf("put below quorum: err=%v, want ErrNotEnoughDaemons", err)
+	}
+}
+
+// TestMembershipLivenessSkipsDeadPeers verifies the client uses the supplied
+// liveness view: peers reported dead are never asked, so no hedging delay is
+// paid for them.
+func TestMembershipLivenessSkipsDeadPeers(t *testing.T) {
+	dead := map[string]bool{}
+	c := newCluster(t, 6, 5, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.Alive = func(peer string) bool { return !dead[peer] }
+	})
+	data := randBytes(13, 32<<10)
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	c.mesh.StopNode("b")
+	c.mesh.StopNode("c")
+	dead["b"], dead["c"] = true, true
+	start := c.s.Now()
+	got, err := c.clients["a"].Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get with view-dead peers: %v", err)
+	}
+	// No request went to b or c, so the read never waited out a hedge
+	// timeout (500ms default): it completed at LAN speed.
+	if elapsed := time.Duration(c.s.Now() - start); elapsed > 100*time.Millisecond {
+		t.Fatalf("read took %v — the dead peers were asked despite the view", elapsed)
+	}
+	loads := c.clients["a"].Loads()
+	if loads["b"] != 0 || loads["c"] != 0 {
+		t.Fatalf("dead peers were sent requests: %v", loads)
+	}
+}
+
+// TestGetMissingObjectFailsFast checks a read of an id nobody holds fails
+// as soon as every daemon has answered "not found" — not at the operation
+// deadline — and carries the daemon's error detail.
+func TestGetMissingObjectFailsFast(t *testing.T) {
+	c := newCluster(t, 8, 5, 3, sim.ProfileLAN, nil)
+	start := c.s.Now()
+	_, err := c.clients["a"].Get("ghost")
+	if !errors.Is(err, dstore.ErrNotEnoughDaemons) {
+		t.Fatalf("err=%v, want ErrNotEnoughDaemons", err)
+	}
+	if !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("error %q lost the daemons' not-found detail", err)
+	}
+	if elapsed := time.Duration(c.s.Now() - start); elapsed > time.Second {
+		t.Fatalf("missing-object read took %v — waited out the deadline instead of failing fast", elapsed)
+	}
+}
+
+// TestGetFailsFastBelowQuorumView checks that when the liveness view leaves
+// fewer than k candidates and all of them answer, the read fails as soon as
+// the last stream completes instead of idling until the deadline.
+func TestGetFailsFastBelowQuorumView(t *testing.T) {
+	dead := map[string]bool{"c": true, "d": true, "e": true}
+	c := newCluster(t, 12, 5, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.Alive = func(peer string) bool { return !dead[peer] }
+	})
+	data := randBytes(23, 16<<10)
+	dead["c"], dead["d"], dead["e"] = false, false, false
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	dead["c"], dead["d"], dead["e"] = true, true, true
+	start := c.s.Now()
+	_, err := c.clients["a"].Get("obj")
+	if !errors.Is(err, dstore.ErrNotEnoughDaemons) {
+		t.Fatalf("err=%v, want ErrNotEnoughDaemons", err)
+	}
+	if elapsed := time.Duration(c.s.Now() - start); elapsed > time.Second {
+		t.Fatalf("below-quorum read took %v — waited out the deadline instead of failing fast", elapsed)
+	}
+}
+
+// TestClientReleasesPendingHandlers checks that operations against dead or
+// missing peers do not leak response handlers in the client.
+func TestClientReleasesPendingHandlers(t *testing.T) {
+	c := newCluster(t, 9, 5, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.ReqTimeout = 150 * time.Millisecond
+		cfg.OpTimeout = 2 * time.Second
+	})
+	data := randBytes(21, 16<<10)
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	c.mesh.StopNode("b") // a chosen peer that will never answer
+	cl := c.clients["a"]
+	if _, err := cl.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get("ghost"); err == nil {
+		t.Fatal("missing object read succeeded")
+	}
+	if _, err := cl.Put("obj2", data); err != nil {
+		t.Fatal(err)
+	}
+	c.backends["e"].Wipe()
+	if _, err := cl.Rebuild("e"); err != nil {
+		t.Fatal(err)
+	}
+	// Let every straggling per-request deadline fire, then nothing may
+	// remain registered.
+	c.s.RunFor(5 * time.Second)
+	if n := cl.PendingRequests(); n != 0 {
+		t.Fatalf("%d pending request handlers leaked", n)
+	}
+}
+
+// TestOverwriteByAnotherClient checks the daemons' recorded size wins over
+// a stale local cache: a client that wrote 100 bytes must read back the 50
+// another client overwrote the object with.
+func TestOverwriteByAnotherClient(t *testing.T) {
+	c := newCluster(t, 10, 5, 3, sim.ProfileLAN, nil)
+	first := randBytes(31, 100)
+	second := randBytes(32, 50)
+	if _, err := c.clients["a"].Put("obj", first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.clients["b"].Put("obj", second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.clients["a"].Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, second) {
+		t.Fatalf("read %d bytes, want the overwritten 50 (stale size cache)", len(got))
+	}
+}
+
+// TestSlowStreamDoesNotHedge puts the mesh on rate-limited links so one
+// shard takes longer than ReqTimeout to stream while chunks keep flowing:
+// the client must not treat the slow stream as stalled and fan out to the
+// spare daemons.
+func TestSlowStreamDoesNotHedge(t *testing.T) {
+	link := sim.LinkConfig{Delay: 2 * time.Millisecond, Jitter: 500 * time.Microsecond, RateMbps: 8}
+	c := newCluster(t, 11, 5, 3, link, nil)
+	data := randBytes(41, 2<<20) // ~683 KiB shards: >500ms at 8 Mbps
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	start := c.s.Now()
+	got, err := c.clients["a"].Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("slow get: %v", err)
+	}
+	if elapsed := time.Duration(c.s.Now() - start); elapsed < 500*time.Millisecond {
+		t.Fatalf("read finished in %v — links not slow enough to exercise the stall watcher", elapsed)
+	}
+	total := 0
+	for _, n := range c.clients["a"].Loads() {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("issued %d shard reads, want k=3 (spurious hedging on a flowing stream)", total)
+	}
+}
+
+// TestPolicyLoadAccounting drives many reads under LeastLoaded and checks
+// the per-peer request counters spread across the live daemons.
+func TestPolicyLoadAccounting(t *testing.T) {
+	c := newCluster(t, 7, 6, 3, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.Policy = storage.LeastLoaded
+	})
+	data := randBytes(17, 12<<10)
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.clients["a"].Get("obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := c.clients["a"].Loads()
+	for _, node := range c.nodes {
+		if loads[node] == 0 {
+			t.Fatalf("least-loaded never used %s: %v", node, loads)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package dstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rain/internal/storage"
+)
+
+// Kind discriminates dstore wire messages.
+type Kind uint8
+
+// Wire message kinds. Requests flow client -> daemon on ServiceDaemon;
+// responses flow daemon -> client on ServiceClient, echoing Req.
+const (
+	// KindPutChunk carries one chunk of a shard being stored. Chunks of one
+	// transfer share a Req and arrive in offset order (RUDP is FIFO per node
+	// pair); the daemon commits the shard when the last byte lands.
+	KindPutChunk Kind = iota + 1
+	// KindPutAck acknowledges put progress through Off bytes (or an error).
+	KindPutAck
+	// KindGetReq asks a daemon to stream its shard of an object.
+	KindGetReq
+	// KindGetChunk carries one chunk of a streamed shard (or an error).
+	KindGetChunk
+	// KindListReq asks a daemon for its object inventory.
+	KindListReq
+	// KindListResp returns the inventory, encoded in Data.
+	KindListResp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPutChunk:
+		return "putchunk"
+	case KindPutAck:
+		return "putack"
+	case KindGetReq:
+		return "getreq"
+	case KindGetChunk:
+		return "getchunk"
+	case KindListReq:
+		return "listreq"
+	case KindListResp:
+		return "listresp"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Msg is one dstore protocol message. Field meaning depends on Kind; unused
+// fields are zero.
+type Msg struct {
+	Kind     Kind
+	Req      uint64 // request id, chosen by the client, echoed by the daemon
+	ID       string // object id
+	Shard    int32  // shard index held by the daemon
+	Off      int64  // chunk offset within the shard / acked byte count
+	ShardLen int64  // total shard length of the transfer
+	DataLen  int64  // original object length, storage.UnknownSize if unknown
+	Err      string // error detail on responses
+	Data     []byte // chunk payload or encoded inventory
+}
+
+// ErrBadMsg reports a malformed encoded dstore message.
+var ErrBadMsg = errors.New("dstore: malformed message")
+
+const msgHeader = 1 + 8 + 4 + 8 + 8 + 8 + 2 + 2 + 4 // kind req shard off shardLen dataLen idLen errLen dataLen32
+
+// Marshal encodes m for transmission as one mesh datagram.
+func (m Msg) Marshal() []byte {
+	if len(m.ID) > 0xffff || len(m.Err) > 0xffff {
+		panic("dstore: id or error string too long")
+	}
+	buf := make([]byte, msgHeader+len(m.ID)+len(m.Err)+len(m.Data))
+	buf[0] = byte(m.Kind)
+	binary.BigEndian.PutUint64(buf[1:], m.Req)
+	binary.BigEndian.PutUint32(buf[9:], uint32(m.Shard))
+	binary.BigEndian.PutUint64(buf[13:], uint64(m.Off))
+	binary.BigEndian.PutUint64(buf[21:], uint64(m.ShardLen))
+	binary.BigEndian.PutUint64(buf[29:], uint64(m.DataLen))
+	binary.BigEndian.PutUint16(buf[37:], uint16(len(m.ID)))
+	binary.BigEndian.PutUint16(buf[39:], uint16(len(m.Err)))
+	binary.BigEndian.PutUint32(buf[41:], uint32(len(m.Data)))
+	off := msgHeader
+	off += copy(buf[off:], m.ID)
+	off += copy(buf[off:], m.Err)
+	copy(buf[off:], m.Data)
+	return buf
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(buf []byte) (Msg, error) {
+	if len(buf) < msgHeader {
+		return Msg{}, fmt.Errorf("%w: %d bytes", ErrBadMsg, len(buf))
+	}
+	m := Msg{
+		Kind:     Kind(buf[0]),
+		Req:      binary.BigEndian.Uint64(buf[1:]),
+		Shard:    int32(binary.BigEndian.Uint32(buf[9:])),
+		Off:      int64(binary.BigEndian.Uint64(buf[13:])),
+		ShardLen: int64(binary.BigEndian.Uint64(buf[21:])),
+		DataLen:  int64(binary.BigEndian.Uint64(buf[29:])),
+	}
+	if m.Kind < KindPutChunk || m.Kind > KindListResp {
+		return Msg{}, fmt.Errorf("%w: kind %d", ErrBadMsg, buf[0])
+	}
+	idLen := int(binary.BigEndian.Uint16(buf[37:]))
+	errLen := int(binary.BigEndian.Uint16(buf[39:]))
+	dataLen := int(binary.BigEndian.Uint32(buf[41:]))
+	if len(buf) != msgHeader+idLen+errLen+dataLen {
+		return Msg{}, fmt.Errorf("%w: %d bytes for id=%d err=%d data=%d", ErrBadMsg, len(buf), idLen, errLen, dataLen)
+	}
+	off := msgHeader
+	m.ID = string(buf[off : off+idLen])
+	off += idLen
+	m.Err = string(buf[off : off+errLen])
+	off += errLen
+	if dataLen > 0 {
+		m.Data = append([]byte(nil), buf[off:]...)
+	}
+	return m, nil
+}
+
+// encodeInventory packs a daemon's object inventory into a ListResp payload.
+func encodeInventory(infos []storage.ObjectInfo) []byte {
+	size := 4
+	for _, in := range infos {
+		size += 2 + len(in.ID) + 8 + 8
+	}
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf, uint32(len(infos)))
+	off := 4
+	for _, in := range infos {
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(in.ID)))
+		off += 2
+		off += copy(buf[off:], in.ID)
+		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.DataLen)))
+		off += 8
+		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.ShardLen)))
+		off += 8
+	}
+	return buf
+}
+
+// decodeInventory unpacks a ListResp payload.
+func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: inventory %d bytes", ErrBadMsg, len(buf))
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	infos := make([]storage.ObjectInfo, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("%w: truncated inventory", ErrBadMsg)
+		}
+		idLen := int(binary.BigEndian.Uint16(buf[off:]))
+		off += 2
+		if off+idLen+16 > len(buf) {
+			return nil, fmt.Errorf("%w: truncated inventory", ErrBadMsg)
+		}
+		id := string(buf[off : off+idLen])
+		off += idLen
+		dataLen := int64(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+		shardLen := int64(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+		infos = append(infos, storage.ObjectInfo{ID: id, DataLen: int(dataLen), ShardLen: int(shardLen)})
+	}
+	return infos, nil
+}

@@ -1,0 +1,77 @@
+package dstore
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rain/internal/storage"
+)
+
+func TestMsgRoundtrip(t *testing.T) {
+	msgs := []Msg{
+		{Kind: KindPutChunk, Req: 1, ID: "obj", Off: 0, ShardLen: 4096, DataLen: 12345, Data: bytes.Repeat([]byte{7}, 1024)},
+		{Kind: KindPutAck, Req: 2, ID: "obj", Off: 1024, ShardLen: 4096},
+		{Kind: KindPutAck, Req: 3, ID: "obj", Err: "dstore: no such transfer"},
+		{Kind: KindGetReq, Req: 4, ID: "an object with spaces"},
+		{Kind: KindGetChunk, Req: 5, ID: "obj", Shard: 3, Off: 8192, ShardLen: 1 << 20, DataLen: storage.UnknownSize, Data: []byte{1, 2, 3}},
+		{Kind: KindListReq, Req: 6},
+		{Kind: KindListResp, Req: 7, Shard: 2, Data: encodeInventory([]storage.ObjectInfo{{ID: "x", DataLen: 9, ShardLen: 3}})},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%s roundtrip:\n  sent %+v\n  got  %+v", m.Kind, m, got)
+		}
+	}
+}
+
+func TestMsgNegativeDataLenSurvives(t *testing.T) {
+	m := Msg{Kind: KindGetChunk, Req: 1, ID: "o", DataLen: storage.UnknownSize, Off: -1}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataLen != storage.UnknownSize || got.Off != -1 {
+		t.Fatalf("negative fields corrupted: %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, msgHeader), // kind 0
+		append(Msg{Kind: KindGetReq, ID: "obj"}.Marshal(), 0xFF), // trailing byte
+		Msg{Kind: KindGetReq, ID: "obj"}.Marshal()[:msgHeader+1], // truncated id
+	}
+	for i, buf := range cases {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestInventoryRoundtrip(t *testing.T) {
+	infos := []storage.ObjectInfo{
+		{ID: "a", DataLen: 0, ShardLen: 1},
+		{ID: "obj-2", DataLen: storage.UnknownSize, ShardLen: 4096},
+		{ID: "big", DataLen: 1 << 30, ShardLen: 1 << 27},
+	}
+	got, err := decodeInventory(encodeInventory(infos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(infos, got) {
+		t.Fatalf("inventory roundtrip:\n  sent %+v\n  got  %+v", infos, got)
+	}
+	if out, err := decodeInventory(encodeInventory(nil)); err != nil || len(out) != 0 {
+		t.Fatalf("empty inventory: %v %v", out, err)
+	}
+	if _, err := decodeInventory([]byte{0, 0, 0, 5}); err == nil {
+		t.Fatal("truncated inventory accepted")
+	}
+}

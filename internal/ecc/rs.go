@@ -51,6 +51,11 @@ func RSSerial() RSOption { return func(c *rsCode) { c.mode = rsKernelSerial } }
 // the default.
 func RSScalar() RSOption { return func(c *rsCode) { c.mode = rsScalarRef } }
 
+// RSNoXorRepair disables the single-erasure XOR repair fast path, forcing
+// the general decode-matrix route. It exists for before/after benchmarks;
+// production callers want the default.
+func RSNoXorRepair() RSOption { return func(c *rsCode) { c.noXorRepair = true } }
+
 // rsCode is a systematic Reed-Solomon (n, k) code over GF(2^8), the paper's
 // §4.1 example of a general MDS code. It tolerates any n-k erasures but pays
 // one field multiplication per byte per parity row, the cost the XOR-only
@@ -75,6 +80,8 @@ type rsCode struct {
 	mode rsMode
 	// pq marks the P+Q fast-path generator described above.
 	pq bool
+	// noXorRepair disables the single-erasure XOR repair path (benchmarks).
+	noXorRepair bool
 	// gen is the n x k systematic generator matrix: the top k rows are the
 	// identity, the bottom n-k rows produce parity.
 	gen *gf.Matrix
@@ -279,25 +286,48 @@ func (c *rsCode) Reconstruct(shards [][]byte) error {
 	if present == c.n {
 		return nil
 	}
-	// Select k present shards and invert the corresponding generator rows
-	// to obtain a decode matrix mapping those shards back to data shards.
-	sub := gf.NewMatrix(c.k, c.k)
-	chosen := make([]int, 0, c.k)
-	for i := 0; i < c.n && len(chosen) < c.k; i++ {
-		if shards[i] != nil {
-			copy(sub.Row(len(chosen)), c.gen.Row(i))
-			chosen = append(chosen, i)
+	// Single-erasure XOR fast path: with the P+Q generator, parity row P is
+	// the plain XOR of the data shards, so a lone missing data shard with P
+	// surviving is P + (the other data shards), straight onto the SWAR XOR
+	// kernel. The general route below reaches the same kernel through
+	// MulVecSlice's unit-coefficient dispatch but first pays a k x k matrix
+	// inversion and row setup per call — fixed overhead that dominates
+	// small-shard repair (~2x at 4 KiB blocks; see
+	// BenchmarkRSRepairSingleErasure). Any additional missing parity is
+	// recomputed by the general tail below.
+	if c.pq && !c.noXorRepair && shards[c.k] != nil {
+		missing := -1
+		for j := 0; j < c.k; j++ {
+			if shards[j] == nil {
+				if missing >= 0 {
+					missing = -1
+					break
+				}
+				missing = j
+			}
+		}
+		if missing >= 0 {
+			in := make([][]byte, 0, c.k)
+			for j := 0; j < c.k; j++ {
+				if j != missing {
+					in = append(in, shards[j])
+				}
+			}
+			in = append(in, shards[c.k])
+			out := make([]byte, shardLen)
+			c.forEachChunk(shardLen, func(off, end int) {
+				ins := make([][]byte, len(in))
+				for i := range in {
+					ins[i] = in[i][off:end]
+				}
+				gf.XorVecSlice(ins, out[off:end])
+			})
+			shards[missing] = out
 		}
 	}
-	dec, ok := sub.Invert()
-	if !ok {
-		return fmt.Errorf("ecc: %s: decode matrix singular", c.name)
-	}
-	in := make([][]byte, c.k)
-	for i, src := range chosen {
-		in[i] = shards[src]
-	}
-	// Recover all missing data shards in one fused row application.
+	// Recover all missing data shards in one fused row application, through
+	// a decode matrix obtained by inverting the generator rows of k present
+	// shards.
 	var missingData []int
 	for j := 0; j < c.k; j++ {
 		if shards[j] == nil {
@@ -305,6 +335,22 @@ func (c *rsCode) Reconstruct(shards [][]byte) error {
 		}
 	}
 	if len(missingData) > 0 {
+		sub := gf.NewMatrix(c.k, c.k)
+		chosen := make([]int, 0, c.k)
+		for i := 0; i < c.n && len(chosen) < c.k; i++ {
+			if shards[i] != nil {
+				copy(sub.Row(len(chosen)), c.gen.Row(i))
+				chosen = append(chosen, i)
+			}
+		}
+		dec, ok := sub.Invert()
+		if !ok {
+			return fmt.Errorf("ecc: %s: decode matrix singular", c.name)
+		}
+		in := make([][]byte, c.k)
+		for i, src := range chosen {
+			in[i] = shards[src]
+		}
 		rows := gf.NewMatrix(len(missingData), c.k)
 		out := make([][]byte, len(missingData))
 		backing := make([]byte, len(missingData)*shardLen)

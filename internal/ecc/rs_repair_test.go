@@ -1,0 +1,92 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestRSSingleErasureXorRepair differentially checks the XOR fast path
+// against the general decode-matrix route for every single-data-shard
+// erasure, alone and combined with a missing parity row.
+func TestRSSingleErasureXorRepair(t *testing.T) {
+	for _, shape := range []struct{ n, k int }{{6, 4}, {10, 8}, {5, 4}} {
+		fast, err := NewReedSolomon(shape.n, shape.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := NewReedSolomon(shape.n, shape.k, RSNoXorRepair())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 16*1024+13)
+		rand.New(rand.NewSource(int64(shape.n))).Read(data)
+		shards, err := fast.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		erasures := [][]int{}
+		for j := 0; j < shape.k; j++ {
+			erasures = append(erasures, []int{j})
+			if shape.n-shape.k == 2 {
+				// Data shard plus the Q parity row: P survives, so the XOR
+				// path still applies and Q is recomputed by the tail.
+				erasures = append(erasures, []int{j, shape.n - 1})
+			}
+		}
+		if shape.n-shape.k >= 2 {
+			// P itself missing alongside a data shard: fast path must not
+			// fire (and must still be correct via the general route).
+			erasures = append(erasures, []int{0, shape.k})
+		}
+		for _, erased := range erasures {
+			a := make([][]byte, len(shards))
+			b := make([][]byte, len(shards))
+			for i, s := range shards {
+				a[i] = append([]byte(nil), s...)
+				b[i] = append([]byte(nil), s...)
+			}
+			for _, e := range erased {
+				a[e], b[e] = nil, nil
+			}
+			if err := fast.Reconstruct(a); err != nil {
+				t.Fatalf("rs(%d,%d) erased %v: fast: %v", shape.n, shape.k, erased, err)
+			}
+			if err := slow.Reconstruct(b); err != nil {
+				t.Fatalf("rs(%d,%d) erased %v: general: %v", shape.n, shape.k, erased, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(a[i], shards[i]) {
+					t.Fatalf("rs(%d,%d) erased %v: fast path corrupted shard %d", shape.n, shape.k, erased, i)
+				}
+				if !bytes.Equal(b[i], shards[i]) {
+					t.Fatalf("rs(%d,%d) erased %v: general path corrupted shard %d", shape.n, shape.k, erased, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRSXorRepairAppliesOnlyWithPQ ensures codes built without the P+Q
+// generator (n-k > 2) never take the XOR path and still repair correctly.
+func TestRSXorRepairAppliesOnlyWithPQ(t *testing.T) {
+	code, err := NewReedSolomon(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(9)).Read(data)
+	shards, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	work[2] = nil
+	if err := code.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[2], shards[2]) {
+		t.Fatal("vandermonde single-erasure repair corrupted")
+	}
+}

@@ -1,0 +1,85 @@
+package ecc
+
+import (
+	"fmt"
+	"io"
+)
+
+// StreamEncoder encodes an io.Reader through an (n, k) code one block at a
+// time, so arbitrarily large objects encode with memory bounded by the block
+// size instead of one contiguous []byte. Each block is an independent
+// codeword: block b's shard i is the [b*ShardSize(blockSize) ..) slice of
+// the object's shard-i stream, which is exactly the chunked layout the
+// dstore transfer protocol ships over the mesh.
+type StreamEncoder struct {
+	code      Code
+	r         io.Reader
+	blockSize int
+	buf       []byte
+	block     int
+	done      bool
+}
+
+// NewStreamEncoder returns a streaming encoder reading blockSize bytes per
+// codeword. blockSize must be positive and should be a multiple of k so
+// every block's shards align (any blockSize works; the final block may be
+// short either way).
+func NewStreamEncoder(code Code, r io.Reader, blockSize int) (*StreamEncoder, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrInvalidParams, blockSize)
+	}
+	return &StreamEncoder{code: code, r: r, blockSize: blockSize, buf: make([]byte, blockSize)}, nil
+}
+
+// Next reads and encodes the next block, returning its n shards and the
+// number of data bytes they encode. It returns io.EOF (with no shards) when
+// the reader is exhausted. The shards may alias the encoder's internal
+// buffer, which the following Next call reuses — consumers that need the
+// shards after that must copy.
+func (e *StreamEncoder) Next() (shards [][]byte, dataLen int, err error) {
+	if e.done {
+		return nil, 0, io.EOF
+	}
+	n, err := io.ReadFull(e.r, e.buf)
+	switch err {
+	case nil:
+	case io.ErrUnexpectedEOF:
+		e.done = true
+	case io.EOF:
+		e.done = true
+		return nil, 0, io.EOF
+	default:
+		return nil, 0, fmt.Errorf("ecc: stream block %d: %w", e.block, err)
+	}
+	shards, encErr := e.code.Encode(e.buf[:n])
+	if encErr != nil {
+		return nil, 0, fmt.Errorf("ecc: stream block %d: %w", e.block, encErr)
+	}
+	e.block++
+	return shards, n, nil
+}
+
+// Block reports the index of the block the next call to Next will produce.
+func (e *StreamEncoder) Block() int { return e.block }
+
+// EncodeReader drives a StreamEncoder over the whole reader, invoking fn for
+// every block in order. Memory stays bounded by one block regardless of the
+// object size.
+func EncodeReader(code Code, r io.Reader, blockSize int, fn func(block int, shards [][]byte, dataLen int) error) error {
+	enc, err := NewStreamEncoder(code, r, blockSize)
+	if err != nil {
+		return err
+	}
+	for {
+		shards, dataLen, err := enc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(enc.Block()-1, shards, dataLen); err != nil {
+			return err
+		}
+	}
+}

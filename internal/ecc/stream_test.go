@@ -1,0 +1,112 @@
+package ecc
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamEncoderMatchesBlockEncode checks each streamed block decodes
+// independently and the concatenation reproduces the input, for sizes around
+// the block boundary.
+func TestStreamEncoderMatchesBlockEncode(t *testing.T) {
+	code, err := NewReedSolomon(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 8 << 10
+	for _, size := range []int{0, 1, block - 1, block, block + 1, 3*block + 17} {
+		data := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(data)
+		var rebuilt []byte
+		blocks := 0
+		err := EncodeReader(code, bytes.NewReader(data), block, func(b int, shards [][]byte, dataLen int) error {
+			if b != blocks {
+				t.Fatalf("size %d: block %d out of order (want %d)", size, b, blocks)
+			}
+			blocks++
+			// Drop n-k shards and decode the block from the remainder.
+			work := make([][]byte, len(shards))
+			for i, s := range shards {
+				work[i] = append([]byte(nil), s...)
+			}
+			work[0], work[5] = nil, nil
+			dec, err := code.Decode(work, dataLen)
+			if err != nil {
+				return err
+			}
+			rebuilt = append(rebuilt, dec...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		want := (size + block - 1) / block
+		if blocks != want {
+			t.Fatalf("size %d: %d blocks, want %d", size, blocks, want)
+		}
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("size %d: stream roundtrip corrupted", size)
+		}
+	}
+}
+
+// TestStreamEncoderBoundedBuffer checks the encoder reads at most one block
+// at a time from the source (the bounded-memory property).
+func TestStreamEncoderBoundedBuffer(t *testing.T) {
+	code, err := NewReedSolomon(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 4 << 10
+	src := &maxReadTracker{r: bytes.NewReader(make([]byte, 10*block))}
+	enc, err := NewStreamEncoder(code, src, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, err := enc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.max > block {
+		t.Fatalf("encoder read %d bytes in one call, block size %d", src.max, block)
+	}
+	if enc.Block() != 10 {
+		t.Fatalf("encoded %d blocks, want 10", enc.Block())
+	}
+}
+
+func TestStreamEncoderValidation(t *testing.T) {
+	code, _ := NewReedSolomon(5, 3)
+	if _, err := NewStreamEncoder(code, bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	enc, err := NewStreamEncoder(code, bytes.NewReader(nil), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := enc.Next(); err != io.EOF {
+		t.Fatalf("empty reader: err=%v, want EOF", err)
+	}
+	if _, _, err := enc.Next(); err != io.EOF {
+		t.Fatalf("after EOF: err=%v, want EOF", err)
+	}
+}
+
+type maxReadTracker struct {
+	r   io.Reader
+	max int
+}
+
+func (m *maxReadTracker) Read(p []byte) (int, error) {
+	if len(p) > m.max {
+		m.max = len(p)
+	}
+	return m.r.Read(p)
+}

@@ -18,6 +18,11 @@ type envelope struct {
 // Y's NIC i, the bundled-interface layout of the paper's testbed). It is the
 // communication substrate the simulated MPI jobs, membership rings and
 // applications run on.
+//
+// Datagrams are demultiplexed per service: several protocol engines (MPI,
+// the distributed store daemon, the store client) can share one node's
+// connections, each registering its own handler with Handle and addressing
+// peers with SendService. OnMessage/Send are the unnamed default service.
 type Mesh struct {
 	S     *sim.Scheduler
 	Net   *sim.Network
@@ -26,7 +31,7 @@ type Mesh struct {
 
 	cfg      Config
 	conns    map[string]map[string]*Conn
-	handlers map[string]func(from string, payload []byte)
+	handlers map[string]map[string]func(from string, payload []byte)
 	stopped  map[string]bool
 }
 
@@ -40,7 +45,7 @@ func NewMesh(s *sim.Scheduler, net *sim.Network, nodes []string, cfg Config) (*M
 		Paths:    cfg.Paths,
 		cfg:      cfg,
 		conns:    make(map[string]map[string]*Conn),
-		handlers: make(map[string]func(string, []byte)),
+		handlers: make(map[string]map[string]func(string, []byte)),
 		stopped:  make(map[string]bool),
 	}
 	for _, a := range nodes {
@@ -52,11 +57,7 @@ func NewMesh(s *sim.Scheduler, net *sim.Network, nodes []string, cfg Config) (*M
 			a, b := a, b
 			conn, err := NewConn(cfg,
 				func(path int, w Wire) { m.transmit(a, b, path, w) },
-				func(payload []byte) {
-					if h := m.handlers[a]; h != nil {
-						h(b, payload)
-					}
-				})
+				func(payload []byte) { m.dispatch(a, b, payload) })
 			if err != nil {
 				return nil, err
 			}
@@ -106,19 +107,86 @@ func (m *Mesh) onPacket(node string, path int, p sim.Packet) {
 	conn.OnWire(path, env.W, int64(m.S.Now()))
 }
 
-// OnMessage registers the application handler for datagrams delivered to a
-// node (from any peer).
-func (m *Mesh) OnMessage(node string, fn func(from string, payload []byte)) {
-	m.handlers[node] = fn
+// FrameService prefixes a payload with its service name (1-byte length +
+// name); the receiver strips the frame with SplitService and routes to the
+// service's handler. The default service "" costs one byte. Shared by the
+// simulated mesh and real-socket drivers speaking the same multiplexing.
+func FrameService(service string, payload []byte) []byte {
+	if len(service) > 255 {
+		panic(fmt.Sprintf("rudp: service name %q too long", service))
+	}
+	buf := make([]byte, 1+len(service)+len(payload))
+	buf[0] = byte(len(service))
+	copy(buf[1:], service)
+	copy(buf[1+len(service):], payload)
+	return buf
 }
 
-// Send queues a reliable datagram from one node to another.
-func (m *Mesh) Send(from, to string, payload []byte) {
+// SplitService undoes FrameService. ok is false for malformed frames.
+func SplitService(framed []byte) (service string, payload []byte, ok bool) {
+	if len(framed) < 1 {
+		return "", nil, false
+	}
+	n := int(framed[0])
+	if len(framed) < 1+n {
+		return "", nil, false
+	}
+	return string(framed[1 : 1+n]), framed[1+n:], true
+}
+
+// dispatch strips the service frame and routes the datagram to the handler
+// registered for (node, service). Unknown services are dropped silently,
+// like UDP ports nobody listens on.
+func (m *Mesh) dispatch(node, from string, framed []byte) {
+	service, payload, ok := SplitService(framed)
+	if !ok {
+		return
+	}
+	if h := m.handlers[node][service]; h != nil {
+		h(from, payload)
+	}
+}
+
+// Handle registers the handler for datagrams addressed to a service on a
+// node (from any peer), replacing any previous handler for that service.
+func (m *Mesh) Handle(node, service string, fn func(from string, payload []byte)) {
+	hs, ok := m.handlers[node]
+	if !ok {
+		hs = make(map[string]func(string, []byte))
+		m.handlers[node] = hs
+	}
+	hs[service] = fn
+}
+
+// OnMessage registers the handler for the default service on a node.
+func (m *Mesh) OnMessage(node string, fn func(from string, payload []byte)) {
+	m.Handle(node, "", fn)
+}
+
+// SendService queues a reliable datagram from one node to another, addressed
+// to the named service on the receiver. A node may send to itself: loopback
+// datagrams skip the network and deliver on the next scheduler event.
+func (m *Mesh) SendService(from, to, service string, payload []byte) {
+	if from == to {
+		framed := FrameService(service, payload)
+		m.S.After(0, func() {
+			if !m.stopped[from] {
+				m.dispatch(from, from, framed)
+			}
+		})
+		return
+	}
 	conn, ok := m.conns[from][to]
 	if !ok {
 		panic(fmt.Sprintf("rudp: no conn %s->%s", from, to))
 	}
-	conn.Send(payload, int64(m.S.Now()))
+	conn.Send(FrameService(service, payload), int64(m.S.Now()))
+}
+
+// Send queues a reliable datagram from one node to another on the default
+// service.
+func (m *Mesh) Send(from, to string, payload []byte) {
+	m.SendService(from, to, "", payload)
 }
 
 // Conn exposes the connection state machine from node a toward node b,

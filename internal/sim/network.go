@@ -41,14 +41,11 @@ type LinkConfig struct {
 // DefaultLink is used for pairs without an explicit config: LAN-ish latency.
 var DefaultLink = LinkConfig{Delay: 200 * time.Microsecond, Jitter: 50 * time.Microsecond}
 
-type linkKey struct{ a, b Addr }
-
-func keyFor(x, y Addr) linkKey {
-	if x > y {
-		x, y = y, x
-	}
-	return linkKey{a: x, b: y}
-}
+// linkKey names one direction of a link; each direction carries its own
+// config and serialization horizon, so asymmetric latency/loss/rate (WAN
+// profiles, full-duplex capacity) can be modelled. Cut and Heal act on both
+// directions — pulling a cable kills the pair.
+type linkKey struct{ from, to Addr }
 
 type linkState struct {
 	cfg       LinkConfig
@@ -86,14 +83,20 @@ func (n *Network) Attach(a Addr, h Handler) { n.handlers[a] = h }
 // Detach removes an endpoint; packets to it are dropped (a crashed node).
 func (n *Network) Detach(a Addr) { delete(n.handlers, a) }
 
-// SetLink configures the link between two endpoints.
+// SetLink configures the link between two endpoints, both directions.
 func (n *Network) SetLink(a, b Addr, cfg LinkConfig) {
-	st := n.link(a, b)
-	st.cfg = cfg
+	n.link(a, b).cfg = cfg
+	n.link(b, a).cfg = cfg
 }
 
-func (n *Network) link(a, b Addr) *linkState {
-	k := keyFor(a, b)
+// SetLinkOneWay configures only the from->to direction, leaving the reverse
+// untouched — asymmetric latency, loss or capacity.
+func (n *Network) SetLinkOneWay(from, to Addr, cfg LinkConfig) {
+	n.link(from, to).cfg = cfg
+}
+
+func (n *Network) link(from, to Addr) *linkState {
+	k := linkKey{from: from, to: to}
 	st, ok := n.links[k]
 	if !ok {
 		st = &linkState{cfg: DefaultLink}
@@ -102,12 +105,19 @@ func (n *Network) link(a, b Addr) *linkState {
 	return st
 }
 
-// Cut severs the link between two endpoints: all packets are dropped until
-// Heal. This is the simulator's "pull the cable" fault injector.
-func (n *Network) Cut(a, b Addr) { n.link(a, b).cut = true }
+// Cut severs the link between two endpoints in both directions: all packets
+// are dropped until Heal. This is the simulator's "pull the cable" fault
+// injector.
+func (n *Network) Cut(a, b Addr) {
+	n.link(a, b).cut = true
+	n.link(b, a).cut = true
+}
 
 // Heal restores a previously cut link.
-func (n *Network) Heal(a, b Addr) { n.link(a, b).cut = false }
+func (n *Network) Heal(a, b Addr) {
+	n.link(a, b).cut = false
+	n.link(b, a).cut = false
+}
 
 // IsCut reports whether the link between two endpoints is currently cut.
 func (n *Network) IsCut(a, b Addr) bool { return n.link(a, b).cut }
@@ -133,7 +143,7 @@ func (n *Network) CutNode(node string) {
 func (n *Network) HealNode(node string) {
 	prefix := node + ":"
 	for k, st := range n.links {
-		if hasPrefix(string(k.a), prefix) || hasPrefix(string(k.b), prefix) {
+		if hasPrefix(string(k.from), prefix) || hasPrefix(string(k.to), prefix) {
 			st.cut = false
 		}
 	}

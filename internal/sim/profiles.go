@@ -1,0 +1,45 @@
+package sim
+
+import "time"
+
+// Link profiles for the storage and communication experiments: named
+// LinkConfig presets spanning the conditions the dstore tests sweep, from
+// the paper's Myrinet testbed to a lossy wide-area path. Apply them with
+// ApplyProfile / ApplyAsymmetric.
+var (
+	// ProfileLAN is the default switched-LAN behaviour (the testbed).
+	ProfileLAN = LinkConfig{Delay: 200 * time.Microsecond, Jitter: 50 * time.Microsecond}
+	// ProfileCampus adds a millisecond of latency and light loss.
+	ProfileCampus = LinkConfig{Delay: time.Millisecond, Jitter: 250 * time.Microsecond, Loss: 0.001}
+	// ProfileWAN is a wide-area path: tens of milliseconds, jittery, lossy.
+	ProfileWAN = LinkConfig{Delay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.005}
+)
+
+// Lossy returns a copy of base with the drop probability overridden — the
+// knob the retrieve-under-loss experiments sweep over 1-10%.
+func Lossy(base LinkConfig, loss float64) LinkConfig {
+	base.Loss = loss
+	return base
+}
+
+// ApplyProfile sets cfg on every NIC pair between distinct nodes, the layout
+// rudp.Mesh uses (node X's NIC i talks to node Y's NIC i).
+func ApplyProfile(n *Network, nodes []string, paths int, cfg LinkConfig) {
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			for p := 0; p < paths; p++ {
+				n.SetLink(NodeAddr(a, p), NodeAddr(b, p), cfg)
+			}
+		}
+	}
+}
+
+// ApplyAsymmetric gives the a->b direction and the b->a direction different
+// behaviour on every bundled path — the asymmetric-latency regime of the
+// retrieve experiments (fast requests, slow responses, or vice versa).
+func ApplyAsymmetric(n *Network, a, b string, paths int, fwd, rev LinkConfig) {
+	for p := 0; p < paths; p++ {
+		n.SetLinkOneWay(NodeAddr(a, p), NodeAddr(b, p), fwd)
+		n.SetLinkOneWay(NodeAddr(b, p), NodeAddr(a, p), rev)
+	}
+}

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// UnknownSize marks an object whose original length was not recorded at
+// write time (the direct in-process Put path, where the client keeps sizes).
+// The networked daemon records real sizes so any client can decode.
+const UnknownSize = -1
+
+// ObjectInfo describes one shard held by a backend, as reported to rebuild
+// coordinators.
+type ObjectInfo struct {
+	ID       string
+	DataLen  int // original object length, or UnknownSize
+	ShardLen int
+}
+
+// Backend is the node-local shard store: one shard per object id, plus the
+// load counters the balancing policies and experiments read. It is the state
+// shared by the two frontends a RAIN node offers — the direct-call Server
+// used in-process and the dstore daemon serving the same shards over the
+// mesh. Safe for concurrent use.
+type Backend struct {
+	mu     sync.Mutex
+	shards map[string]backendEntry
+	reads  int
+	writes int
+}
+
+type backendEntry struct {
+	shard   []byte
+	dataLen int
+}
+
+// NewBackend returns an empty backend.
+func NewBackend() *Backend {
+	return &Backend{shards: make(map[string]backendEntry)}
+}
+
+// Put stores the shard for an object together with the original object
+// length (UnknownSize if the writer does not know it).
+func (b *Backend) Put(id string, shard []byte, dataLen int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shards[id] = backendEntry{shard: append([]byte(nil), shard...), dataLen: dataLen}
+	b.writes++
+}
+
+// Get fetches the shard for an object and the recorded object length.
+func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.shards[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
+	}
+	b.reads++
+	return append([]byte(nil), e.shard...), e.dataLen, nil
+}
+
+// Stat reports the shard length and recorded object length without counting
+// a read.
+func (b *Backend) Stat(id string) (shardLen, dataLen int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.shards[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
+	}
+	return len(e.shard), e.dataLen, nil
+}
+
+// Delete removes an object's shard.
+func (b *Backend) Delete(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.shards, id)
+}
+
+// List returns info for every held shard, sorted by object id.
+func (b *Backend) List() []ObjectInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ObjectInfo, 0, len(b.shards))
+	for id, e := range b.shards {
+		out = append(out, ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: len(e.shard)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Loads returns the cumulative read and write counts.
+func (b *Backend) Loads() (reads, writes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reads, b.writes
+}
+
+// Objects returns the number of shards held.
+func (b *Backend) Objects() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.shards)
+}
+
+// Wipe discards all shards (a replaced blank node).
+func (b *Backend) Wipe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shards = make(map[string]backendEntry)
+}

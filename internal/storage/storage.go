@@ -31,28 +31,37 @@ var (
 	ErrServerDown = errors.New("storage: server down")
 )
 
-// Server is a storage node: it holds one symbol per object. The in-memory
-// implementation carries the fault-injection and instrumentation hooks the
-// experiments need (down/up, request counters, a location for the
-// geographic policy).
+// Server is a storage node frontend for direct in-process calls: a Backend
+// holding one symbol per object, plus the fault-injection and
+// instrumentation hooks the experiments need (down/up, request counters, a
+// location for the geographic policy). The same Backend may simultaneously
+// serve mesh traffic through a dstore daemon — the two frontends of one RAIN
+// node.
 type Server struct {
 	mu       sync.Mutex
 	name     string
 	distance int // abstract distance for the "geographically closest" policy
 	down     bool
-	shards   map[string][]byte
-	reads    int
-	writes   int
+	backend  *Backend
 }
 
 // NewServer creates an empty storage server. distance is an abstract cost
 // used by the Nearest selection policy (e.g. network hops).
 func NewServer(name string, distance int) *Server {
-	return &Server{name: name, distance: distance, shards: make(map[string][]byte)}
+	return NewServerWithBackend(name, distance, NewBackend())
+}
+
+// NewServerWithBackend creates a server over an existing backend, sharing
+// its shards with any other frontend of the same node.
+func NewServerWithBackend(name string, distance int, b *Backend) *Server {
+	return &Server{name: name, distance: distance, backend: b}
 }
 
 // Name returns the server's identity.
 func (s *Server) Name() string { return s.name }
+
+// Backend returns the node-local shard store behind this server.
+func (s *Server) Backend() *Backend { return s.backend }
 
 // SetDown injects or clears a failure.
 func (s *Server) SetDown(down bool) {
@@ -70,59 +79,45 @@ func (s *Server) Down() bool {
 
 // Put stores the symbol for an object.
 func (s *Server) Put(id string, shard []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.down {
+	if s.Down() {
 		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	s.shards[id] = append([]byte(nil), shard...)
-	s.writes++
+	s.backend.Put(id, shard, UnknownSize)
 	return nil
 }
 
 // Get fetches the symbol for an object.
 func (s *Server) Get(id string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.down {
+	if s.Down() {
 		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	shard, ok := s.shards[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s on %s", ErrObjectNotFound, id, s.name)
+	shard, _, err := s.backend.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w on %s", err, s.name)
 	}
-	s.reads++
-	return append([]byte(nil), shard...), nil
+	return shard, nil
+}
+
+// Stat reports the shard length and recorded object length for an object.
+func (s *Server) Stat(id string) (shardLen, dataLen int, err error) {
+	if s.Down() {
+		return 0, 0, fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	return s.backend.Stat(id)
 }
 
 // Delete removes an object's symbol.
-func (s *Server) Delete(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.shards, id)
-}
+func (s *Server) Delete(id string) { s.backend.Delete(id) }
 
 // Loads returns the cumulative read and write counts (the load-balancing
 // experiments read these).
-func (s *Server) Loads() (reads, writes int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads, s.writes
-}
+func (s *Server) Loads() (reads, writes int) { return s.backend.Loads() }
 
 // Objects returns the number of symbols held.
-func (s *Server) Objects() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.shards)
-}
+func (s *Server) Objects() int { return s.backend.Objects() }
 
 // Wipe discards all symbols (a replaced blank node).
-func (s *Server) Wipe() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.shards = make(map[string][]byte)
-}
+func (s *Server) Wipe() { s.backend.Wipe() }
 
 // Policy selects which k servers serve a retrieve.
 type Policy int
@@ -213,42 +208,61 @@ func (st *Store) Put(id string, data []byte) (stored int, err error) {
 	return len(placed), nil
 }
 
-// selectServers orders reachable server indices according to the policy.
-func (st *Store) selectServers() []int {
-	type cand struct {
+// Candidate is one reachable shard holder offered to Rank: its index in the
+// code's shard order plus the policy inputs.
+type Candidate struct {
+	Idx      int
+	Load     int // cumulative reads, for LeastLoaded
+	Distance int // abstract distance, for Nearest
+}
+
+// Rank orders candidate indices by preference under the policy — the §4.2
+// "any k of n" selection freedom, shared by the in-process Store and the
+// networked dstore client. rng is consulted only by RandomK.
+func Rank(p Policy, cands []Candidate, rng *rand.Rand) []int {
+	type weighted struct {
 		idx    int
 		weight int
 	}
-	var cands []cand
+	ws := make([]weighted, len(cands))
+	for i, c := range cands {
+		w := weighted{idx: c.Idx}
+		switch p {
+		case LeastLoaded:
+			w.weight = c.Load
+		case Nearest:
+			w.weight = c.Distance
+		case RandomK:
+			w.weight = rng.Int()
+		case FirstK:
+			w.weight = c.Idx
+		}
+		ws[i] = w
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].weight != ws[b].weight {
+			return ws[a].weight < ws[b].weight
+		}
+		return ws[a].idx < ws[b].idx
+	})
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = w.idx
+	}
+	return out
+}
+
+// selectServers orders reachable server indices according to the policy.
+func (st *Store) selectServers() []int {
+	var cands []Candidate
 	for i, s := range st.servers {
 		if s.Down() {
 			continue
 		}
-		c := cand{idx: i}
-		switch st.policy {
-		case LeastLoaded:
-			r, _ := s.Loads()
-			c.weight = r
-		case Nearest:
-			c.weight = s.distance
-		case RandomK:
-			c.weight = st.rng.Int()
-		case FirstK:
-			c.weight = i
-		}
-		cands = append(cands, c)
+		reads, _ := s.Loads()
+		cands = append(cands, Candidate{Idx: i, Load: reads, Distance: s.distance})
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].weight != cands[b].weight {
-			return cands[a].weight < cands[b].weight
-		}
-		return cands[a].idx < cands[b].idx
-	})
-	out := make([]int, len(cands))
-	for i, c := range cands {
-		out[i] = c.idx
-	}
-	return out
+	return Rank(st.policy, cands, st.rng)
 }
 
 // Get retrieves and decodes an object from any k reachable symbols (the
@@ -258,6 +272,20 @@ func (st *Store) Get(id string) ([]byte, error) {
 	st.mu.Lock()
 	size, known := st.sizes[id]
 	st.mu.Unlock()
+	if !known {
+		// The object may have been written by the other frontend (the mesh
+		// daemon), which records sizes in the backends; ask the servers and
+		// cache the answer so later reads skip the scan.
+		for _, s := range st.servers {
+			if _, dataLen, err := s.Stat(id); err == nil && dataLen != UnknownSize {
+				size, known = dataLen, true
+				st.mu.Lock()
+				st.sizes[id] = size
+				st.mu.Unlock()
+				break
+			}
+		}
+	}
 	if !known {
 		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}

@@ -16,8 +16,10 @@
 //     (internal/membership) and leader election (internal/election).
 //
 //   - Storage: the B-Code, X-Code and EVENODD MDS array codes plus
-//     Reed-Solomon and RAID baselines (internal/ecc), and distributed
-//     store/retrieve over any k of n nodes (internal/storage).
+//     Reed-Solomon and RAID baselines (internal/ecc), the node-local shard
+//     backends and selection policies (internal/storage), and the networked
+//     distributed store running store/retrieve/rebuild as chunked messages
+//     over the RUDP mesh (internal/dstore).
 //
 //   - Applications: RAINVideo (internal/video), the SNOW web cluster
 //     (internal/snow), RAINCheck distributed checkpointing
@@ -25,11 +27,14 @@
 //     (internal/rainwall).
 //
 // This package is the facade: erasure codes for standalone use and Cluster,
-// a simulated RAIN deployment wiring every subsystem together. See DESIGN.md
-// for the architecture and EXPERIMENTS.md for the reproduced results.
+// a simulated RAIN deployment wiring every subsystem together. DESIGN.md
+// documents the layer diagram, the dstore wire protocol, and the mapping
+// from benchmarks to the paper's tables and figures.
 package rain
 
 import (
+	"io"
+
 	"rain/internal/core"
 	"rain/internal/ecc"
 	"rain/internal/storage"
@@ -68,10 +73,20 @@ func NewMirror(r int) (Code, error) { return ecc.NewMirror(r) }
 // traditional RAID baseline.
 func NewSingleParity(k int) (Code, error) { return ecc.NewSingleParity(k) }
 
+// EncodeReader encodes an io.Reader through a Code one block at a time, so
+// multi-GiB objects encode with memory bounded by blockSize: fn receives
+// every block's n shards in order. See ecc.StreamEncoder for the iterator
+// form.
+func EncodeReader(code Code, r io.Reader, blockSize int, fn func(block int, shards [][]byte, dataLen int) error) error {
+	return ecc.EncodeReader(code, r, blockSize, fn)
+}
+
 // Cluster is a full RAIN deployment: a simulated set of nodes with bundled
 // network interfaces, running the membership ring, leader election, RUDP
 // communication and erasure-coded storage, with fault injection for every
-// layer. See internal/core for the composition.
+// layer. Put, Get and ReplaceNode are distributed operations whose shard
+// traffic crosses the simulated network as dstore protocol messages. See
+// internal/core for the composition.
 type Cluster = core.Platform
 
 // ClusterOptions configures NewCluster.
