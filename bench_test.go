@@ -8,6 +8,7 @@ package rain
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -230,6 +231,67 @@ func BenchmarkRSRepairSingleErasure(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- ISSUE 3: streaming decode vs whole-shard decode ---
+
+// BenchmarkStreamDecode measures block-wise streaming decode of a 4 MiB
+// object at the trajectory's block sizes against the whole-shard Decode
+// baseline ("whole"), with n-k data shards erased so every block pays
+// reconstruction. The stream path reads shard streams through io.Readers
+// and writes decoded data through an io.Writer — the dstore retrieve shape
+// — with memory bounded by the block size instead of the object size.
+func BenchmarkStreamDecode(b *testing.B) {
+	code, err := ecc.NewReedSolomon(10, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const objectSize = 4 << 20
+	data := make([]byte, objectSize)
+	rand.New(rand.NewSource(31)).Read(data)
+	b.Run("whole", func(b *testing.B) {
+		shards, err := code.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(objectSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work := make([][]byte, len(shards))
+			copy(work, shards)
+			work[i%code.K()] = nil
+			work[(i+1)%code.K()] = nil
+			if _, err := code.Decode(work, objectSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, size := range rsBenchSizes {
+		streams := make([][]byte, code.N())
+		if err := ecc.EncodeReader(code, bytes.NewReader(data), size.n, func(blk int, shards [][]byte, dataLen int) error {
+			for i, s := range shards {
+				streams[i] = append(streams[i], s...)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run("stream/"+size.name, func(b *testing.B) {
+			b.SetBytes(objectSize)
+			for i := 0; i < b.N; i++ {
+				readers := make([]io.Reader, code.N())
+				for j := range streams {
+					readers[j] = bytes.NewReader(streams[j])
+				}
+				readers[i%code.K()] = nil
+				readers[(i+1)%code.K()] = nil
+				n, err := ecc.DecodeStreams(code, io.Discard, readers, objectSize, size.n)
+				if err != nil || n != objectSize {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
 	}
 }
 

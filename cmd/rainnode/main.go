@@ -21,11 +21,23 @@
 //	rainnode -local ... -remote ... -store -shard 0
 //	rainnode -local ... -remote ... -putshard obj -file shard.bin
 //	rainnode -local ... -remote ... -getshard obj -out shard.bin
+//
+// Whole objects stream with bounded memory in both directions: -putobj
+// reads the file chunk by chunk under the put window, and -getobj is a
+// credit-windowed streaming fetch written straight to stdout (or -out),
+// acking each chunk as it is consumed — the same flow control the cluster's
+// GetStream path uses, over real UDP. The daemon stores the object as a
+// replica shard (the k=1 layout, whose shard stream is the object itself);
+// erasure-coded k-of-n streaming lives in the library (rain.Cluster):
+//
+//	rainnode -local ... -remote ... -putobj movie -file movie.mp4
+//	rainnode -local ... -remote ... -getobj movie > copy.mp4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -46,8 +58,11 @@ func main() {
 	shard := flag.Int("shard", 0, "shard index this daemon holds (-store)")
 	putShard := flag.String("putshard", "", "store the -file bytes as this object's shard on the remote daemon")
 	getShard := flag.String("getshard", "", "fetch this object's shard from the remote daemon")
-	file := flag.String("file", "", "input file for -putshard")
-	out := flag.String("out", "", "output file for -getshard (default stdout summary only)")
+	putObj := flag.String("putobj", "", "stream the -file bytes to the remote daemon as a whole object (bounded memory)")
+	getObj := flag.String("getobj", "", "stream this object from the remote daemon to stdout (bounded memory)")
+	block := flag.Int("block", dstore.DefaultBlockSize, "block-codeword size recorded for -putobj")
+	file := flag.String("file", "", "input file for -putshard / -putobj")
+	out := flag.String("out", "", "output file for -getshard / -getobj (default: shard summary / stdout)")
 	flag.Parse()
 
 	if *local == "" || *remote == "" {
@@ -84,16 +99,28 @@ func main() {
 	// connection state is per process, so a restarted client needs a
 	// restarted daemon (crash-restart handshakes are the membership
 	// layer's business, per §3).
-	if *putShard != "" || *getShard != "" {
+	if *putShard != "" || *getShard != "" || *putObj != "" || *getObj != "" {
 		if *putShard != "" {
 			if err := runPutShard(ch, *putShard, *file); err != nil {
 				fmt.Fprintln(os.Stderr, "putshard:", err)
 				os.Exit(1)
 			}
 		}
+		if *putObj != "" {
+			if err := runPutObj(ch, *putObj, *file, *block); err != nil {
+				fmt.Fprintln(os.Stderr, "putobj:", err)
+				os.Exit(1)
+			}
+		}
 		if *getShard != "" {
 			if err := runGetShard(ch, *getShard, *out); err != nil {
 				fmt.Fprintln(os.Stderr, "getshard:", err)
+				os.Exit(1)
+			}
+		}
+		if *getObj != "" {
+			if err := runGetObj(ch, *getObj, *out); err != nil {
+				fmt.Fprintln(os.Stderr, "getobj:", err)
 				os.Exit(1)
 			}
 		}
@@ -250,6 +277,129 @@ func runPutShard(ch *udpChannel, id, path string) error {
 			return fmt.Errorf("timed out waiting for acks")
 		}
 	}
+}
+
+// runPutObj streams a file to the remote daemon as a whole-object replica
+// shard (the k=1 block layout: the shard stream is the object itself),
+// reading and sending chunk by chunk under the put window so memory stays
+// bounded regardless of file size.
+func runPutObj(ch *udpChannel, id, path string, block int) error {
+	if path == "" {
+		return fmt.Errorf("-putobj requires -file")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	acks := make(chan dstore.Msg, 64)
+	ch.Handle("local", dstore.ServiceClient, func(from string, payload []byte) {
+		if m, err := dstore.Unmarshal(payload); err == nil {
+			acks <- m
+		}
+	})
+	const chunk = dstore.DefaultChunkSize
+	const window = int64(dstore.DefaultWindow) * chunk
+	buf := make([]byte, chunk)
+	var sent, acked int64
+	deadline := time.After(10 * time.Minute)
+	for acked < size || size == 0 {
+		for sent < size && sent-acked < window {
+			n, err := io.ReadFull(f, buf[:min(int64(chunk), size-sent)])
+			if err != nil {
+				return fmt.Errorf("reading %s at %d: %w", path, sent, err)
+			}
+			ch.SendService("local", "remote", dstore.ServiceDaemon, dstore.Msg{
+				Kind:     dstore.KindPutChunk,
+				Req:      2,
+				ID:       id,
+				Off:      sent,
+				ShardLen: size,
+				DataLen:  size,
+				BlockLen: int64(block),
+				Data:     buf[:n],
+			}.Marshal())
+			sent += int64(n)
+		}
+		if size == 0 {
+			// Metadata-only commit for an empty object.
+			ch.SendService("local", "remote", dstore.ServiceDaemon, dstore.Msg{
+				Kind: dstore.KindPutChunk, Req: 2, ID: id, DataLen: 0, BlockLen: int64(block),
+			}.Marshal())
+		}
+		select {
+		case m := <-acks:
+			if m.Err != "" {
+				return fmt.Errorf("daemon: %s", m.Err)
+			}
+			if m.Off > acked {
+				acked = m.Off
+			}
+			if size == 0 {
+				fmt.Printf("stored %s: 0 bytes\n", id)
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("timed out waiting for acks (%d of %d acked)", acked, size)
+		}
+	}
+	fmt.Printf("stored %s: %d bytes\n", id, size)
+	return nil
+}
+
+// runGetObj streams an object from the remote daemon to stdout (or -out)
+// with credit-windowed flow control: each chunk is written as it arrives and
+// acked as consumed, so memory stays bounded by the window however large the
+// object — the -getobj half of the streaming contract over real sockets.
+func runGetObj(ch *udpChannel, id, outPath string) error {
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	chunks := make(chan dstore.Msg, 64)
+	ch.Handle("local", dstore.ServiceClient, func(from string, payload []byte) {
+		if m, err := dstore.Unmarshal(payload); err == nil {
+			chunks <- m
+		}
+	})
+	const win = int32(dstore.DefaultWindow)
+	ch.SendService("local", "remote", dstore.ServiceDaemon,
+		dstore.Msg{Kind: dstore.KindGetReq, Req: 3, ID: id, Win: win}.Marshal())
+	var got int64
+	total := int64(-1)
+	deadline := time.After(10 * time.Minute)
+	for total < 0 || got < total {
+		select {
+		case m := <-chunks:
+			if m.Err != "" {
+				return fmt.Errorf("daemon: %s", m.Err)
+			}
+			if m.Off != got {
+				return fmt.Errorf("chunk at %d, expected %d", m.Off, got)
+			}
+			total = m.ShardLen
+			if _, err := w.Write(m.Data); err != nil {
+				return err
+			}
+			got += int64(len(m.Data))
+			ch.SendService("local", "remote", dstore.ServiceDaemon,
+				dstore.Msg{Kind: dstore.KindGetAck, Req: 3, ID: id, Off: got, Win: win}.Marshal())
+		case <-deadline:
+			return fmt.Errorf("timed out waiting for chunks (%d of %d)", got, total)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fetched %s: %d bytes\n", id, got)
+	return nil
 }
 
 // runGetShard fetches one shard from the remote daemon.

@@ -15,6 +15,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"path/filepath"
 	"time"
 
 	"rain/internal/dstore"
@@ -24,6 +26,16 @@ import (
 	"rain/internal/rudp"
 	"rain/internal/sim"
 	"rain/internal/storage"
+)
+
+// Sweep cadence for orphaned daemon transfer state (put assemblies and get
+// sessions abandoned by crashed clients).
+const (
+	// SweepInterval is how often every daemon's orphan sweep runs.
+	SweepInterval = 30 * time.Second
+	// OrphanAge is how long a transfer may sit idle before the sweep
+	// reclaims it — comfortably past every client stall/op deadline.
+	OrphanAge = 2 * time.Minute
 )
 
 // Options configures a Platform.
@@ -44,6 +56,13 @@ type Options struct {
 	// LinkDelay and LinkLoss configure every simulated link.
 	LinkDelay time.Duration
 	LinkLoss  float64
+	// BlockSize is the block-codeword size for the streaming store
+	// operations (PutStream/GetStream); 0 takes the dstore default.
+	BlockSize int
+	// StorageDir, when set, gives every node a file-backed shard store
+	// under StorageDir/<node> instead of the in-memory backend, so stored
+	// objects do not occupy heap (the bounded-memory deployments).
+	StorageDir string
 }
 
 func (o Options) withDefaults(nodes int) (Options, error) {
@@ -118,7 +137,14 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	servers := make([]*storage.Server, len(nodes))
 	backends := make([]*storage.Backend, len(nodes))
 	for i, n := range nodes {
-		backends[i] = storage.NewBackend()
+		if opts.StorageDir != "" {
+			backends[i], err = storage.NewFileBackend(filepath.Join(opts.StorageDir, n))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			backends[i] = storage.NewBackend()
+		}
 		servers[i] = storage.NewServerWithBackend(n, i, backends[i])
 	}
 	store, err := storage.New(opts.Code, servers, opts.Policy, opts.Seed+1)
@@ -138,13 +164,15 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		Clients:    make(map[string]*dstore.Client),
 		opts:       opts,
 	}
+	simClock := func() time.Time { return time.Unix(0, int64(s.Now())) }
 	for i, n := range nodes {
-		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0)
+		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0, dstore.WithDaemonClock(simClock))
 		self := n
 		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
-			Code:   opts.Code,
-			Peers:  nodes,
-			Policy: opts.Policy,
+			Code:      opts.Code,
+			Peers:     nodes,
+			Policy:    opts.Policy,
+			BlockSize: opts.BlockSize,
 			// Liveness is the membership protocol's view from this node; the
 			// client's hedging covers the detection gap after a crash.
 			Alive: func(peer string) bool {
@@ -164,6 +192,17 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		}
 		p.Clients[n] = cl
 	}
+	// Periodic orphan sweep: transfer state abandoned by crashed clients is
+	// reclaimed on every daemon (the garbage-collection half of the put/get
+	// session protocol).
+	var sweep func()
+	sweep = func() {
+		for _, d := range p.Daemons {
+			d.SweepOrphans(OrphanAge)
+		}
+		s.After(SweepInterval, sweep)
+	}
+	s.After(SweepInterval, sweep)
 	return p, nil
 }
 
@@ -209,6 +248,33 @@ func (p *Platform) Get(id string) ([]byte, error) {
 		return nil, err
 	}
 	return cl.Get(id)
+}
+
+// PutStream stores an object from a reader through the block-codeword
+// streaming layout: the object is encoded one block at a time and the n
+// shard streams travel to the daemons as windowed chunk streams, so client
+// memory stays bounded by O(BlockSize × n) however large the object. size
+// must be the exact number of bytes r will deliver. Blocks in virtual time;
+// call from outside scheduler callbacks.
+func (p *Platform) PutStream(id string, r io.Reader, size int64) error {
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	_, err = cl.PutStream(id, r, size)
+	return err
+}
+
+// GetStream retrieves an object from any k reachable nodes over the mesh,
+// decoding block by block into w as the shard streams arrive — the
+// bounded-memory read path that serves objects far larger than RAM. It
+// returns the number of bytes written.
+func (p *Platform) GetStream(id string, w io.Writer) (int64, error) {
+	cl, err := p.client()
+	if err != nil {
+		return 0, err
+	}
+	return cl.GetStream(id, w)
 }
 
 // ReplaceNode hot-swaps a blank node in at the given name (dynamic

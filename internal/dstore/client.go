@@ -1,8 +1,10 @@
 package dstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -17,6 +19,10 @@ const (
 	DefaultChunkSize = 16 << 10
 	// DefaultWindow bounds un-acked chunks in flight per peer transfer.
 	DefaultWindow = 4
+	// DefaultBlockSize is the block-codeword size for streaming puts: the
+	// unit of independent decode, and the granularity at which retrieves
+	// and rebuilds bound their memory.
+	DefaultBlockSize = 64 << 10
 	// DefaultReqTimeout is how long a request may stall before the client
 	// gives up on the peer (and, on retrieves, hedges to another).
 	DefaultReqTimeout = 500 * time.Millisecond
@@ -35,6 +41,9 @@ var (
 	ErrUnknownPeer = errors.New("dstore: unknown peer")
 	// ErrTimeout reports an operation that hit its deadline.
 	ErrTimeout = errors.New("dstore: operation deadline exceeded")
+	// ErrShortSource reports a streaming put whose reader ended before the
+	// declared object length.
+	ErrShortSource = errors.New("dstore: source ended before declared length")
 )
 
 // Config parameterises a Client. Zero fields take the defaults above.
@@ -54,8 +63,12 @@ type Config struct {
 	Distance func(peer string) int
 	// ChunkSize bounds the bytes per datagram on shard transfers.
 	ChunkSize int
-	// Window bounds un-acked chunks in flight per peer transfer.
+	// Window bounds un-acked chunks in flight per peer transfer, both
+	// directions: put transfers stop sending and get streams stop being fed
+	// by the daemon when the window is full.
 	Window int
+	// BlockSize is the block-codeword size used by PutStream.
+	BlockSize int
 	// ReqTimeout and OpTimeout are the stall and operation deadlines.
 	ReqTimeout, OpTimeout time.Duration
 }
@@ -66,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = DefaultWindow
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
 	}
 	if c.ReqTimeout <= 0 {
 		c.ReqTimeout = DefaultReqTimeout
@@ -80,8 +96,11 @@ func (c Config) withDefaults() Config {
 // node. All operations are asynchronous state machines driven by the
 // simulator's scheduler: requests carry ids, responses are demultiplexed to
 // per-request handlers, stalled peers time out, and retrieves hedge to spare
-// daemons. The blocking wrappers (Put/Get/Rebuild) pump the scheduler and
-// must only be called from outside scheduler callbacks.
+// daemons. The streaming operations (PutStream, GetStream, Rebuild) move one
+// block codeword at a time, so client memory stays bounded by
+// O(BlockSize × n) regardless of object size. The blocking wrappers
+// (Put/Get/Rebuild/...) pump the scheduler and must only be called from
+// outside scheduler callbacks.
 type Client struct {
 	s    *sim.Scheduler
 	mesh Mesh
@@ -173,67 +192,131 @@ func (c *Client) send(to string, m Msg) {
 
 // ---- shard transfers (the put direction) ----
 
-// transfer streams one shard to one daemon: a windowed sequence of PutChunk
-// datagrams, resolved by the daemon's cumulative acks or by a stall timeout.
+// transfer streams one shard stream to one daemon: a windowed sequence of
+// PutChunk datagrams, resolved by the daemon's cumulative acks or by a stall
+// timeout. The source feeds it incrementally with offer; backlog exposes the
+// un-acked/un-sent byte count so feeders (the streaming encoder, the block
+// rebuilder) can stop producing when the peer lags — that backpressure is
+// what bounds put-side memory.
 type transfer struct {
 	c        *Client
 	peer     string
 	req      uint64
 	id       string
-	shard    []byte
-	dataLen  int
-	next     int64 // next offset to send
+	shardLen int64 // total stream length, declared up front
+	dataLen  int64
+	blockLen int64
+	segs     [][]byte // offered, unsent segments
+	segOff   int      // consumed prefix of segs[0]
+	queued   int64    // total unsent bytes across segs
+	next     int64    // next stream offset to send
 	acked    int64
 	progress sim.Time // virtual time of last ack progress
 	resolved bool
+	onAck    func() // feeder backpressure hook, fired on ack progress
 	onDone   func(ok bool)
 }
 
-// startTransfer begins streaming a shard; onDone fires exactly once.
-func (c *Client) startTransfer(peer, id string, shard []byte, dataLen int, onDone func(ok bool)) *transfer {
+// startTransfer begins a shard-stream transfer; onDone fires exactly once.
+// The caller feeds bytes with offer (an empty stream needs no offers and
+// commits on an initial empty chunk).
+func (c *Client) startTransfer(peer, id string, shardLen, dataLen, blockLen int64, onDone func(ok bool)) *transfer {
 	c.nextReq++
 	t := &transfer{
 		c:        c,
 		peer:     peer,
 		req:      c.nextReq,
 		id:       id,
-		shard:    shard,
+		shardLen: shardLen,
 		dataLen:  dataLen,
+		blockLen: blockLen,
 		progress: c.s.Now(),
 		onDone:   onDone,
 	}
-	c.pending[t.req] = t.onAck
-	t.pump()
+	c.pending[t.req] = t.onAckMsg
+	if shardLen == 0 {
+		t.sendChunk(nil) // metadata-only commit
+	}
 	t.watch()
 	return t
 }
 
-// pump sends chunks while the in-flight window has room.
+// offer appends bytes to the outgoing stream without copying; the caller
+// must not mutate them afterwards. Use offerCopy when the bytes will be
+// reused (the streaming encoder's block buffers).
+func (t *transfer) offer(p []byte) {
+	if t.resolved || len(p) == 0 {
+		return
+	}
+	t.segs = append(t.segs, p)
+	t.queued += int64(len(p))
+	t.pump()
+}
+
+// offerCopy copies p into the outgoing stream.
+func (t *transfer) offerCopy(p []byte) {
+	if t.resolved || len(p) == 0 {
+		return
+	}
+	t.offer(append([]byte(nil), p...))
+}
+
+// backlog reports bytes offered but not yet acked by the daemon.
+func (t *transfer) backlog() int64 { return t.queued + (t.next - t.acked) }
+
+func (t *transfer) sendChunk(data []byte) {
+	t.c.send(t.peer, Msg{
+		Kind:     KindPutChunk,
+		Req:      t.req,
+		ID:       t.id,
+		Off:      t.next,
+		ShardLen: t.shardLen,
+		DataLen:  t.dataLen,
+		BlockLen: t.blockLen,
+		Data:     data,
+	})
+	t.next += int64(len(data))
+}
+
+// pump sends chunks while the in-flight window has room and bytes are
+// queued.
 func (t *transfer) pump() {
 	chunk := int64(t.c.cfg.ChunkSize)
 	window := int64(t.c.cfg.Window) * chunk
-	for t.next < int64(len(t.shard)) && t.next-t.acked < window {
-		end := min(t.next+chunk, int64(len(t.shard)))
-		t.c.send(t.peer, Msg{
-			Kind:     KindPutChunk,
-			Req:      t.req,
-			ID:       t.id,
-			Off:      t.next,
-			ShardLen: int64(len(t.shard)),
-			DataLen:  int64(t.dataLen),
-			Data:     t.shard[t.next:end],
-		})
-		t.next = end
+	if t.queued > 0 && t.next == t.acked {
+		// Transitioning from fully-acked idle to sending: restart the stall
+		// clock, or a long-idle transfer would look stalled immediately.
+		t.progress = t.c.s.Now()
+	}
+	for t.queued > 0 && t.next-t.acked < window {
+		head := t.segs[0]
+		n := int64(len(head) - t.segOff)
+		if n > chunk {
+			n = chunk
+		}
+		if room := window - (t.next - t.acked); n > room {
+			n = room
+		}
+		t.sendChunk(head[t.segOff : t.segOff+int(n)])
+		t.segOff += int(n)
+		t.queued -= n
+		if t.segOff == len(head) {
+			t.segs = t.segs[1:]
+			t.segOff = 0
+		}
 	}
 }
 
-// watch re-arms the stall timer until the transfer resolves.
+// watch re-arms the stall timer until the transfer resolves. Only a
+// transfer with bytes in flight can stall: an idle one (everything offered
+// so far is acked, nothing queued) is waiting on its feeder, not its peer —
+// the operation deadline covers a feeder that never delivers.
 func (t *transfer) watch() {
 	t.c.s.After(t.c.cfg.ReqTimeout, func() {
 		if t.resolved {
 			return
 		}
-		if t.c.s.Now()-t.progress >= sim.Time(t.c.cfg.ReqTimeout) {
+		if t.next > t.acked && t.c.s.Now()-t.progress >= sim.Time(t.c.cfg.ReqTimeout) {
 			t.resolve(false)
 			return
 		}
@@ -241,7 +324,7 @@ func (t *transfer) watch() {
 	})
 }
 
-func (t *transfer) onAck(m Msg) {
+func (t *transfer) onAckMsg(m Msg) {
 	if t.resolved {
 		return
 	}
@@ -253,11 +336,14 @@ func (t *transfer) onAck(m Msg) {
 		t.acked = m.Off
 		t.progress = t.c.s.Now()
 	}
-	if t.acked >= int64(len(t.shard)) {
+	if t.acked >= t.shardLen {
 		t.resolve(true)
 		return
 	}
 	t.pump()
+	if t.onAck != nil {
+		t.onAck()
+	}
 }
 
 func (t *transfer) resolve(ok bool) {
@@ -265,117 +351,320 @@ func (t *transfer) resolve(ok bool) {
 		return
 	}
 	t.resolved = true
+	t.segs = nil
+	t.queued = 0
 	delete(t.c.pending, t.req)
 	t.onDone(ok)
+	if t.onAck != nil {
+		t.onAck() // unblock a feeder waiting on this transfer
+	}
 }
 
 // ---- store ----
 
-// PutAsync encodes data and fans the n shards out to the daemons in
-// parallel, each transfer windowed and independently timed out. done fires
-// once with the number of shards stored; err is nil when at least k daemons
-// committed.
+// putOp tracks the shard fan-out shared by PutAsync and PutStreamAsync.
+type putOp struct {
+	c          *Client
+	id         string
+	dataLen    int64
+	transfers  []*transfer // nil entries: peer was dead at start
+	unresolved int
+	stored     int
+	finished   bool
+	done       func(stored int, err error)
+}
+
+func (c *Client) newPutOp(id string, dataLen int64, done func(int, error)) *putOp {
+	return &putOp{c: c, id: id, dataLen: dataLen, done: done}
+}
+
+func (op *putOp) finish(err error) {
+	if op.finished {
+		return
+	}
+	op.finished = true
+	k := op.c.cfg.Code.K()
+	if err == nil {
+		if op.stored >= k {
+			op.c.sizes[op.id] = int(op.dataLen)
+		} else {
+			err = fmt.Errorf("%w: stored %d of required %d", ErrNotEnoughDaemons, op.stored, k)
+		}
+	}
+	for _, t := range op.transfers {
+		if t != nil {
+			t.resolve(t.acked >= t.shardLen)
+		}
+	}
+	op.done(op.stored, err)
+}
+
+func (op *putOp) resolveOne(ok bool) {
+	if ok {
+		op.stored++
+	}
+	op.unresolved--
+	if op.unresolved == 0 && !op.finished {
+		op.finish(nil)
+	}
+}
+
+// start opens one transfer per peer (dead peers resolve immediately) and
+// arms the operation deadline.
+func (op *putOp) start(shardLen, blockLen int64) {
+	n := op.c.cfg.Code.N()
+	op.transfers = make([]*transfer, n)
+	op.unresolved = n
+	for i := 0; i < n; i++ {
+		peer := op.c.cfg.Peers[i]
+		if !op.c.alive(peer) {
+			op.resolveOne(false)
+			continue
+		}
+		op.transfers[i] = op.c.startTransfer(peer, op.id, shardLen, op.dataLen, blockLen, op.resolveOne)
+	}
+	if op.unresolved > 0 {
+		op.c.s.After(op.c.cfg.OpTimeout, func() { op.finish(nil) })
+	}
+}
+
+// PutAsync encodes data as one codeword and fans the n shards out to the
+// daemons in parallel, each transfer windowed and independently timed out.
+// done fires once with the number of shards stored; err is nil when at least
+// k daemons committed. The whole object is held in memory — use
+// PutStreamAsync for objects that should stream.
 func (c *Client) PutAsync(id string, data []byte, done func(stored int, err error)) {
 	shards, err := c.cfg.Code.Encode(data)
 	if err != nil {
 		done(0, err)
 		return
 	}
-	unresolved := len(shards)
-	stored := 0
-	finished := false
-	finish := func() {
-		if finished {
-			return
+	op := c.newPutOp(id, int64(len(data)), done)
+	op.start(int64(len(shards[0])), 0)
+	for i, t := range op.transfers {
+		if t != nil {
+			t.offer(shards[i]) // shards are immutable for the op's duration
 		}
-		finished = true
-		if stored >= c.cfg.Code.K() {
-			c.sizes[id] = len(data)
-			done(stored, nil)
-		} else {
-			done(stored, fmt.Errorf("%w: stored %d of required %d", ErrNotEnoughDaemons, stored, c.cfg.Code.K()))
-		}
-	}
-	resolveOne := func(ok bool) {
-		if ok {
-			stored++
-		}
-		unresolved--
-		if unresolved == 0 {
-			finish()
-		}
-	}
-	for i, shard := range shards {
-		peer := c.cfg.Peers[i]
-		if !c.alive(peer) {
-			resolveOne(false)
-			continue
-		}
-		c.startTransfer(peer, id, shard, len(data), resolveOne)
-	}
-	if unresolved > 0 {
-		c.s.After(c.cfg.OpTimeout, finish)
 	}
 }
 
-// ---- retrieve ----
+// PutStreamAsync encodes r through the block-codeword streaming layout and
+// fans the n shard streams out in parallel. dataLen must be the exact number
+// of bytes r will deliver. The encoder only reads another block once every
+// live transfer's backlog has drained below the window, so client memory is
+// bounded by O(BlockSize × n) no matter how large the object is.
+func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func(stored int, err error)) {
+	if dataLen < 0 {
+		done(0, fmt.Errorf("dstore: negative object length %d", dataLen))
+		return
+	}
+	code := c.cfg.Code
+	blockSize := c.cfg.BlockSize
+	shardLen := ecc.StreamShardLen(code, dataLen, blockSize)
+	op := c.newPutOp(id, dataLen, done)
+	op.start(shardLen, int64(blockSize))
+	enc, err := ecc.NewStreamEncoder(code, io.LimitReader(r, dataLen), blockSize)
+	if err != nil {
+		op.finish(err)
+		return
+	}
+	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
+	var encoded int64
+	encDone := false
+	var feed func()
+	feed = func() {
+		for !op.finished && !encDone {
+			for _, t := range op.transfers {
+				if t != nil && !t.resolved && t.backlog() >= highWater {
+					return // a live peer is lagging; its ack will re-feed
+				}
+			}
+			shards, n, err := enc.Next()
+			if err == io.EOF {
+				encDone = true
+				if encoded != dataLen {
+					op.finish(fmt.Errorf("%w: read %d of %d bytes", ErrShortSource, encoded, dataLen))
+				}
+				return
+			}
+			if err != nil {
+				op.finish(err)
+				return
+			}
+			encoded += int64(n)
+			for i, t := range op.transfers {
+				if t != nil && !t.resolved {
+					// The encoder reuses its block buffer, so each piece is
+					// copied into the transfer queue.
+					t.offerCopy(shards[i])
+				}
+			}
+		}
+	}
+	for _, t := range op.transfers {
+		if t != nil {
+			t.onAck = feed
+		}
+	}
+	feed()
+}
 
-// getStream is one outstanding shard read.
-type getStream struct {
+// ---- retrieve / rebuild: windowed shard streams into a block sink ----
+
+// blockSink consumes one block codeword's worth of shard pieces at a time:
+// ecc.StreamDecoder on retrieves, ecc.ShardRebuilder on rebuilds.
+type blockSink interface {
+	NextBlock(shards [][]byte) error
+}
+
+// objMeta is the layout metadata of one stored object, learned from the
+// first get chunk (retrieves) or the survivor inventory (rebuilds).
+type objMeta struct {
+	shardLen int64
+	dataLen  int64 // storage.UnknownSize when no daemon recorded it
+	blockLen int64 // 0 = single whole-object codeword
+}
+
+// blockSize returns the effective block-codeword size: the recorded block
+// length, or the whole object for the legacy unblocked layout.
+func (m objMeta) blockSize() int {
+	if m.blockLen > 0 {
+		return int(m.blockLen)
+	}
+	if m.dataLen > 0 {
+		return int(m.dataLen)
+	}
+	return 1
+}
+
+// shardStream is one windowed shard read within a streamGetOp.
+type shardStream struct {
 	peerIdx  int
 	req      uint64
-	buf      []byte
-	total    int64
+	pos      int64  // stream offset of the first buffered byte
+	buf      []byte // received, not yet consumed by the decoder
+	lastAck  int64
 	progress sim.Time // virtual time of the last chunk received
-	complete bool
-	dead     bool // the daemon answered with an error
-	hedged   bool // a spare was already issued on this stream's behalf
+	complete bool     // delivered and fully consumed by the decoder
+	dead     bool     // the daemon answered with an error
+	hedged   bool     // a spare was already issued on this stream's behalf
 }
 
-// getOp races shard reads against a ranked k-subset of daemons, hedging to
-// the remaining n-k on stalls or errors, and resolves once k shards are
-// assembled.
-type getOp struct {
-	c          *Client
-	id         string
-	shards     [][]byte
-	have, need int
+// deliveredTo reports whether the stream has received every byte through
+// the end of the shard stream (it may still hold bytes the decoder has not
+// consumed). Such a stream will never produce another chunk, so it neither
+// stalls nor hedges.
+func (st *shardStream) deliveredTo(shardLen int64) bool {
+	return st.pos+int64(len(st.buf)) >= shardLen
+}
+
+// streamGetOp drives a block-wise retrieve or rebuild: ranked windowed shard
+// streams from a k-subset of daemons, hedging to spares on stalls or errors,
+// each block codeword handed to the sink the moment k pieces of it have
+// assembled. Consumed bytes are acked back to the daemons (the per-stream
+// flow control), so no participant ever buffers more than a window beyond
+// the decode frontier.
+type streamGetOp struct {
+	c       *Client
+	id      string
+	exclude map[int]bool
+
+	// mkSink builds the block consumer once the object layout is known;
+	// ready (nil = always) gates decoding on downstream backpressure.
+	mkSink func(meta objMeta, dataLen int64) (blockSink, error)
+	ready  func() bool
+	done   func(meta objMeta, err error)
+
+	meta     objMeta
+	haveMeta bool
+	dataLen  int64 // resolved object length (meta, or local size cache)
+	sink     blockSink
+	blocks   int64
+	nextBlk  int64
+	consumed int64 // stream offset of the decode frontier
+
 	candidates []int
 	cursor     int
-	streams    []*getStream
-	dataLen    int64
-	lastErr    string // most recent daemon-reported error, for diagnostics
+	streams    []*shardStream
+	lastErr    string
 	finished   bool
-	done       func(shards [][]byte, dataLen int64, err error)
 }
 
-// getShards collects any k shards of an object over the mesh. exclude marks
-// peer indices never to ask (the rebuild target). done receives the shard
-// slice with at least k non-nil entries.
-func (c *Client) getShards(id string, exclude map[int]bool, done func(shards [][]byte, dataLen int64, err error)) {
-	op := &getOp{
-		c:          c,
-		id:         id,
-		shards:     make([][]byte, c.cfg.Code.N()),
-		need:       c.cfg.Code.K(),
-		candidates: c.rank(exclude),
-		dataLen:    int64(storage.UnknownSize),
-		done:       done,
+// startStreamGet launches the state machine. If metaHint is non-nil the
+// layout is known up front (rebuild, from the inventory) and decoding can
+// begin without waiting for a first chunk.
+func (c *Client) startStreamGet(id string, exclude map[int]bool, metaHint *objMeta,
+	mkSink func(objMeta, int64) (blockSink, error), ready func() bool, done func(objMeta, error)) *streamGetOp {
+	op := &streamGetOp{
+		c:       c,
+		id:      id,
+		exclude: exclude,
+		mkSink:  mkSink,
+		ready:   ready,
+		done:    done,
 	}
-	for i := 0; i < op.need && op.cursor < len(op.candidates); i++ {
+	op.candidates = c.rank(exclude)
+	if metaHint != nil {
+		if err := op.setMeta(*metaHint); err != nil {
+			op.finish(err)
+			return op
+		}
+	}
+	need := c.cfg.Code.K()
+	for i := 0; i < need && op.cursor < len(op.candidates); i++ {
 		op.issueNext()
 	}
+	op.tryDecode() // zero-block objects finish without any traffic
 	op.failIfStuck()
 	// The deadline covers stale liveness views: candidates that never
 	// answer and never error (crashed peers) are only resolved by time.
 	c.s.After(c.cfg.OpTimeout, func() {
-		op.finish(fmt.Errorf("%w: have %d, need %d (%w)", ErrNotEnoughDaemons, op.have, op.need, ErrTimeout))
+		op.finish(fmt.Errorf("%w: %d of %d blocks decoded (%w)", ErrNotEnoughDaemons, op.nextBlk, op.blocks, ErrTimeout))
 	})
+	return op
 }
 
-// issueNext sends a GetReq to the next unused candidate, arming its stall
-// watcher.
-func (op *getOp) issueNext() {
+// winChunks is the flow-control window the daemons are asked to keep in
+// flight: enough for a whole block piece plus the configured window, so the
+// decode frontier always has a full piece arriving behind it.
+func (op *streamGetOp) winChunks() int32 {
+	chunk := op.c.cfg.ChunkSize
+	win := op.c.cfg.Window
+	if op.haveMeta {
+		piece := op.c.cfg.Code.ShardSize(op.meta.blockSize())
+		win += (piece + chunk - 1) / chunk
+	}
+	return int32(win)
+}
+
+// setMeta fixes the object layout, resolves the object length, and builds
+// the sink. Called from the first chunk of whichever stream answers first,
+// or up front from an inventory hint.
+func (op *streamGetOp) setMeta(meta objMeta) error {
+	op.meta = meta
+	op.haveMeta = true
+	op.dataLen = meta.dataLen
+	if op.dataLen < 0 {
+		// No daemon recorded the length (the direct in-process frontend):
+		// fall back to this client's own put history.
+		cached, known := op.c.sizes[op.id]
+		if !known {
+			return fmt.Errorf("%w: %s", ErrUnknownSize, op.id)
+		}
+		op.dataLen = int64(cached)
+	}
+	op.blocks = ecc.StreamBlocks(op.dataLen, op.meta.blockSize())
+	sink, err := op.mkSink(op.meta, op.dataLen)
+	if err != nil {
+		return err
+	}
+	op.sink = sink
+	return nil
+}
+
+// issueNext sends a windowed GetReq to the next unused candidate, starting
+// at the current decode frontier (spares never re-fetch decoded blocks).
+func (op *streamGetOp) issueNext() {
 	if op.finished || op.cursor >= len(op.candidates) {
 		return
 	}
@@ -384,10 +673,10 @@ func (op *getOp) issueNext() {
 	peer := op.c.cfg.Peers[idx]
 	op.c.loads[peer]++
 	op.c.nextReq++
-	st := &getStream{peerIdx: idx, req: op.c.nextReq, total: -1, progress: op.c.s.Now()}
+	st := &shardStream{peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now()}
 	op.streams = append(op.streams, st)
 	op.c.pending[st.req] = func(m Msg) { op.onChunk(st, m) }
-	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id})
+	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id, Off: op.consumed, Win: op.winChunks()})
 	op.watch(st)
 }
 
@@ -395,10 +684,13 @@ func (op *getOp) issueNext() {
 // chunk has arrived for ReqTimeout (a slow-but-flowing stream is left
 // alone), and at most once per stream. The stalled request itself stays
 // outstanding in case its chunks straggle in later.
-func (op *getOp) watch(st *getStream) {
+func (op *streamGetOp) watch(st *shardStream) {
 	op.c.s.After(op.c.cfg.ReqTimeout, func() {
 		if op.finished || st.complete || st.dead || st.hedged {
 			return
+		}
+		if op.haveMeta && st.deliveredTo(op.meta.shardLen) {
+			return // fully delivered; the decoder is waiting on other streams
 		}
 		if op.c.s.Now()-st.progress >= sim.Time(op.c.cfg.ReqTimeout) {
 			st.hedged = true
@@ -411,25 +703,33 @@ func (op *getOp) watch(st *getStream) {
 }
 
 // failIfStuck fails the op early once no outstanding stream can still
-// deliver a shard and no spare candidates remain — e.g. every daemon
-// answered "object not found" — instead of waiting out the deadline.
-func (op *getOp) failIfStuck() {
+// deliver bytes and no spare candidates remain — e.g. every daemon answered
+// "object not found" — instead of waiting out the deadline.
+func (op *streamGetOp) failIfStuck() {
 	if op.finished || op.cursor < len(op.candidates) {
 		return
 	}
+	if op.ready != nil && !op.ready() {
+		return // decode is paused on downstream backpressure, not starved
+	}
 	for _, st := range op.streams {
-		if !st.complete && !st.dead {
+		if st.dead || st.complete {
+			continue
+		}
+		if !op.haveMeta || !st.deliveredTo(op.meta.shardLen) {
 			return // still in flight (possibly stalled; the deadline rules)
 		}
+		// Fully delivered but unconsumed: this stream can make no further
+		// progress on its own.
 	}
 	detail := op.lastErr
 	if detail == "" {
-		detail = fmt.Sprintf("no reachable daemons (have %d, need %d)", op.have, op.need)
+		detail = fmt.Sprintf("no reachable daemons (%d of %d blocks)", op.nextBlk, op.blocks)
 	}
 	op.finish(fmt.Errorf("%w: %s", ErrNotEnoughDaemons, detail))
 }
 
-func (op *getOp) onChunk(st *getStream, m Msg) {
+func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 	if op.finished || st.complete || st.dead {
 		return
 	}
@@ -444,79 +744,179 @@ func (op *getOp) onChunk(st *getStream, m Msg) {
 		op.failIfStuck()
 		return
 	}
-	if m.Off != int64(len(st.buf)) {
+	if m.Off != st.pos+int64(len(st.buf)) {
 		return // out-of-protocol chunk; RUDP is FIFO so this is a stale req
 	}
-	if st.total < 0 {
-		st.total = m.ShardLen
-		st.buf = make([]byte, 0, m.ShardLen)
+	st.progress = op.c.s.Now()
+	if !op.haveMeta {
+		if err := op.setMeta(objMeta{shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}); err != nil {
+			op.finish(err)
+			return
+		}
+		// The layout may demand a larger window than the initial request
+		// asked for (a whole piece must fit): refresh every live stream's
+		// window with an immediate ack.
+		op.ackStreams(true)
 	}
 	st.buf = append(st.buf, m.Data...)
-	st.progress = op.c.s.Now()
-	if m.DataLen >= 0 {
-		op.dataLen = m.DataLen
+	op.advance(st)
+	op.tryDecode()
+	if !op.finished {
+		op.failIfStuck()
 	}
-	if int64(len(st.buf)) < st.total {
-		return
-	}
-	st.complete = true
-	delete(op.c.pending, st.req)
-	op.shards[st.peerIdx] = st.buf
-	op.have++
-	if op.have >= op.need {
-		op.finish(nil)
-		return
-	}
-	// This may have been the last stream in flight (fewer than k reachable
-	// candidates): fail now rather than at the deadline.
-	op.failIfStuck()
 }
 
-func (op *getOp) finish(err error) {
+// advance drops the stream's buffered bytes that fall behind the decode
+// frontier (blocks already decoded from other streams) and marks streams
+// that have delivered and drained through the end of the shard stream.
+func (op *streamGetOp) advance(st *shardStream) {
+	if st.pos < op.consumed {
+		drop := op.consumed - st.pos
+		if drop > int64(len(st.buf)) {
+			drop = int64(len(st.buf))
+		}
+		st.buf = append(st.buf[:0], st.buf[drop:]...)
+		st.pos += drop
+	}
+	if op.haveMeta && !st.complete && st.pos >= op.meta.shardLen {
+		st.complete = true
+		delete(op.c.pending, st.req)
+	}
+}
+
+// ackStreams sends flow-control credits: every live stream whose consumed
+// frontier advanced (or, with force, whose window needs refreshing) gets a
+// GetAck so its daemon keeps the pipeline full.
+func (op *streamGetOp) ackStreams(force bool) {
+	win := op.winChunks()
+	for _, st := range op.streams {
+		if st.dead {
+			continue
+		}
+		if op.consumed > st.lastAck || (force && !st.complete) {
+			st.lastAck = op.consumed
+			op.c.send(op.c.cfg.Peers[st.peerIdx], Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: op.consumed, Win: win})
+		}
+	}
+}
+
+// tryDecode hands block codewords to the sink while k pieces of the current
+// block are buffered (and downstream is ready for more), advancing the
+// frontier and acking the daemons for each consumed block.
+func (op *streamGetOp) tryDecode() {
+	if op.finished || !op.haveMeta {
+		return
+	}
+	code := op.c.cfg.Code
+	shards := make([][]byte, code.N())
+	for op.nextBlk < op.blocks && (op.ready == nil || op.ready()) {
+		pieceLen := int64(code.ShardSize(ecc.StreamBlockLen(op.dataLen, op.meta.blockSize(), op.nextBlk)))
+		have := 0
+		for i := range shards {
+			shards[i] = nil
+		}
+		for _, st := range op.streams {
+			if st.dead || shards[st.peerIdx] != nil {
+				continue
+			}
+			if st.pos == op.consumed && int64(len(st.buf)) >= pieceLen {
+				shards[st.peerIdx] = st.buf[:pieceLen]
+				have++
+			}
+		}
+		if have < code.K() {
+			return
+		}
+		if err := op.sink.NextBlock(shards); err != nil {
+			op.finish(err)
+			return
+		}
+		op.consumed += pieceLen
+		op.nextBlk++
+		for _, st := range op.streams {
+			op.advance(st)
+		}
+		op.ackStreams(false)
+	}
+	if op.nextBlk >= op.blocks {
+		op.finish(nil)
+	}
+}
+
+// resumeDecode is the downstream backpressure hook: a rebuild's outgoing
+// transfer calls it as acks drain its backlog.
+func (op *streamGetOp) resumeDecode() {
+	if !op.finished {
+		op.tryDecode()
+	}
+}
+
+func (op *streamGetOp) finish(err error) {
 	if op.finished {
 		return
 	}
 	op.finished = true
-	// Unregister every stream, including ones that never completed (dead
-	// peers): their handlers would otherwise accumulate in the pending map
-	// for the life of the client.
+	// Unregister every stream and cancel leftover daemon sessions: spares
+	// the retrieve outran would otherwise idle server-side until the orphan
+	// sweep.
 	for _, st := range op.streams {
 		delete(op.c.pending, st.req)
+		if !st.dead && !st.complete {
+			op.c.send(op.c.cfg.Peers[st.peerIdx], Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
+		}
 	}
-	op.done(op.shards, op.dataLen, err)
+	op.done(op.meta, err)
 }
 
-// GetAsync retrieves and decodes an object from any k reachable daemons.
-// The daemons' recorded object length is authoritative — another client may
-// have overwritten the object since this one last put it — with the local
-// cache of own puts as the fallback for objects written through the direct
-// in-process frontend, which records no size.
+// ---- retrieve frontends ----
+
+// GetStreamAsync retrieves an object from any k reachable daemons, writing
+// decoded data to w block by block as the shard streams arrive. done fires
+// once with the number of bytes written. Client memory stays bounded by
+// O(BlockSize × n) for objects stored with PutStream; objects stored as a
+// single codeword decode in one piece.
+func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err error)) {
+	var dec *ecc.StreamDecoder
+	c.startStreamGet(id, nil, nil,
+		func(meta objMeta, dataLen int64) (blockSink, error) {
+			var err error
+			dec, err = ecc.NewStreamDecoder(c.cfg.Code, w, dataLen, meta.blockSize())
+			return dec, err
+		},
+		nil,
+		func(meta objMeta, err error) {
+			var n int64
+			if dec != nil {
+				n = dec.Written()
+			}
+			done(n, err)
+		})
+}
+
+// GetAsync retrieves and decodes an object from any k reachable daemons into
+// memory. The daemons' recorded object length is authoritative — another
+// client may have overwritten the object since this one last put it — with
+// the local cache of own puts as the fallback for objects written through
+// the direct in-process frontend, which records no size.
 func (c *Client) GetAsync(id string, done func(data []byte, err error)) {
-	c.getShards(id, nil, func(shards [][]byte, dataLen int64, err error) {
+	var buf bytes.Buffer
+	c.GetStreamAsync(id, &buf, func(n int64, err error) {
 		if err != nil {
 			done(nil, err)
 			return
 		}
-		size := int(dataLen)
-		if dataLen < 0 {
-			cached, known := c.sizes[id]
-			if !known {
-				done(nil, fmt.Errorf("%w: %s", ErrUnknownSize, id))
-				return
-			}
-			size = cached
-		}
-		data, err := c.cfg.Code.Decode(shards, size)
-		done(data, err)
+		done(buf.Bytes(), nil)
 	})
 }
 
 // ---- rebuild ----
 
-// RebuildAsync restores a replaced node's shards entirely over the mesh: it
-// gathers the object inventory from the survivors, then for each object
-// streams k shards in, reconstructs the target's shard, and streams it out
-// to the newcomer. done receives the number of objects rebuilt.
+// RebuildAsync restores a replaced node's shard streams entirely over the
+// mesh: it gathers the object inventory from the survivors, then for each
+// object streams block codewords from k survivors, reconstructs the target's
+// piece of each block, and streams the pieces to the newcomer — no
+// participant ever holds more than a block's worth of any shard. done
+// receives the number of objects rebuilt.
 func (c *Client) RebuildAsync(target string, done func(objects int, err error)) {
 	targetIdx := -1
 	for i, p := range c.cfg.Peers {
@@ -542,32 +942,97 @@ func (c *Client) RebuildAsync(target string, done func(objects int, err error)) 
 				done(rebuilt, nil)
 				return
 			}
-			info := infos[i]
-			c.getShards(info.ID, exclude, func(shards [][]byte, dataLen int64, err error) {
+			c.rebuildObject(infos[i], targetIdx, exclude, func(err error) {
 				if err != nil {
-					done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, err))
+					done(rebuilt, fmt.Errorf("rebuilding %s: %w", infos[i].ID, err))
 					return
 				}
-				if err := c.cfg.Code.Reconstruct(shards); err != nil {
-					done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, err))
-					return
-				}
-				if dataLen < 0 && info.DataLen >= 0 {
-					dataLen = int64(info.DataLen)
-				}
-				c.startTransfer(target, info.ID, shards[targetIdx], int(dataLen), func(ok bool) {
-					if !ok {
-						done(rebuilt, fmt.Errorf("rebuilding %s: %w", info.ID, ErrNotEnoughDaemons))
-						return
-					}
-					rebuilt++
-					step(i + 1)
-				})
+				rebuilt++
+				step(i + 1)
 			})
 		}
 		step(0)
 	})
 }
+
+// rebuildObject streams one object's missing shard to the target node. The
+// survivor inventory provides the layout up front; the outgoing transfer's
+// backlog gates the block pipeline (decode pauses while the newcomer lags).
+func (c *Client) rebuildObject(info storage.ObjectInfo, targetIdx int, exclude map[int]bool, done func(error)) {
+	meta := objMeta{shardLen: int64(info.ShardLen), dataLen: int64(info.DataLen), blockLen: int64(info.BlockLen)}
+	// The rebuilder needs only piece sizes, not the true object length: for
+	// the legacy unblocked layout, a synthetic length of k × shardLen yields
+	// exactly one block of the right piece size, so the op's layout metadata
+	// carries it whenever the recorded length cannot reproduce the stored
+	// stream — unknown (UnknownSize) or zero-but-padded (an empty object's
+	// shards are 1 byte, which zero blocks would never feed the transfer).
+	opMeta := meta
+	if opMeta.dataLen <= 0 && opMeta.shardLen > 0 {
+		opMeta.dataLen = int64(c.cfg.Code.K()) * meta.shardLen
+	}
+	var out *transfer
+	transferDone := false
+	var opErr error
+	var finished bool
+	finish := func(err error) {
+		if finished {
+			return
+		}
+		finished = true
+		done(err)
+	}
+	out = c.startTransfer(c.cfg.Peers[targetIdx], info.ID, meta.shardLen, meta.dataLen, meta.blockLen, func(ok bool) {
+		transferDone = true
+		switch {
+		case opErr != nil:
+			finish(opErr)
+		case !ok:
+			finish(fmt.Errorf("%w: target transfer failed", ErrNotEnoughDaemons))
+		default:
+			finish(nil)
+		}
+	})
+	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
+	op := c.startStreamGet(info.ID, exclude, &opMeta,
+		func(m objMeta, layoutLen int64) (blockSink, error) {
+			return ecc.NewShardRebuilder(c.cfg.Code, targetIdx, writerFunc(func(p []byte) (int, error) {
+				out.offerCopy(p)
+				return len(p), nil
+			}), layoutLen, m.blockSize())
+		},
+		func() bool { return out.backlog() < highWater },
+		func(m objMeta, err error) {
+			if err != nil {
+				opErr = err
+				if transferDone {
+					finish(err)
+				} else {
+					out.resolve(false) // surfaces opErr via the transfer's onDone
+				}
+			}
+			// On success the final pieces are already offered; the transfer's
+			// completion (all bytes acked by the newcomer) finishes the
+			// object.
+		})
+	out.onAck = op.resumeDecode
+	// The outgoing transfer only stall-fails with bytes in flight; a target
+	// that never acks an idle transfer (or a feeder pipeline that wedges) is
+	// resolved by the operation deadline.
+	c.s.After(c.cfg.OpTimeout, func() {
+		if finished {
+			return
+		}
+		if opErr == nil {
+			opErr = fmt.Errorf("%w: rebuild transfer (%w)", ErrNotEnoughDaemons, ErrTimeout)
+		}
+		out.resolve(false)
+	})
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 // listObjects gathers the union of the survivors' inventories.
 func (c *Client) listObjects(targetIdx int, done func([]storage.ObjectInfo, error)) {
@@ -643,8 +1108,8 @@ func (c *Client) drive(done *bool) {
 	}
 }
 
-// Put stores an object, blocking in virtual time until the operation
-// resolves. It returns the number of shards stored.
+// Put stores an object as a single codeword, blocking in virtual time until
+// the operation resolves. It returns the number of shards stored.
 func (c *Client) Put(id string, data []byte) (stored int, err error) {
 	finished := false
 	c.PutAsync(id, data, func(s int, e error) { stored, err, finished = s, e, true })
@@ -652,12 +1117,31 @@ func (c *Client) Put(id string, data []byte) (stored int, err error) {
 	return stored, err
 }
 
-// Get retrieves an object, blocking in virtual time.
+// PutStream stores an object from a reader through the block-codeword
+// streaming layout, blocking in virtual time. Memory stays bounded by the
+// block size times the shard count.
+func (c *Client) PutStream(id string, r io.Reader, dataLen int64) (stored int, err error) {
+	finished := false
+	c.PutStreamAsync(id, r, dataLen, func(s int, e error) { stored, err, finished = s, e, true })
+	c.drive(&finished)
+	return stored, err
+}
+
+// Get retrieves an object into memory, blocking in virtual time.
 func (c *Client) Get(id string) (data []byte, err error) {
 	finished := false
 	c.GetAsync(id, func(d []byte, e error) { data, err, finished = d, e, true })
 	c.drive(&finished)
 	return data, err
+}
+
+// GetStream retrieves an object into w block by block, blocking in virtual
+// time. It returns the number of bytes written.
+func (c *Client) GetStream(id string, w io.Writer) (n int64, err error) {
+	finished := false
+	c.GetStreamAsync(id, w, func(written int64, e error) { n, err, finished = written, e, true })
+	c.drive(&finished)
+	return n, err
 }
 
 // Rebuild restores a replaced node's shards, blocking in virtual time. It

@@ -3,6 +3,7 @@ package dstore
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"rain/internal/storage"
 )
@@ -14,22 +15,30 @@ type DaemonStats struct {
 	ChunksServed int // get chunks streamed out
 	Lists        int // inventory requests answered
 	Errors       int // error responses sent
+	Reaped       int // orphaned assemblies and get sessions swept
 }
 
 // Daemon is the storage server loop of one node: it owns no transport state
 // beyond a mesh registration and serves the wire protocol against the
 // node-local backend. The same backend may simultaneously back a
-// storage.Server for direct in-process calls. The daemon is pure
-// request/response — it needs no timers — so it also runs over real sockets
-// (cmd/rainnode).
+// storage.Server for direct in-process calls.
+//
+// Memory contract: the daemon never materialises a whole shard. Put chunks
+// append to a storage.Stage (a temp file on file-backed backends) and get
+// chunks are ranged ReadAt reads, so daemon heap is bounded by in-flight
+// chunks regardless of shard size. The daemon is pure request/response — it
+// needs no timers — so it also runs over real sockets (cmd/rainnode); the
+// owner decides when to SweepOrphans.
 type Daemon struct {
 	mesh    Mesh
 	node    string
 	shard   int
 	backend *storage.Backend
 	chunk   int
+	now     func() time.Time
 
-	asm map[asmKey]*assembly
+	asm  map[sessKey]*assembly
+	gets map[sessKey]*getSession
 
 	// statsMu guards stats: messages arrive on one goroutine (the simulator
 	// or a socket driver's dispatch loop) but Stats may be read from another
@@ -38,23 +47,50 @@ type Daemon struct {
 	stats   DaemonStats
 }
 
-type asmKey struct {
+// sessKey identifies one transfer: requests are client-scoped, so daemon
+// sessions are keyed by the requesting node plus its request id.
+type sessKey struct {
 	from string
 	req  uint64
 }
 
-// assembly is one in-progress put transfer.
+// assembly is one in-progress put transfer, streaming into a backend stage.
 type assembly struct {
 	id       string
-	buf      []byte
+	stage    *storage.Stage
 	shardLen int64
 	dataLen  int64
+	blockLen int64
+	touched  time.Time
+}
+
+// getSession is one credit-windowed get stream: the daemon keeps at most
+// win bytes beyond the client's last consumed-ack in flight.
+type getSession struct {
+	id       string
+	shardLen int64
+	dataLen  int64
+	blockLen int64
+	sent     int64 // next stream offset to send
+	credit   int64 // client's consumed offset (GetAck)
+	win      int64 // window beyond credit, bytes
+	touched  time.Time
+}
+
+// DaemonOption customises a Daemon.
+type DaemonOption func(*Daemon)
+
+// WithDaemonClock injects the daemon's time source for orphan-session aging
+// — the simulator's virtual clock in tests and rain.Cluster, wall time in
+// rainnode.
+func WithDaemonClock(now func() time.Time) DaemonOption {
+	return func(d *Daemon) { d.now = now }
 }
 
 // NewDaemon registers a storage daemon for node on the mesh. shard is the
 // index this node holds in the code's shard order; chunkSize bounds streamed
 // get chunks (0 for the default).
-func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chunkSize int) *Daemon {
+func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chunkSize int, opts ...DaemonOption) *Daemon {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -64,7 +100,12 @@ func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chun
 		shard:   shard,
 		backend: backend,
 		chunk:   chunkSize,
-		asm:     make(map[asmKey]*assembly),
+		now:     time.Now,
+		asm:     make(map[sessKey]*assembly),
+		gets:    make(map[sessKey]*getSession),
+	}
+	for _, opt := range opts {
+		opt(d)
 	}
 	mesh.Handle(node, ServiceDaemon, d.onMessage)
 	return d
@@ -75,6 +116,12 @@ func (d *Daemon) Node() string { return d.node }
 
 // Backend returns the daemon's shard store.
 func (d *Daemon) Backend() *storage.Backend { return d.backend }
+
+// Assemblies reports in-progress put transfers (orphan-leak checks).
+func (d *Daemon) Assemblies() int { return len(d.asm) }
+
+// GetSessions reports open windowed get streams (orphan-leak checks).
+func (d *Daemon) GetSessions() int { return len(d.gets) }
 
 // Stats returns a copy of the daemon's counters.
 func (d *Daemon) Stats() DaemonStats {
@@ -106,14 +153,43 @@ func (d *Daemon) onMessage(from string, payload []byte) {
 		d.onPutChunk(from, m)
 	case KindGetReq:
 		d.onGetReq(from, m)
+	case KindGetAck:
+		d.onGetAck(from, m)
 	case KindListReq:
 		d.bump(func(st *DaemonStats) { st.Lists++ })
 		d.reply(from, Msg{Kind: KindListResp, Req: m.Req, Shard: int32(d.shard), Data: encodeInventory(d.backend.List())})
 	}
 }
 
+// SweepOrphans aborts put assemblies and closes get sessions that have seen
+// no traffic for maxAge — the garbage left by clients that died mid-transfer
+// (their RUDP streams stop without a goodbye). It returns the number of
+// sessions reaped. The owner runs it periodically: rain.Cluster on the
+// simulated scheduler, rainnode on a wall-clock ticker.
+func (d *Daemon) SweepOrphans(maxAge time.Duration) int {
+	cutoff := d.now().Add(-maxAge)
+	reaped := 0
+	for key, a := range d.asm {
+		if a.touched.Before(cutoff) {
+			a.stage.Abort()
+			delete(d.asm, key)
+			reaped++
+		}
+	}
+	for key, g := range d.gets {
+		if g.touched.Before(cutoff) {
+			delete(d.gets, key)
+			reaped++
+		}
+	}
+	if reaped > 0 {
+		d.bump(func(st *DaemonStats) { st.Reaped += reaped })
+	}
+	return reaped
+}
+
 func (d *Daemon) onPutChunk(from string, m Msg) {
-	key := asmKey{from: from, req: m.Req}
+	key := sessKey{from: from, req: m.Req}
 	a, ok := d.asm[key]
 	if !ok {
 		if m.Off != 0 {
@@ -122,43 +198,134 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: "dstore: no such transfer"})
 			return
 		}
-		a = &assembly{id: m.ID, buf: make([]byte, 0, m.ShardLen), shardLen: m.ShardLen, dataLen: m.DataLen}
+		a = &assembly{id: m.ID, stage: d.backend.NewStage(), shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}
 		d.asm[key] = a
 	}
-	if m.Off != int64(len(a.buf)) || m.ID != a.id {
+	if m.Off != a.stage.Len() || m.ID != a.id {
+		a.stage.Abort()
 		delete(d.asm, key)
-		d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: fmt.Sprintf("dstore: chunk at %d, expected %d", m.Off, len(a.buf))})
+		d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: fmt.Sprintf("dstore: chunk at %d, expected %d", m.Off, a.stage.Len())})
 		return
 	}
-	a.buf = append(a.buf, m.Data...)
+	if err := a.stage.Append(m.Data); err != nil {
+		a.stage.Abort()
+		delete(d.asm, key)
+		d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: err.Error()})
+		return
+	}
+	a.touched = d.now()
 	d.bump(func(st *DaemonStats) { st.ChunksStored++ })
-	if int64(len(a.buf)) >= a.shardLen {
-		d.backend.Put(a.id, a.buf, int(a.dataLen))
+	if a.stage.Len() >= a.shardLen {
+		if err := d.backend.Commit(a.stage, a.id, int(a.dataLen), int(a.blockLen)); err != nil {
+			delete(d.asm, key)
+			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: err.Error()})
+			return
+		}
 		d.bump(func(st *DaemonStats) { st.Commits++ })
 		delete(d.asm, key)
 	}
-	d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: a.id, Off: int64(len(a.buf)), ShardLen: a.shardLen})
+	d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: a.id, Off: a.stage.Len(), ShardLen: a.shardLen})
 }
 
 func (d *Daemon) onGetReq(from string, m Msg) {
-	shard, dataLen, err := d.backend.Get(m.ID)
+	info, err := d.backend.Info(m.ID)
 	if err != nil {
 		d.reply(from, Msg{Kind: KindGetChunk, Req: m.Req, ID: m.ID, Err: err.Error()})
 		return
 	}
-	total := int64(len(shard))
-	for off := 0; off < len(shard); off += d.chunk {
-		end := min(off+d.chunk, len(shard))
+	shardLen := int64(info.ShardLen)
+	if m.Off < 0 || m.Off > shardLen {
+		d.reply(from, Msg{Kind: KindGetChunk, Req: m.Req, ID: m.ID, Err: fmt.Sprintf("dstore: get offset %d of %d-byte shard", m.Off, shardLen)})
+		return
+	}
+	g := &getSession{
+		id:       m.ID,
+		shardLen: shardLen,
+		dataLen:  int64(info.DataLen),
+		blockLen: int64(info.BlockLen),
+		sent:     m.Off,
+		credit:   m.Off,
+		win:      int64(m.Win) * int64(d.chunk),
+		touched:  d.now(),
+	}
+	if m.Win <= 0 {
+		// Legacy stateless push: the whole stream in one burst, paced only
+		// by RUDP. Kept for hand-rolled clients (rainnode -getshard).
+		g.win = shardLen + 1
+		d.pumpGet(from, m.Req, g)
+		return
+	}
+	key := sessKey{from: from, req: m.Req}
+	d.gets[key] = g
+	d.pumpGet(from, m.Req, g)
+	if g.sent >= g.shardLen && g.credit >= g.shardLen {
+		delete(d.gets, key)
+	}
+}
+
+func (d *Daemon) onGetAck(from string, m Msg) {
+	key := sessKey{from: from, req: m.Req}
+	g, ok := d.gets[key]
+	if !ok {
+		return
+	}
+	if m.Off < 0 {
+		delete(d.gets, key) // client cancelled (retrieve finished without us)
+		return
+	}
+	if m.Off > g.credit {
+		g.credit = m.Off
+	}
+	if win := int64(m.Win) * int64(d.chunk); win > g.win {
+		g.win = win // the client grew its window after learning the layout
+	}
+	g.touched = d.now()
+	if g.credit >= g.shardLen && g.sent >= g.shardLen {
+		delete(d.gets, key)
+		return
+	}
+	d.pumpGet(from, m.Req, g)
+}
+
+// pumpGet streams chunks while the session's credit window has room. An
+// empty shard stream still sends one empty chunk so the client learns the
+// object metadata.
+func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
+	send := func(data []byte, off int64) {
 		d.bump(func(st *DaemonStats) { st.ChunksServed++ })
 		d.reply(from, Msg{
 			Kind:     KindGetChunk,
-			Req:      m.Req,
-			ID:       m.ID,
+			Req:      req,
+			ID:       g.id,
 			Shard:    int32(d.shard),
-			Off:      int64(off),
-			ShardLen: total,
-			DataLen:  int64(dataLen),
-			Data:     shard[off:end],
+			Off:      off,
+			ShardLen: g.shardLen,
+			DataLen:  g.dataLen,
+			BlockLen: g.blockLen,
+			Data:     data,
 		})
+	}
+	if g.shardLen == 0 {
+		if g.sent == 0 {
+			g.sent = 1 // marker: metadata chunk sent
+			send(nil, 0)
+		}
+		return
+	}
+	for g.sent < g.shardLen && g.sent-g.credit < g.win {
+		n := int64(d.chunk)
+		if rest := g.shardLen - g.sent; rest < n {
+			n = rest
+		}
+		if room := g.win - (g.sent - g.credit); room < n {
+			n = room
+		}
+		buf := make([]byte, n)
+		if err := d.backend.ReadAt(g.id, buf, g.sent); err != nil {
+			d.reply(from, Msg{Kind: KindGetChunk, Req: req, ID: g.id, Err: err.Error()})
+			return
+		}
+		send(buf, g.sent)
+		g.sent += n
 	}
 }

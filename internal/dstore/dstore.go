@@ -8,20 +8,35 @@
 // mesh service, backed by the node-local storage.Backend — and may run a
 // Client, the session layer that
 //
-//   - stores by encoding with any ecc.Code and fanning the n shards out to
-//     the daemons in parallel, each transfer a windowed stream of chunks
-//     sized under the datagram limit;
+//   - stores by encoding with any ecc.Code and fanning the n shard streams
+//     out to the daemons in parallel, each transfer a windowed stream of
+//     chunks sized under the datagram limit (PutStream encodes one block
+//     codeword at a time, gated on the slowest peer's acks);
 //   - retrieves by ranking reachable daemons with the §4.2 selection
-//     policies (least-loaded, nearest, random), racing requests to a chosen
-//     k-subset and hedging to the remaining n-k when peers stall; and
-//   - rebuilds a replaced node by streaming reads from k survivors,
-//     reconstructing the missing shard and streaming it to the newcomer —
-//     entirely over the mesh, no shared memory between nodes.
+//     policies (least-loaded, nearest, random), racing credit-windowed
+//     shard streams from a chosen k-subset, hedging to the remaining n-k
+//     when peers stall, and decoding each block codeword the moment k
+//     pieces of it assemble (GetStream writes data out as it decodes); and
+//   - rebuilds a replaced node by streaming block codewords from k
+//     survivors, reconstructing the missing shard piece by piece and
+//     streaming it to the newcomer — entirely over the mesh, no shared
+//     memory between nodes.
+//
+// # Bounded memory
+//
+// The streaming operations hold O(BlockSize × n) on the client — per-stream
+// buffers are bounded by the flow-control window the client itself grants
+// via GetAck credits — and the daemon never materialises a shard: put
+// chunks append to a storage.Stage and get chunks are ranged reads. The
+// enforced bound is the RAIN_SMOKE CI test (a 256 MiB object under a
+// 128 MiB runtime memory limit). Whole-buffer Put/Get keep the legacy
+// single-codeword layout and hold the object in client memory.
 //
 // Liveness comes from the membership layer (a view callback), not from
 // poking failure flags on server objects: a crashed node is one the
 // membership protocol has excised, and the client's hedging covers the
-// detection gap.
+// detection gap. Transfer state abandoned by crashed clients is reclaimed
+// by the owner-driven Daemon.SweepOrphans.
 package dstore
 
 // Service names on the RUDP mesh. Daemons listen on ServiceDaemon; clients

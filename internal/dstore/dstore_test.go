@@ -52,9 +52,10 @@ func newCluster(t *testing.T, seed int64, n, k int, link sim.LinkConfig, tweak f
 		daemons:  make(map[string]*dstore.Daemon),
 		clients:  make(map[string]*dstore.Client),
 	}
+	simClock := func() time.Time { return time.Unix(0, int64(s.Now())) }
 	for i, node := range nodes {
 		c.backends[node] = storage.NewBackend()
-		c.daemons[node] = dstore.NewDaemon(mesh, node, i, c.backends[node], 4<<10)
+		c.daemons[node] = dstore.NewDaemon(mesh, node, i, c.backends[node], 4<<10, dstore.WithDaemonClock(simClock))
 		cfg := dstore.Config{Code: code, Peers: nodes, ChunkSize: 4 << 10}
 		if tweak != nil {
 			tweak(&cfg)

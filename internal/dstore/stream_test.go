@@ -1,0 +1,329 @@
+package dstore_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/ecc"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// TestPutStreamGetStreamRoundtrip stores objects through the block-codeword
+// streaming path and reads them back with streaming gets via a different
+// node's client, across sizes around the block boundary.
+func TestPutStreamGetStreamRoundtrip(t *testing.T) {
+	const block = 8 << 10
+	c := newCluster(t, 21, 6, 4, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.BlockSize = block
+	})
+	for _, size := range []int{0, 1, block - 1, block, 5*block + 321, 300 << 10} {
+		id := string(rune('A' + size%26))
+		data := randBytes(int64(size), size)
+		stored, err := c.clients["a"].PutStream(id, bytes.NewReader(data), int64(size))
+		if err != nil {
+			t.Fatalf("putstream %d bytes: %v", size, err)
+		}
+		if stored != 6 {
+			t.Fatalf("putstream %d bytes: stored %d of 6", size, stored)
+		}
+		var out bytes.Buffer
+		n, err := c.clients["b"].GetStream(id, &out)
+		if err != nil {
+			t.Fatalf("getstream %d bytes: %v", size, err)
+		}
+		if n != int64(size) || !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("roundtrip %d bytes: corrupted (read %d)", size, n)
+		}
+		// The daemons recorded the block layout, so the whole-buffer Get
+		// decodes the same blocked shards.
+		got, err := c.clients["c"].Get(id)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("whole-buffer get of blocked object (%d bytes): %v", size, err)
+		}
+	}
+	// Cross-layout: a legacy single-codeword put reads back through
+	// GetStream.
+	data := randBytes(77, 90<<10)
+	if _, err := c.clients["a"].Put("legacy", data); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if n, err := c.clients["b"].GetStream("legacy", &out); err != nil || n != int64(len(data)) || !bytes.Equal(out.Bytes(), data) {
+		t.Fatalf("getstream of legacy layout: n=%d err=%v", n, err)
+	}
+	// The shard streams on disk are the encoder's block layout, bit for bit.
+	streams := make([][]byte, 6)
+	if err := ecc.EncodeReader(c.code, bytes.NewReader(randBytes(int64(300<<10), 300<<10)), block, func(b int, shards [][]byte, dataLen int) error {
+		for i, s := range shards {
+			streams[i] = append(streams[i], s...)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := string(rune('A' + (300<<10)%26))
+	for i, node := range c.nodes {
+		shard, _, err := c.backends[node].Get(id)
+		if err != nil {
+			t.Fatalf("backend %s: %v", node, err)
+		}
+		if !bytes.Equal(shard, streams[i]) {
+			t.Fatalf("backend %s holds a shard stream that differs from the encoder layout", node)
+		}
+	}
+}
+
+// TestGetStreamUnderLoss extends the 1-10% loss sweep to the streaming read
+// path: blocked puts, n-k daemons dead, asymmetric latency on one link —
+// GetStream must still deliver bit-exact data.
+func TestGetStreamUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.01, 0.05, 0.10} {
+		c := newCluster(t, int64(2000*loss), 5, 3, sim.Lossy(sim.ProfileLAN, loss), func(cfg *dstore.Config) {
+			cfg.BlockSize = 8 << 10
+		})
+		// Responses from d crawl back over a WAN-ish return path while
+		// requests arrive quickly: the asymmetric regime.
+		sim.ApplyAsymmetric(c.net, "a", "d", 2, sim.Lossy(sim.ProfileLAN, loss), sim.Lossy(sim.ProfileWAN, loss))
+		data := randBytes(31, 120<<10)
+		if _, err := c.clients["a"].PutStream("obj", bytes.NewReader(data), int64(len(data))); err != nil {
+			t.Fatalf("loss %.0f%%: putstream: %v", loss*100, err)
+		}
+		// n-k = 2 daemons die; block-wise quorum reads must still succeed.
+		c.mesh.StopNode("b")
+		c.mesh.StopNode("e")
+		var out bytes.Buffer
+		n, err := c.clients["a"].GetStream("obj", &out)
+		if err != nil {
+			t.Fatalf("loss %.0f%%: getstream with n-k dead: %v", loss*100, err)
+		}
+		if n != int64(len(data)) || !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("loss %.0f%%: stream corrupted", loss*100)
+		}
+	}
+}
+
+// TestKillSurvivorMidRebuild is the degraded-repair scenario: during a
+// block-wise hot-swap rebuild, one of the k survivor streams dies mid-object.
+// The rebuild must hedge to the remaining spare and still deliver bit-exact
+// shard streams to the newcomer.
+func TestKillSurvivorMidRebuild(t *testing.T) {
+	const block = 8 << 10
+	c := newCluster(t, 23, 6, 4, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.BlockSize = block
+	})
+	objects := map[string][]byte{
+		"alpha": randBytes(50, 256<<10),
+		"beta":  randBytes(51, 96<<10),
+	}
+	for id, data := range objects {
+		if _, err := c.clients["a"].PutStream(id, bytes.NewReader(data), int64(len(data))); err != nil {
+			t.Fatalf("putstream %s: %v", id, err)
+		}
+	}
+	// Hot-swap b: blank node rejoins, a survivor's client rebuilds it.
+	c.backends["b"].Wipe()
+	if c.backends["b"].Objects() != 0 {
+		t.Fatal("replacement node not blank")
+	}
+	finished := false
+	var rebuilt int
+	var rebuildErr error
+	c.clients["d"].RebuildAsync("b", func(n int, err error) { rebuilt, rebuildErr, finished = n, err, true })
+	c.s.RunFor(2 * time.Millisecond) // survivor streams flowing, first blocks moving
+	if finished {
+		t.Fatal("rebuild finished before the kill — not mid-rebuild")
+	}
+	// Kill one of the survivors serving the rebuild (FirstK ranks a,c,d,e
+	// with b excluded). The op must hedge to f and continue block-wise.
+	c.mesh.StopNode("e")
+	for !finished && c.s.Step() {
+	}
+	if rebuildErr != nil {
+		t.Fatalf("rebuild with survivor killed mid-stream: %v", rebuildErr)
+	}
+	if rebuilt != len(objects) {
+		t.Fatalf("rebuilt %d objects, want %d", rebuilt, len(objects))
+	}
+	for id, data := range objects {
+		var want [][]byte
+		if err := ecc.EncodeReader(c.code, bytes.NewReader(data), block, func(b int, shards [][]byte, dataLen int) error {
+			if want == nil {
+				want = make([][]byte, len(shards))
+			}
+			for i, s := range shards {
+				want[i] = append(want[i], s...)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		shard, dataLen, err := c.backends["b"].Get(id)
+		if err != nil {
+			t.Fatalf("replacement missing %s: %v", id, err)
+		}
+		if !bytes.Equal(shard, want[1]) {
+			t.Fatalf("rebuilt shard stream of %s differs", id)
+		}
+		if dataLen != len(data) {
+			t.Fatalf("rebuilt %s recorded size %d, want %d", id, dataLen, len(data))
+		}
+		if info, err := c.backends["b"].Info(id); err != nil || info.BlockLen != block {
+			t.Fatalf("rebuilt %s lost its block layout: %+v %v", id, info, err)
+		}
+	}
+}
+
+// TestRebuildEmptyObjects hot-swaps a node holding empty objects in both
+// layouts: the legacy single-codeword put pads empty objects to 1-byte
+// shards (which the rebuild must regenerate, not skip), while the blocked
+// layout stores genuinely empty shard streams.
+func TestRebuildEmptyObjects(t *testing.T) {
+	c := newCluster(t, 27, 5, 3, sim.ProfileLAN, nil)
+	if _, err := c.clients["a"].Put("legacy-empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.clients["a"].PutStream("blocked-empty", bytes.NewReader(nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.backends["e"].Wipe()
+	rebuilt, err := c.clients["b"].Rebuild("e")
+	if err != nil {
+		t.Fatalf("rebuild of empty objects: %v", err)
+	}
+	if rebuilt != 2 {
+		t.Fatalf("rebuilt %d objects, want 2", rebuilt)
+	}
+	want, _ := c.code.Encode(nil)
+	shard, dataLen, err := c.backends["e"].Get("legacy-empty")
+	if err != nil || !bytes.Equal(shard, want[4]) || dataLen != 0 {
+		t.Fatalf("legacy empty shard: %v %v dataLen=%d", shard, err, dataLen)
+	}
+	if shard, dataLen, err := c.backends["e"].Get("blocked-empty"); err != nil || len(shard) != 0 || dataLen != 0 {
+		t.Fatalf("blocked empty shard: %v %v dataLen=%d", shard, err, dataLen)
+	}
+	for _, id := range []string{"legacy-empty", "blocked-empty"} {
+		if got, err := c.clients["d"].Get(id); err != nil || len(got) != 0 {
+			t.Fatalf("get %s after rebuild: %q %v", id, got, err)
+		}
+	}
+}
+
+// TestOrphanedSessionsReaped leaks a put assembly and a windowed get session
+// on a daemon (their clients vanish mid-transfer) and watches the time-based
+// sweep reap both, while a fresh assembly survives.
+func TestOrphanedSessionsReaped(t *testing.T) {
+	c := newCluster(t, 24, 5, 3, sim.ProfileLAN, nil)
+	d := c.daemons["b"]
+	// A put that will never finish: one chunk of a declared 64 KiB shard.
+	c.mesh.SendService("a", "b", dstore.ServiceDaemon, dstore.Msg{
+		Kind:     dstore.KindPutChunk,
+		Req:      991,
+		ID:       "leak",
+		Off:      0,
+		ShardLen: 64 << 10,
+		DataLen:  64 << 10,
+		Data:     randBytes(1, 4<<10),
+	}.Marshal())
+	// A windowed get whose client never acks: store something first.
+	if _, err := c.clients["a"].Put("obj", randBytes(2, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	c.mesh.SendService("a", "b", dstore.ServiceDaemon, dstore.Msg{
+		Kind: dstore.KindGetReq,
+		Req:  992,
+		ID:   "obj",
+		Win:  2,
+	}.Marshal())
+	c.s.RunFor(50 * time.Millisecond)
+	if d.Assemblies() != 1 || d.GetSessions() != 1 {
+		t.Fatalf("leaked sessions not present: asm=%d gets=%d", d.Assemblies(), d.GetSessions())
+	}
+	// Young sessions survive a sweep.
+	if n := d.SweepOrphans(time.Minute); n != 0 {
+		t.Fatalf("young sessions reaped: %d", n)
+	}
+	// Age them past the horizon and sweep again.
+	c.s.RunFor(2 * time.Minute)
+	if n := d.SweepOrphans(time.Minute); n != 2 {
+		t.Fatalf("swept %d sessions, want 2", n)
+	}
+	if d.Assemblies() != 0 || d.GetSessions() != 0 {
+		t.Fatalf("sessions survive sweep: asm=%d gets=%d", d.Assemblies(), d.GetSessions())
+	}
+	if st := d.Stats(); st.Reaped != 2 {
+		t.Fatalf("reap counter %d, want 2", st.Reaped)
+	}
+	// The daemon still serves normally afterwards.
+	if got, err := c.clients["c"].Get("obj"); err != nil || len(got) != 32<<10 {
+		t.Fatalf("get after sweep: %v", err)
+	}
+}
+
+// TestGetWindowPacing hand-rolls a windowed get against a daemon and checks
+// the credit flow control: the daemon sends exactly Win chunks, stops until
+// acked, resumes on credit, and closes its session at the final ack.
+func TestGetWindowPacing(t *testing.T) {
+	s := sim.New(25)
+	net := sim.NewNetwork(s)
+	nodes := []string{"cl", "dm"}
+	sim.ApplyProfile(net, nodes, 2, sim.ProfileLAN)
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := storage.NewBackend()
+	shard := randBytes(3, 64<<10)
+	backend.Put("obj", shard, len(shard), 16<<10)
+	const chunk = 4 << 10
+	d := dstore.NewDaemon(mesh, "dm", 0, backend, chunk)
+	var got []byte
+	chunks := 0
+	mesh.Handle("cl", dstore.ServiceClient, func(from string, payload []byte) {
+		m, err := dstore.Unmarshal(payload)
+		if err != nil || m.Err != "" {
+			t.Fatalf("chunk error: %v %s", err, m.Err)
+		}
+		chunks++
+		got = append(got, m.Data...)
+	})
+	send := func(m dstore.Msg) { mesh.SendService("cl", "dm", dstore.ServiceDaemon, m.Marshal()) }
+
+	send(dstore.Msg{Kind: dstore.KindGetReq, Req: 7, ID: "obj", Win: 2})
+	s.RunFor(time.Second)
+	if chunks != 2 {
+		t.Fatalf("daemon sent %d chunks into a 2-chunk window", chunks)
+	}
+	if d.GetSessions() != 1 {
+		t.Fatalf("no open session: %d", d.GetSessions())
+	}
+	// Credit two chunks: exactly two more arrive.
+	send(dstore.Msg{Kind: dstore.KindGetAck, Req: 7, ID: "obj", Off: int64(len(got)), Win: 2})
+	s.RunFor(time.Second)
+	if chunks != 4 {
+		t.Fatalf("daemon sent %d chunks after one credit, want 4", chunks)
+	}
+	// Open the window wide and drain the rest.
+	send(dstore.Msg{Kind: dstore.KindGetAck, Req: 7, ID: "obj", Off: int64(len(got)), Win: 64})
+	s.RunFor(time.Second)
+	if !bytes.Equal(got, shard) {
+		t.Fatalf("streamed shard differs (%d of %d bytes)", len(got), len(shard))
+	}
+	// Final ack closes the session.
+	send(dstore.Msg{Kind: dstore.KindGetAck, Req: 7, ID: "obj", Off: int64(len(shard))})
+	s.RunFor(time.Second)
+	if d.GetSessions() != 0 {
+		t.Fatalf("session not closed at final ack: %d", d.GetSessions())
+	}
+	// A cancel ack (-1) tears down a fresh session immediately.
+	send(dstore.Msg{Kind: dstore.KindGetReq, Req: 8, ID: "obj", Win: 1})
+	s.RunFor(time.Second)
+	send(dstore.Msg{Kind: dstore.KindGetAck, Req: 8, ID: "obj", Off: -1})
+	s.RunFor(time.Second)
+	if d.GetSessions() != 0 {
+		t.Fatalf("cancelled session lingers: %d", d.GetSessions())
+	}
+}

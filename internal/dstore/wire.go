@@ -12,22 +12,37 @@ import (
 type Kind uint8
 
 // Wire message kinds. Requests flow client -> daemon on ServiceDaemon;
-// responses flow daemon -> client on ServiceClient, echoing Req.
+// responses flow daemon -> client on ServiceClient, echoing Req. The full
+// field semantics and the block-codeword shard-stream layout they assume are
+// documented in DESIGN.md ("The block-codeword contract").
 const (
-	// KindPutChunk carries one chunk of a shard being stored. Chunks of one
-	// transfer share a Req and arrive in offset order (RUDP is FIFO per node
-	// pair); the daemon commits the shard when the last byte lands.
+	// KindPutChunk carries one chunk of a shard stream being stored. Chunks
+	// of one transfer share a Req and arrive in offset order (RUDP is FIFO
+	// per node pair); the daemon appends each chunk to a staged write and
+	// commits the shard when the last byte lands.
 	KindPutChunk Kind = iota + 1
 	// KindPutAck acknowledges put progress through Off bytes (or an error).
 	KindPutAck
-	// KindGetReq asks a daemon to stream its shard of an object.
+	// KindGetReq asks a daemon to stream its shard of an object starting at
+	// byte Off (0 for the whole stream; a block boundary when a retrieve
+	// hedges mid-object). Win is the client's flow-control window in chunks:
+	// the daemon keeps at most Win chunks beyond the client's last GetAck in
+	// flight. Win 0 requests the legacy stateless push of the whole stream.
 	KindGetReq
 	// KindGetChunk carries one chunk of a streamed shard (or an error).
+	// Every chunk carries the object metadata (ShardLen, DataLen, BlockLen)
+	// so the client can lay out the block codewords from the first chunk of
+	// whichever stream answers first.
 	KindGetChunk
 	// KindListReq asks a daemon for its object inventory.
 	KindListReq
 	// KindListResp returns the inventory, encoded in Data.
 	KindListResp
+	// KindGetAck is the client's flow-control credit on a windowed get
+	// stream: the client has consumed the stream through byte Off, so the
+	// daemon may send through Off + Win chunks. An Off of -1 cancels the
+	// stream (the retrieve finished without it).
+	KindGetAck
 )
 
 func (k Kind) String() string {
@@ -44,6 +59,8 @@ func (k Kind) String() string {
 		return "listreq"
 	case KindListResp:
 		return "listresp"
+	case KindGetAck:
+		return "getack"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -55,9 +72,11 @@ type Msg struct {
 	Req      uint64 // request id, chosen by the client, echoed by the daemon
 	ID       string // object id
 	Shard    int32  // shard index held by the daemon
-	Off      int64  // chunk offset within the shard / acked byte count
-	ShardLen int64  // total shard length of the transfer
+	Win      int32  // get flow-control window in chunks (0 = unwindowed)
+	Off      int64  // chunk offset within the shard stream / acked byte count
+	ShardLen int64  // total shard-stream length of the transfer
 	DataLen  int64  // original object length, storage.UnknownSize if unknown
+	BlockLen int64  // block-codeword size of the layout; 0 = one codeword
 	Err      string // error detail on responses
 	Data     []byte // chunk payload or encoded inventory
 }
@@ -65,7 +84,9 @@ type Msg struct {
 // ErrBadMsg reports a malformed encoded dstore message.
 var ErrBadMsg = errors.New("dstore: malformed message")
 
-const msgHeader = 1 + 8 + 4 + 8 + 8 + 8 + 2 + 2 + 4 // kind req shard off shardLen dataLen idLen errLen dataLen32
+// msgHeader is the fixed wire header:
+// kind req shard win off shardLen dataLen blockLen idLen errLen dataLen32.
+const msgHeader = 1 + 8 + 4 + 4 + 8 + 8 + 8 + 8 + 2 + 2 + 4
 
 // Marshal encodes m for transmission as one mesh datagram.
 func (m Msg) Marshal() []byte {
@@ -76,12 +97,14 @@ func (m Msg) Marshal() []byte {
 	buf[0] = byte(m.Kind)
 	binary.BigEndian.PutUint64(buf[1:], m.Req)
 	binary.BigEndian.PutUint32(buf[9:], uint32(m.Shard))
-	binary.BigEndian.PutUint64(buf[13:], uint64(m.Off))
-	binary.BigEndian.PutUint64(buf[21:], uint64(m.ShardLen))
-	binary.BigEndian.PutUint64(buf[29:], uint64(m.DataLen))
-	binary.BigEndian.PutUint16(buf[37:], uint16(len(m.ID)))
-	binary.BigEndian.PutUint16(buf[39:], uint16(len(m.Err)))
-	binary.BigEndian.PutUint32(buf[41:], uint32(len(m.Data)))
+	binary.BigEndian.PutUint32(buf[13:], uint32(m.Win))
+	binary.BigEndian.PutUint64(buf[17:], uint64(m.Off))
+	binary.BigEndian.PutUint64(buf[25:], uint64(m.ShardLen))
+	binary.BigEndian.PutUint64(buf[33:], uint64(m.DataLen))
+	binary.BigEndian.PutUint64(buf[41:], uint64(m.BlockLen))
+	binary.BigEndian.PutUint16(buf[49:], uint16(len(m.ID)))
+	binary.BigEndian.PutUint16(buf[51:], uint16(len(m.Err)))
+	binary.BigEndian.PutUint32(buf[53:], uint32(len(m.Data)))
 	off := msgHeader
 	off += copy(buf[off:], m.ID)
 	off += copy(buf[off:], m.Err)
@@ -98,16 +121,18 @@ func Unmarshal(buf []byte) (Msg, error) {
 		Kind:     Kind(buf[0]),
 		Req:      binary.BigEndian.Uint64(buf[1:]),
 		Shard:    int32(binary.BigEndian.Uint32(buf[9:])),
-		Off:      int64(binary.BigEndian.Uint64(buf[13:])),
-		ShardLen: int64(binary.BigEndian.Uint64(buf[21:])),
-		DataLen:  int64(binary.BigEndian.Uint64(buf[29:])),
+		Win:      int32(binary.BigEndian.Uint32(buf[13:])),
+		Off:      int64(binary.BigEndian.Uint64(buf[17:])),
+		ShardLen: int64(binary.BigEndian.Uint64(buf[25:])),
+		DataLen:  int64(binary.BigEndian.Uint64(buf[33:])),
+		BlockLen: int64(binary.BigEndian.Uint64(buf[41:])),
 	}
-	if m.Kind < KindPutChunk || m.Kind > KindListResp {
+	if m.Kind < KindPutChunk || m.Kind > KindGetAck {
 		return Msg{}, fmt.Errorf("%w: kind %d", ErrBadMsg, buf[0])
 	}
-	idLen := int(binary.BigEndian.Uint16(buf[37:]))
-	errLen := int(binary.BigEndian.Uint16(buf[39:]))
-	dataLen := int(binary.BigEndian.Uint32(buf[41:]))
+	idLen := int(binary.BigEndian.Uint16(buf[49:]))
+	errLen := int(binary.BigEndian.Uint16(buf[51:]))
+	dataLen := int(binary.BigEndian.Uint32(buf[53:]))
 	if len(buf) != msgHeader+idLen+errLen+dataLen {
 		return Msg{}, fmt.Errorf("%w: %d bytes for id=%d err=%d data=%d", ErrBadMsg, len(buf), idLen, errLen, dataLen)
 	}
@@ -126,7 +151,7 @@ func Unmarshal(buf []byte) (Msg, error) {
 func encodeInventory(infos []storage.ObjectInfo) []byte {
 	size := 4
 	for _, in := range infos {
-		size += 2 + len(in.ID) + 8 + 8
+		size += 2 + len(in.ID) + 8 + 8 + 8
 	}
 	buf := make([]byte, size)
 	binary.BigEndian.PutUint32(buf, uint32(len(infos)))
@@ -138,6 +163,8 @@ func encodeInventory(infos []storage.ObjectInfo) []byte {
 		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.DataLen)))
 		off += 8
 		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.ShardLen)))
+		off += 8
+		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.BlockLen)))
 		off += 8
 	}
 	return buf
@@ -157,7 +184,7 @@ func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
 		}
 		idLen := int(binary.BigEndian.Uint16(buf[off:]))
 		off += 2
-		if off+idLen+16 > len(buf) {
+		if off+idLen+24 > len(buf) {
 			return nil, fmt.Errorf("%w: truncated inventory", ErrBadMsg)
 		}
 		id := string(buf[off : off+idLen])
@@ -166,7 +193,9 @@ func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
 		off += 8
 		shardLen := int64(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
-		infos = append(infos, storage.ObjectInfo{ID: id, DataLen: int(dataLen), ShardLen: int(shardLen)})
+		blockLen := int64(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+		infos = append(infos, storage.ObjectInfo{ID: id, DataLen: int(dataLen), ShardLen: int(shardLen), BlockLen: int(blockLen)})
 	}
 	return infos, nil
 }

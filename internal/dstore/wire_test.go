@@ -10,13 +10,15 @@ import (
 
 func TestMsgRoundtrip(t *testing.T) {
 	msgs := []Msg{
-		{Kind: KindPutChunk, Req: 1, ID: "obj", Off: 0, ShardLen: 4096, DataLen: 12345, Data: bytes.Repeat([]byte{7}, 1024)},
+		{Kind: KindPutChunk, Req: 1, ID: "obj", Off: 0, ShardLen: 4096, DataLen: 12345, BlockLen: 64 << 10, Data: bytes.Repeat([]byte{7}, 1024)},
 		{Kind: KindPutAck, Req: 2, ID: "obj", Off: 1024, ShardLen: 4096},
 		{Kind: KindPutAck, Req: 3, ID: "obj", Err: "dstore: no such transfer"},
-		{Kind: KindGetReq, Req: 4, ID: "an object with spaces"},
-		{Kind: KindGetChunk, Req: 5, ID: "obj", Shard: 3, Off: 8192, ShardLen: 1 << 20, DataLen: storage.UnknownSize, Data: []byte{1, 2, 3}},
+		{Kind: KindGetReq, Req: 4, ID: "an object with spaces", Off: 32 << 10, Win: 8},
+		{Kind: KindGetChunk, Req: 5, ID: "obj", Shard: 3, Off: 8192, ShardLen: 1 << 20, DataLen: storage.UnknownSize, BlockLen: 16 << 10, Data: []byte{1, 2, 3}},
 		{Kind: KindListReq, Req: 6},
-		{Kind: KindListResp, Req: 7, Shard: 2, Data: encodeInventory([]storage.ObjectInfo{{ID: "x", DataLen: 9, ShardLen: 3}})},
+		{Kind: KindListResp, Req: 7, Shard: 2, Data: encodeInventory([]storage.ObjectInfo{{ID: "x", DataLen: 9, ShardLen: 3, BlockLen: 4}})},
+		{Kind: KindGetAck, Req: 8, ID: "obj", Off: 48 << 10},
+		{Kind: KindGetAck, Req: 9, ID: "obj", Off: -1},
 	}
 	for _, m := range msgs {
 		got, err := Unmarshal(m.Marshal())
@@ -58,8 +60,8 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 func TestInventoryRoundtrip(t *testing.T) {
 	infos := []storage.ObjectInfo{
 		{ID: "a", DataLen: 0, ShardLen: 1},
-		{ID: "obj-2", DataLen: storage.UnknownSize, ShardLen: 4096},
-		{ID: "big", DataLen: 1 << 30, ShardLen: 1 << 27},
+		{ID: "obj-2", DataLen: storage.UnknownSize, ShardLen: 4096, BlockLen: 16 << 10},
+		{ID: "big", DataLen: 1 << 30, ShardLen: 1 << 27, BlockLen: 1 << 20},
 	}
 	got, err := decodeInventory(encodeInventory(infos))
 	if err != nil {

@@ -8,6 +8,29 @@
 // (B-Code, X-Code, EVENODD) use only XOR in encode and decode; Reed-Solomon
 // pays GF(2^8) multiplications. A shard corresponds to one column of the
 // code array and is what the distributed storage layer places on one node.
+//
+// # Streaming
+//
+// Large objects move through the block-codeword streaming layer instead of
+// one whole-object codeword: StreamEncoder/EncodeReader cut the object into
+// independent codewords of blockSize data bytes, and StreamDecoder /
+// DecodeStreams (any k shard streams -> data) and ShardRebuilder /
+// RebuildStream (k survivor streams -> one lost shard stream) reverse them
+// one block at a time. Shard stream i is the concatenation of every block's
+// shard i, so block b of any stream sits at offset b*ShardSize(blockSize) —
+// the exact layout the dstore wire protocol ships and DESIGN.md documents
+// as the stable contract. Every streaming type holds O(blockSize · n)
+// memory regardless of object size.
+//
+// # Memory and aliasing contracts
+//
+// Encode may return data shards that alias the input buffer (see
+// Code.Encode): callers that mutate the input afterwards, or write into the
+// returned shards, must copy first. StreamEncoder.Next reuses its block
+// buffer, so returned shards are valid only until the following Next.
+// Symmetrically, pieces passed to StreamDecoder.NextBlock and
+// ShardRebuilder.NextBlock are never retained — the caller may reuse them
+// as soon as the call returns.
 package ecc
 
 import (
@@ -42,6 +65,29 @@ type Code interface {
 	// Decode recovers the original message of length dataLen from shards,
 	// of which at least K must be non-nil.
 	Decode(shards [][]byte, dataLen int) ([]byte, error)
+}
+
+// DataReconstructor is optionally implemented by codes that can restore
+// missing data shards without also recomputing missing parity shards.
+// Retrieval paths (which only need the message back) use it to skip the
+// parity work; Reconstruct remains the full-repair entry point. The streaming
+// decoder type-asserts for this interface and falls back to Reconstruct.
+type DataReconstructor interface {
+	// ReconstructData fills in the nil data-shard entries (indices < K) of
+	// shards in place, under the same preconditions as Code.Reconstruct.
+	// Missing parity entries may be left nil.
+	ReconstructData(shards [][]byte) error
+}
+
+// ContiguousLayout is a marker interface for codes whose data shards are
+// contiguous slices of the message: shard i of a dataLen-byte encode holds
+// message bytes [i*ShardSize(dataLen), (i+1)*ShardSize(dataLen)). The
+// streaming decoder writes such codes' data shards straight through; codes
+// with scattered layouts (the XOR array codes, whose data chunks interleave
+// with parity cells across rows) decode through Code.Decode block by block.
+type ContiguousLayout interface {
+	// ContiguousData is a marker method; it performs no work.
+	ContiguousData()
 }
 
 // Errors shared by all code implementations.

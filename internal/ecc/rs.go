@@ -139,6 +139,10 @@ func (c *rsCode) Name() string { return c.name }
 func (c *rsCode) N() int       { return c.n }
 func (c *rsCode) K() int       { return c.k }
 
+// ContiguousData marks the systematic contiguous data layout (shard i is
+// message bytes [i*shardLen, (i+1)*shardLen)) for the streaming decoder.
+func (c *rsCode) ContiguousData() {}
+
 func (c *rsCode) shardLen(dataLen int) int {
 	if dataLen <= 0 {
 		return 1
@@ -278,7 +282,14 @@ func (c *rsCode) Encode(data []byte) ([][]byte, error) {
 }
 
 // Reconstruct implements Code.
-func (c *rsCode) Reconstruct(shards [][]byte) error {
+func (c *rsCode) Reconstruct(shards [][]byte) error { return c.reconstruct(shards, false) }
+
+// ReconstructData implements DataReconstructor: it restores missing data
+// shards exactly like Reconstruct but leaves missing parity shards nil,
+// skipping the parity row application that retrieval paths never need.
+func (c *rsCode) ReconstructData(shards [][]byte) error { return c.reconstruct(shards, true) }
+
+func (c *rsCode) reconstruct(shards [][]byte, dataOnly bool) error {
 	shardLen, present, err := checkShards(shards, c.n, c.k)
 	if err != nil {
 		return err
@@ -364,6 +375,9 @@ func (c *rsCode) Reconstruct(shards [][]byte) error {
 		}
 	}
 	// Recompute any missing parity shards from the (now complete) data.
+	if dataOnly {
+		return nil
+	}
 	var missingParity []int
 	for r := c.k; r < c.n; r++ {
 		if shards[r] == nil {
@@ -390,7 +404,7 @@ func (c *rsCode) Reconstruct(shards [][]byte) error {
 func (c *rsCode) Decode(shards [][]byte, dataLen int) ([]byte, error) {
 	work := make([][]byte, len(shards))
 	copy(work, shards)
-	if err := c.Reconstruct(work); err != nil {
+	if err := c.ReconstructData(work); err != nil {
 		return nil, err
 	}
 	shardLen := len(work[0])

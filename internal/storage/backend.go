@@ -1,7 +1,11 @@
 package storage
 
 import (
+	"encoding/hex"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -12,11 +16,12 @@ import (
 const UnknownSize = -1
 
 // ObjectInfo describes one shard held by a backend, as reported to rebuild
-// coordinators.
+// coordinators and streamed in dstore inventories.
 type ObjectInfo struct {
 	ID       string
 	DataLen  int // original object length, or UnknownSize
 	ShardLen int
+	BlockLen int // block-codeword size of the layout; 0 = one codeword
 }
 
 // Backend is the node-local shard store: one shard per object id, plus the
@@ -24,33 +29,76 @@ type ObjectInfo struct {
 // shared by the two frontends a RAIN node offers — the direct-call Server
 // used in-process and the dstore daemon serving the same shards over the
 // mesh. Safe for concurrent use.
+//
+// A backend is either memory-backed (NewBackend) or file-backed
+// (NewFileBackend): the latter spills shard bytes to one file per object so
+// a daemon's heap stays bounded by in-flight chunks, not by what it stores —
+// the §4.2 store cannot otherwise hold objects larger than RAM. Both modes
+// support the streaming write path (NewStage/Append/Commit) and ranged reads
+// (ReadAt) that the dstore daemon uses to move shards chunk by chunk.
 type Backend struct {
-	mu     sync.Mutex
-	shards map[string]backendEntry
-	reads  int
-	writes int
+	mu       sync.Mutex
+	dir      string // "" = memory-backed
+	shards   map[string]backendEntry
+	reads    int
+	writes   int
+	stageSeq int
 }
 
 type backendEntry struct {
-	shard   []byte
-	dataLen int
+	shard    []byte // memory mode only
+	path     string // file mode only
+	shardLen int64
+	dataLen  int
+	blockLen int
 }
 
-// NewBackend returns an empty backend.
+// NewBackend returns an empty memory-backed backend.
 func NewBackend() *Backend {
 	return &Backend{shards: make(map[string]backendEntry)}
 }
 
-// Put stores the shard for an object together with the original object
-// length (UnknownSize if the writer does not know it).
-func (b *Backend) Put(id string, shard []byte, dataLen int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.shards[id] = backendEntry{shard: append([]byte(nil), shard...), dataLen: dataLen}
-	b.writes++
+// NewFileBackend returns an empty backend storing shard bytes as one file
+// per object under dir (created if missing). Metadata stays in memory; shard
+// bytes live on disk, so stored objects do not occupy heap.
+func NewFileBackend(dir string) (*Backend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: file backend: %w", err)
+	}
+	return &Backend{dir: dir, shards: make(map[string]backendEntry)}, nil
 }
 
-// Get fetches the shard for an object and the recorded object length.
+// shardPath maps an object id to its shard file. Hex encoding keeps any id
+// filesystem-safe and collision-free.
+func (b *Backend) shardPath(id string) string {
+	return filepath.Join(b.dir, hex.EncodeToString([]byte(id))+".shard")
+}
+
+// Put stores the shard for an object together with the original object
+// length (UnknownSize if the writer does not know it) and the block-codeword
+// size of its layout (0 for a single whole-object codeword). A non-nil
+// error (file-backed mode only: disk full, permissions) means nothing was
+// stored.
+func (b *Backend) Put(id string, shard []byte, dataLen, blockLen int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := backendEntry{shardLen: int64(len(shard)), dataLen: dataLen, blockLen: blockLen}
+	if b.dir == "" {
+		e.shard = append([]byte(nil), shard...)
+	} else {
+		e.path = b.shardPath(id)
+		if err := os.WriteFile(e.path, shard, 0o644); err != nil {
+			return fmt.Errorf("storage: put %s: %w", id, err)
+		}
+	}
+	b.shards[id] = e
+	b.writes++
+	return nil
+}
+
+// Get fetches the whole shard for an object and the recorded object length.
+// Streaming readers should prefer ReadAt, which does not materialise the
+// shard.
 func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -59,7 +107,50 @@ func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
 		return nil, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}
 	b.reads++
-	return append([]byte(nil), e.shard...), e.dataLen, nil
+	if b.dir == "" {
+		return append([]byte(nil), e.shard...), e.dataLen, nil
+	}
+	shard, err = os.ReadFile(e.path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: %s: %w", id, err)
+	}
+	return shard, e.dataLen, nil
+}
+
+// ReadAt copies len(p) shard bytes starting at off into p — the ranged read
+// the dstore daemon streams get chunks from, bounded-memory in both backend
+// modes. A read starting at offset 0 counts as one read for the balancing
+// policies. Short ranges past the end return io.ErrUnexpectedEOF. File I/O
+// happens outside the backend lock (entries are immutable once published;
+// a concurrent Delete surfaces as a read error, the same as an object that
+// was never stored).
+func (b *Backend) ReadAt(id string, p []byte, off int64) error {
+	b.mu.Lock()
+	e, ok := b.shards[id]
+	if ok && off == 0 {
+		b.reads++
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrObjectNotFound, id)
+	}
+	if off < 0 || off+int64(len(p)) > e.shardLen {
+		return fmt.Errorf("storage: %s: range [%d,%d) outside shard of %d bytes: %w",
+			id, off, off+int64(len(p)), e.shardLen, io.ErrUnexpectedEOF)
+	}
+	if e.path == "" {
+		copy(p, e.shard[off:])
+		return nil
+	}
+	f, err := os.Open(e.path)
+	if err != nil {
+		return fmt.Errorf("storage: %s: %w", id, err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("storage: %s: %w", id, err)
+	}
+	return nil
 }
 
 // Stat reports the shard length and recorded object length without counting
@@ -71,13 +162,27 @@ func (b *Backend) Stat(id string) (shardLen, dataLen int, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}
-	return len(e.shard), e.dataLen, nil
+	return int(e.shardLen), e.dataLen, nil
+}
+
+// Info reports the full metadata for one object without counting a read.
+func (b *Backend) Info(id string) (ObjectInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.shards[id]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
+	}
+	return ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen}, nil
 }
 
 // Delete removes an object's shard.
 func (b *Backend) Delete(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if e, ok := b.shards[id]; ok && e.path != "" {
+		os.Remove(e.path)
+	}
 	delete(b.shards, id)
 }
 
@@ -87,7 +192,7 @@ func (b *Backend) List() []ObjectInfo {
 	defer b.mu.Unlock()
 	out := make([]ObjectInfo, 0, len(b.shards))
 	for id, e := range b.shards {
-		out = append(out, ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: len(e.shard)})
+		out = append(out, ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -111,5 +216,104 @@ func (b *Backend) Objects() int {
 func (b *Backend) Wipe() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	for _, e := range b.shards {
+		if e.path != "" {
+			os.Remove(e.path)
+		}
+	}
 	b.shards = make(map[string]backendEntry)
+}
+
+// Stage is an in-progress streaming shard write: chunks append as they
+// arrive off the wire, and the shard becomes visible atomically at Commit.
+// In a file-backed backend the bytes accumulate in a temporary file, so an
+// assembling daemon holds no more heap than one chunk.
+type Stage struct {
+	b   *Backend
+	buf []byte   // memory mode
+	f   *os.File // file mode
+	n   int64
+	err error
+}
+
+// NewStage opens a streaming write. The caller must finish it with Commit or
+// Abort.
+func (b *Backend) NewStage() *Stage {
+	s := &Stage{b: b}
+	if b.dir != "" {
+		b.mu.Lock()
+		b.stageSeq++
+		seq := b.stageSeq
+		b.mu.Unlock()
+		f, err := os.CreateTemp(b.dir, fmt.Sprintf(".stage-%d-*", seq))
+		if err != nil {
+			s.err = fmt.Errorf("storage: stage: %w", err)
+			return s
+		}
+		s.f = f
+	}
+	return s
+}
+
+// Append adds the next chunk of the shard.
+func (s *Stage) Append(p []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.f != nil {
+		if _, err := s.f.Write(p); err != nil {
+			s.err = fmt.Errorf("storage: stage: %w", err)
+			return s.err
+		}
+	} else {
+		s.buf = append(s.buf, p...)
+	}
+	s.n += int64(len(p))
+	return nil
+}
+
+// Len returns the number of bytes appended so far.
+func (s *Stage) Len() int64 { return s.n }
+
+// Abort discards the stage and any bytes written.
+func (s *Stage) Abort() {
+	if s.f != nil {
+		name := s.f.Name()
+		s.f.Close()
+		os.Remove(name)
+		s.f = nil
+	}
+	s.buf = nil
+	s.err = fmt.Errorf("storage: stage aborted")
+}
+
+// Commit atomically publishes the staged bytes as the shard for id, with the
+// recorded object length and block-codeword size. The stage is consumed.
+func (b *Backend) Commit(s *Stage, id string, dataLen, blockLen int) error {
+	if s.err != nil {
+		return s.err
+	}
+	e := backendEntry{shardLen: s.n, dataLen: dataLen, blockLen: blockLen}
+	if s.f != nil {
+		name := s.f.Name()
+		if err := s.f.Close(); err != nil {
+			os.Remove(name)
+			return fmt.Errorf("storage: commit %s: %w", id, err)
+		}
+		e.path = b.shardPath(id)
+		if err := os.Rename(name, e.path); err != nil {
+			os.Remove(name)
+			return fmt.Errorf("storage: commit %s: %w", id, err)
+		}
+		s.f = nil
+	} else {
+		e.shard = s.buf
+		s.buf = nil
+	}
+	b.mu.Lock()
+	b.shards[id] = e
+	b.writes++
+	b.mu.Unlock()
+	s.err = fmt.Errorf("storage: stage already committed")
+	return nil
 }

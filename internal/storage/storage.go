@@ -9,6 +9,16 @@
 // symbols rebuilt from the surviving k), and load balancing through the
 // freedom to pick which k nodes serve a read (least-loaded, geographically
 // nearest, or random).
+//
+// The node-local state is a Backend: one shard per object id plus the
+// recorded object length and block-codeword size (the dstore layout
+// contract). Backends are memory-backed or file-backed (NewFileBackend) and
+// support the bounded-memory transfer primitives the networked daemon
+// streams through — staged chunk-by-chunk writes (NewStage/Append/Commit,
+// atomic at commit) and ranged ReadAt reads — so a node's heap never scales
+// with the size of what it stores or serves. Server is the direct-call
+// frontend over the same backend; Rank implements the selection policies
+// shared with the networked client.
 package storage
 
 import (
@@ -82,8 +92,7 @@ func (s *Server) Put(id string, shard []byte) error {
 	if s.Down() {
 		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	s.backend.Put(id, shard, UnknownSize)
-	return nil
+	return s.backend.Put(id, shard, UnknownSize, 0)
 }
 
 // Get fetches the symbol for an object.

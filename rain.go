@@ -76,17 +76,39 @@ func NewSingleParity(k int) (Code, error) { return ecc.NewSingleParity(k) }
 // EncodeReader encodes an io.Reader through a Code one block at a time, so
 // multi-GiB objects encode with memory bounded by blockSize: fn receives
 // every block's n shards in order. See ecc.StreamEncoder for the iterator
-// form.
+// form. Block b's shard i is the b-th piece of shard stream i — the
+// block-codeword layout DecodeStreams and RebuildStream consume, documented
+// in DESIGN.md.
 func EncodeReader(code Code, r io.Reader, blockSize int, fn func(block int, shards [][]byte, dataLen int) error) error {
 	return ecc.EncodeReader(code, r, blockSize, fn)
+}
+
+// DecodeStreams reconstructs an object of dataLen bytes from any k of its
+// shard streams (nil entries mark missing shards), writing decoded data to
+// w one block codeword at a time: memory stays bounded by the block size
+// regardless of object size. It returns the number of bytes written. See
+// ecc.StreamDecoder for the push-style form the networked store drives.
+func DecodeStreams(code Code, w io.Writer, readers []io.Reader, dataLen int64, blockSize int) (int64, error) {
+	return ecc.DecodeStreams(code, w, readers, dataLen, blockSize)
+}
+
+// RebuildStream regenerates shard stream target from k survivor streams,
+// writing it to w block by block — the hot-swap repair operation of §4.2 as
+// a bounded-memory stream. The target entry of readers must be nil. It
+// returns the number of shard bytes written.
+func RebuildStream(code Code, target int, w io.Writer, readers []io.Reader, dataLen int64, blockSize int) (int64, error) {
+	return ecc.RebuildStream(code, target, w, readers, dataLen, blockSize)
 }
 
 // Cluster is a full RAIN deployment: a simulated set of nodes with bundled
 // network interfaces, running the membership ring, leader election, RUDP
 // communication and erasure-coded storage, with fault injection for every
 // layer. Put, Get and ReplaceNode are distributed operations whose shard
-// traffic crosses the simulated network as dstore protocol messages. See
-// internal/core for the composition.
+// traffic crosses the simulated network as dstore protocol messages;
+// PutStream and GetStream are their bounded-memory forms, moving one block
+// codeword at a time so the cluster serves objects far larger than any
+// node's RAM (set ClusterOptions.StorageDir to also keep stored shards on
+// disk). See internal/core for the composition.
 type Cluster = core.Platform
 
 // ClusterOptions configures NewCluster.

@@ -2,6 +2,7 @@ package rain
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 )
@@ -54,5 +55,68 @@ func TestFacadeCluster(t *testing.T) {
 	view, ok := cl.Consensus()
 	if !ok || len(view) != 5 {
 		t.Fatalf("membership after crash: %v ok=%v", view, ok)
+	}
+}
+
+// TestFacadeStreaming drives the streaming halves end to end through the
+// facade: EncodeReader's shard streams decode with DecodeStreams and rebuild
+// with RebuildStream, and a Cluster round-trips an object through
+// PutStream/GetStream.
+func TestFacadeStreaming(t *testing.T) {
+	code, err := NewReedSolomon(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 4 << 10
+	data := make([]byte, 41<<10)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	streams := make([][]byte, code.N())
+	if err := EncodeReader(code, bytes.NewReader(data), block, func(b int, shards [][]byte, dataLen int) error {
+		for i, s := range shards {
+			streams[i] = append(streams[i], s...)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Decode from k streams, two missing.
+	readers := make([]io.Reader, code.N())
+	for i := 2; i < code.N(); i++ {
+		readers[i] = bytes.NewReader(streams[i])
+	}
+	var out bytes.Buffer
+	if n, err := DecodeStreams(code, &out, readers, int64(len(data)), block); err != nil || n != int64(len(data)) {
+		t.Fatalf("decode streams: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("stream decode corrupted")
+	}
+	// Rebuild shard 0 from four survivors.
+	readers = make([]io.Reader, code.N())
+	for i := 1; i <= code.K(); i++ {
+		readers[i] = bytes.NewReader(streams[i])
+	}
+	var shard bytes.Buffer
+	if _, err := RebuildStream(code, 0, &shard, readers, int64(len(data)), block); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shard.Bytes(), streams[0]) {
+		t.Fatal("rebuilt shard stream differs")
+	}
+
+	cl, err := NewCluster([]string{"n1", "n2", "n3", "n4", "n5", "n6"},
+		ClusterOptions{Seed: 2, BlockSize: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Second)
+	if err := cl.PutStream("obj", bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if n, err := cl.GetStream("obj", &out); err != nil || n != int64(len(data)) || !bytes.Equal(out.Bytes(), data) {
+		t.Fatalf("cluster stream roundtrip: n=%d err=%v", n, err)
 	}
 }
