@@ -466,6 +466,86 @@ func BenchmarkDStorePutGet(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentRebuild measures whole-node rebuild on an 8-node
+// simulated cluster holding 32 placement-mapped rs(6,4) objects: the
+// "sequential" mode (rebuild budget 1, one object in flight — the seed
+// behaviour) against the "concurrent" pipeline (default budget, several
+// objects in flight under block × n memory each, survivor k-subsets chosen
+// to spread read load). The sim-ms/op metric is the cluster (virtual) time
+// one full node rebuild takes — the availability window after a hot swap —
+// and is the headline ISSUE 4 before/after number.
+func BenchmarkConcurrentRebuild(b *testing.B) {
+	const (
+		nodesN      = 8
+		objectCount = 32
+		objectSize  = 256 << 10
+		blockSize   = 32 << 10
+	)
+	code, err := ecc.NewReedSolomon(6, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{
+		{"sequential", 1},
+		{"concurrent", 0}, // default budget
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := sim.New(33)
+			net := sim.NewNetwork(s)
+			nodes := make([]string, nodesN)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("n%d", i)
+			}
+			sim.ApplyProfile(net, nodes, 2, sim.LinkConfig{Delay: 2 * time.Millisecond, Jitter: 200 * time.Microsecond})
+			mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			backends := make(map[string]*storage.Backend, nodesN)
+			for i, n := range nodes {
+				backends[n] = storage.NewBackend()
+				dstore.NewDaemon(mesh, n, i, backends[n], 0)
+			}
+			cl, err := dstore.NewClient(s, mesh, nodes[0], dstore.Config{
+				Code: code, Nodes: nodes, BlockSize: blockSize, RebuildBudget: mode.budget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.RunFor(100 * time.Millisecond)
+			data := make([]byte, objectSize)
+			rand.New(rand.NewSource(34)).Read(data)
+			for i := 0; i < objectCount; i++ {
+				if _, err := cl.PutStream(fmt.Sprintf("obj%02d", i), bytes.NewReader(data), objectSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := nodes[3]
+			held := backends[target].Objects()
+			shardBytes := int64(held) * ecc.StreamShardLen(code, objectSize, blockSize)
+			b.SetBytes(shardBytes)
+			b.ResetTimer()
+			var simTime time.Duration
+			for i := 0; i < b.N; i++ {
+				backends[target].Wipe()
+				start := s.Now()
+				rebuilt, err := cl.Rebuild(target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rebuilt != held {
+					b.Fatalf("rebuilt %d objects, want %d", rebuilt, held)
+				}
+				simTime += time.Duration(s.Now() - start)
+			}
+			b.ReportMetric(float64(simTime.Milliseconds())/float64(b.N), "sim-ms/op")
+		})
+	}
+}
+
 // --- E18: §5.2 ---
 
 // BenchmarkSnowRequests measures end-to-end request service rate of a

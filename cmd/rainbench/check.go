@@ -1,0 +1,168 @@
+package main
+
+// The benchmark-regression gate: `rainbench -record` turns `go test -bench`
+// output into a committed baseline (BENCH_baseline.json), and `rainbench
+// -check` compares a fresh run against it, failing when the geometric-mean
+// throughput ratio across the benchmarks drops below the threshold. CI runs
+// the check on every push; the geomean keeps one noisy microbenchmark from
+// failing the build while a real regression — which moves many benchmarks
+// or one benchmark a lot — still trips it.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference: benchmark name (GOMAXPROCS suffix
+// stripped) to throughput. Throughput is MB/s where the benchmark reports
+// it, otherwise ops/s derived from ns/op — either way, bigger is better.
+type Baseline struct {
+	Note    string             `json:"note,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts per-benchmark throughput from `go test -bench`
+// output. Repeated runs of one benchmark (-count N) collapse to their
+// maximum — the least noise-contaminated observation.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		// rest is value/unit pairs: "123.4 ns/op 567.8 MB/s ...".
+		var nsOp, mbs float64
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "ns/op":
+				nsOp = v
+			case "MB/s":
+				mbs = v
+			}
+		}
+		throughput := mbs
+		if throughput == 0 && nsOp > 0 {
+			throughput = 1e9 / nsOp // ops/s
+		}
+		if throughput > out[name] {
+			out[name] = throughput
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	return out, nil
+}
+
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// runRecord writes the baseline file from a bench run.
+func runRecord(baselinePath, inputPath, note string) error {
+	in, err := openInput(inputPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	metrics, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(Baseline{Note: note, Metrics: metrics}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(metrics), baselinePath)
+	return nil
+}
+
+// runCheck compares a fresh bench run against the baseline: benchmarks in
+// both contribute their current/baseline throughput ratio to a geometric
+// mean, and a geomean below threshold fails. Benchmarks only on one side
+// are reported but do not gate (benchmarks come and go across PRs).
+func runCheck(baselinePath, inputPath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	in, err := openInput(inputPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	current, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var logSum float64
+	compared := 0
+	worstName, worstRatio := "", math.Inf(1)
+	fmt.Printf("%-60s %12s %12s %8s\n", "benchmark", "baseline", "current", "ratio")
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("%-60s %12.1f %12s %8s\n", name, base.Metrics[name], "missing", "-")
+			continue
+		}
+		ratio := cur / base.Metrics[name]
+		fmt.Printf("%-60s %12.1f %12.1f %7.2fx\n", name, base.Metrics[name], cur, ratio)
+		logSum += math.Log(ratio)
+		compared++
+		if ratio < worstRatio {
+			worstName, worstRatio = name, ratio
+		}
+	}
+	for name := range current {
+		if _, ok := base.Metrics[name]; !ok {
+			fmt.Printf("%-60s %12s %12.1f %8s  (new, not gated)\n", name, "-", current[name], "-")
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common with the baseline")
+	}
+	geomean := math.Exp(logSum / float64(compared))
+	fmt.Printf("\ngeomean throughput ratio over %d benchmarks: %.3fx (threshold %.2fx; worst %s at %.2fx)\n",
+		compared, geomean, threshold, worstName, worstRatio)
+	if geomean < threshold {
+		return fmt.Errorf("benchmark regression: geomean ratio %.3f below threshold %.2f", geomean, threshold)
+	}
+	return nil
+}

@@ -253,6 +253,7 @@ func runPutShard(ch *udpChannel, id, path string) error {
 			Kind:     dstore.KindPutChunk,
 			Req:      1,
 			ID:       id,
+			Shard:    -1, // the daemon's configured index applies
 			Off:      int64(off),
 			ShardLen: int64(len(data)),
 			DataLen:  storage.UnknownSize,
@@ -318,6 +319,7 @@ func runPutObj(ch *udpChannel, id, path string, block int) error {
 				Kind:     dstore.KindPutChunk,
 				Req:      2,
 				ID:       id,
+				Shard:    -1, // the daemon's configured index applies
 				Off:      sent,
 				ShardLen: size,
 				DataLen:  size,
@@ -329,7 +331,7 @@ func runPutObj(ch *udpChannel, id, path string, block int) error {
 		if size == 0 {
 			// Metadata-only commit for an empty object.
 			ch.SendService("local", "remote", dstore.ServiceDaemon, dstore.Msg{
-				Kind: dstore.KindPutChunk, Req: 2, ID: id, DataLen: 0, BlockLen: int64(block),
+				Kind: dstore.KindPutChunk, Req: 2, ID: id, Shard: -1, DataLen: 0, BlockLen: int64(block),
 			}.Marshal())
 		}
 		select {

@@ -45,9 +45,12 @@ type Options struct {
 	// Paths is the number of bundled network interfaces per node pair
 	// (default 2, the testbed layout).
 	Paths int
-	// Code is the erasure code for distributed storage; its N must equal
-	// the number of nodes. Default: B-Code when len(nodes) is valid for
-	// it, otherwise Reed-Solomon (n, n-2).
+	// Code is the erasure code for distributed storage; its N must not
+	// exceed the number of nodes. With N below the node count, each
+	// object's n shard holders are chosen by per-object rendezvous
+	// placement over the whole cluster (internal/placement). Default:
+	// B-Code when len(nodes) is valid for it, otherwise Reed-Solomon
+	// (n, n-2) over all nodes.
 	Code ecc.Code
 	// Policy selects the retrieve node-selection policy.
 	Policy storage.Policy
@@ -63,6 +66,10 @@ type Options struct {
 	// under StorageDir/<node> instead of the in-memory backend, so stored
 	// objects do not occupy heap (the bounded-memory deployments).
 	StorageDir string
+	// RebuildBudget bounds concurrent rebuild/rebalance memory per client
+	// in bytes (block × n per in-flight object); 0 takes the dstore
+	// default.
+	RebuildBudget int64
 }
 
 func (o Options) withDefaults(nodes int) (Options, error) {
@@ -81,16 +88,18 @@ func (o Options) withDefaults(nodes int) (Options, error) {
 			return o, fmt.Errorf("core: no default code for %d nodes: %w", nodes, err)
 		}
 	}
-	if o.Code.N() != nodes {
-		return o, fmt.Errorf("core: code n=%d but cluster has %d nodes", o.Code.N(), nodes)
+	if o.Code.N() > nodes {
+		return o, fmt.Errorf("core: code n=%d but cluster has only %d nodes", o.Code.N(), nodes)
 	}
 	return o, nil
 }
 
 // Platform is a running RAIN cluster. Every node runs a storage daemon on
-// the mesh and a client session; Put/Get/Rebuild are mesh operations. Store
-// is the direct in-process frontend over the same per-node backends, kept
-// for experiments that poke shards without network traffic.
+// the mesh and a client session; Put/Get/Rebuild/Rebalance are mesh
+// operations over per-object rendezvous placements. Store is the direct
+// in-process frontend over the same per-node backends, kept for experiments
+// that poke shards without network traffic; it exists only when the code is
+// exactly as wide as the cluster (it addresses servers positionally).
 type Platform struct {
 	Scheduler *sim.Scheduler
 	Network   *sim.Network
@@ -100,10 +109,12 @@ type Platform struct {
 	Membership *membership.Cluster
 	Election   *election.Cluster
 	Store      *storage.Store
+	Backends   map[string]*storage.Backend
 	Daemons    map[string]*dstore.Daemon
 	Clients    map[string]*dstore.Client
 
-	opts Options
+	servers map[string]*storage.Server
+	opts    Options
 }
 
 // New builds and starts a platform over the named nodes. The membership
@@ -147,9 +158,13 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		}
 		servers[i] = storage.NewServerWithBackend(n, i, backends[i])
 	}
-	store, err := storage.New(opts.Code, servers, opts.Policy, opts.Seed+1)
-	if err != nil {
-		return nil, err
+	// The positional direct-call frontend only fits a cluster exactly as
+	// wide as the code; wider clusters are placement-only.
+	var store *storage.Store
+	if opts.Code.N() == len(nodes) {
+		if store, err = storage.New(opts.Code, servers, opts.Policy, opts.Seed+1); err != nil {
+			return nil, err
+		}
 	}
 	mbr := membership.NewCluster(s, net, nodes, membership.Config{Detection: opts.Detection})
 	p := &Platform{
@@ -160,19 +175,26 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		Membership: mbr,
 		Election:   election.NewCluster(s, net, nodes, election.Config{}),
 		Store:      store,
+		Backends:   make(map[string]*storage.Backend),
 		Daemons:    make(map[string]*dstore.Daemon),
 		Clients:    make(map[string]*dstore.Client),
+		servers:    make(map[string]*storage.Server),
 		opts:       opts,
 	}
 	simClock := func() time.Time { return time.Unix(0, int64(s.Now())) }
 	for i, n := range nodes {
+		p.Backends[n] = backends[i]
+		p.servers[n] = servers[i]
 		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0, dstore.WithDaemonClock(simClock))
 		self := n
 		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
-			Code:      opts.Code,
-			Peers:     nodes,
-			Policy:    opts.Policy,
-			BlockSize: opts.BlockSize,
+			Code: opts.Code,
+			// Placement mode: every object's n shard holders are chosen by
+			// rendezvous hashing over the whole cluster.
+			Nodes:         nodes,
+			Policy:        opts.Policy,
+			BlockSize:     opts.BlockSize,
+			RebuildBudget: opts.RebuildBudget,
 			// Liveness is the membership protocol's view from this node; the
 			// client's hedging covers the detection gap after a crash.
 			Alive: func(peer string) bool {
@@ -280,7 +302,11 @@ func (p *Platform) GetStream(id string, w io.Writer) (int64, error) {
 // ReplaceNode hot-swaps a blank node in at the given name (dynamic
 // reconfiguration, §4.2): the node's shards are wiped, the node is revived
 // across every subsystem, and a surviving node's client rebuilds its shards
-// entirely over the mesh. Returns the number of objects rebuilt.
+// entirely over the mesh — several objects pipelined at once under the
+// rebuild memory budget, each reading a survivor k-subset chosen to spread
+// load. Returns the number of objects rebuilt. This is the special case of
+// placement reconciliation where the delta is one node losing everything;
+// Rebalance handles the general delta.
 func (p *Platform) ReplaceNode(node string) (int, error) {
 	srv := p.serverOf(node)
 	if srv == nil {
@@ -297,6 +323,19 @@ func (p *Platform) ReplaceNode(node string) (int, error) {
 	return cl.Rebuild(node)
 }
 
+// Rebalance reconciles every stored object with its target placement from a
+// surviving node's client: missing or misplaced shards are copied or
+// reconstructed onto their target holders and stale copies dropped — a
+// cluster scrub. Blocks in virtual time; call from outside scheduler
+// callbacks.
+func (p *Platform) Rebalance() (dstore.RebalanceStats, error) {
+	cl, err := p.client()
+	if err != nil {
+		return dstore.RebalanceStats{}, err
+	}
+	return cl.Rebalance()
+}
+
 // Send queues a reliable datagram between two nodes over the bundled
 // RUDP paths.
 func (p *Platform) Send(from, to string, payload []byte) { p.Mesh.Send(from, to, payload) }
@@ -308,12 +347,7 @@ func (p *Platform) OnMessage(node string, fn func(from string, payload []byte)) 
 
 // serverOf returns the storage server co-located with a node.
 func (p *Platform) serverOf(node string) *storage.Server {
-	for i, n := range p.Nodes {
-		if n == node {
-			return p.Store.Servers()[i]
-		}
-	}
-	return nil
+	return p.servers[node]
 }
 
 // Crash takes a node down across every subsystem: its storage server goes

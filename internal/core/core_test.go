@@ -117,12 +117,20 @@ func TestPlatformValidation(t *testing.T) {
 	if _, err := New([]string{"solo"}, Options{}); err == nil {
 		t.Fatal("single-node platform accepted")
 	}
-	code, err := ecc.NewBCode(4)
+	wide, err := ecc.NewReedSolomon(8, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(sixNodes, Options{Code: code}); err == nil {
-		t.Fatal("mismatched code size accepted")
+	if _, err := New(sixNodes, Options{Code: wide}); err == nil {
+		t.Fatal("code wider than the cluster accepted")
+	}
+	// A code narrower than the cluster is the placement-mapped layout.
+	narrow, err := ecc.NewBCode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sixNodes, Options{Code: narrow}); err != nil {
+		t.Fatalf("placement-mapped narrow code rejected: %v", err)
 	}
 	if _, err := New(sixNodes, Options{}); err != nil {
 		t.Fatalf("valid platform rejected: %v", err)

@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"rain/internal/ecc"
+	"rain/internal/placement"
 	"rain/internal/sim"
 	"rain/internal/storage"
 )
@@ -28,6 +28,10 @@ const (
 	DefaultReqTimeout = 500 * time.Millisecond
 	// DefaultOpTimeout bounds one whole store/retrieve/rebuild operation.
 	DefaultOpTimeout = 15 * time.Second
+	// DefaultRebuildBudget bounds the memory of concurrent rebuild and
+	// rebalance: objects are pipelined while the sum of their block-buffer
+	// costs (block × n each) stays under this many bytes.
+	DefaultRebuildBudget = 8 << 20
 )
 
 // Errors returned by the client.
@@ -48,10 +52,19 @@ var (
 
 // Config parameterises a Client. Zero fields take the defaults above.
 type Config struct {
-	// Code is the erasure code; shard i is stored on Peers[i].
+	// Code is the erasure code.
 	Code ecc.Code
-	// Peers are the daemon nodes in shard order; len(Peers) must be Code.N().
+	// Peers, when Nodes is empty, are the daemon nodes in fixed shard
+	// order — every object's shard i lives on Peers[i] and len(Peers) must
+	// be Code.N(). This is the seed's one-shard-per-node layout, kept for
+	// clusters exactly as wide as the code.
 	Peers []string
+	// Nodes, when set, is the cluster node universe (len >= Code.N()):
+	// each object's n shard holders are chosen from it by per-object
+	// rendezvous hashing (internal/placement), so many objects spread over
+	// an arbitrarily wide cluster. SetNodes updates the view on membership
+	// change; Rebalance streams the shards whose target holder moved.
+	Nodes []string
 	// Policy ranks daemons for retrieves (§4.2 selection freedom).
 	Policy storage.Policy
 	// Alive reports whether a peer is currently believed reachable —
@@ -69,6 +82,10 @@ type Config struct {
 	Window int
 	// BlockSize is the block-codeword size used by PutStream.
 	BlockSize int
+	// RebuildBudget bounds concurrent rebuild/rebalance memory in bytes:
+	// objects are pipelined while the sum of their block × n buffer costs
+	// stays under it. At most one object is always admitted.
+	RebuildBudget int64
 	// ReqTimeout and OpTimeout are the stall and operation deadlines.
 	ReqTimeout, OpTimeout time.Duration
 }
@@ -82,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockSize <= 0 {
 		c.BlockSize = DefaultBlockSize
+	}
+	if c.RebuildBudget <= 0 {
+		c.RebuildBudget = DefaultRebuildBudget
 	}
 	if c.ReqTimeout <= 0 {
 		c.ReqTimeout = DefaultReqTimeout
@@ -107,10 +127,18 @@ type Client struct {
 	node string
 	cfg  Config
 
+	// nodes is the current placement universe (nil in fixed-Peers mode);
+	// SetNodes swaps it on membership change.
+	nodes []string
+
 	nextReq uint64
 	pending map[uint64]func(m Msg)
 	loads   map[string]int // per-peer requests issued, for LeastLoaded
 	sizes   map[string]int // object id -> length, learned from own puts
+
+	// taskHighWater is the peak budgeted cost admitted by concurrent
+	// rebuild/rebalance pipelines — the enforced memory bound, for tests.
+	taskHighWater int64
 }
 
 // NewClient registers a client session on the mesh node.
@@ -119,7 +147,11 @@ func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, e
 	if cfg.Code == nil {
 		return nil, errors.New("dstore: config needs a code")
 	}
-	if len(cfg.Peers) != cfg.Code.N() {
+	if len(cfg.Nodes) > 0 {
+		if len(cfg.Nodes) < cfg.Code.N() {
+			return nil, fmt.Errorf("dstore: %d nodes for an n=%d code", len(cfg.Nodes), cfg.Code.N())
+		}
+	} else if len(cfg.Peers) != cfg.Code.N() {
 		return nil, fmt.Errorf("dstore: %d peers for an n=%d code", len(cfg.Peers), cfg.Code.N())
 	}
 	c := &Client{
@@ -127,6 +159,7 @@ func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, e
 		mesh:    mesh,
 		node:    node,
 		cfg:     cfg,
+		nodes:   append([]string(nil), cfg.Nodes...),
 		pending: make(map[uint64]func(Msg)),
 		loads:   make(map[string]int),
 		sizes:   make(map[string]int),
@@ -137,6 +170,39 @@ func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, e
 
 // Node returns the mesh node the client runs on.
 func (c *Client) Node() string { return c.node }
+
+// Universe returns the node set placements are computed over: the mutable
+// Nodes view in placement mode, or the fixed Peers list.
+func (c *Client) Universe() []string {
+	if len(c.nodes) > 0 {
+		return append([]string(nil), c.nodes...)
+	}
+	return append([]string(nil), c.cfg.Peers...)
+}
+
+// SetNodes replaces the placement universe — the client's copy of the
+// membership view. It only changes where *future* operations look for
+// shards; call Rebalance to move stored shards onto their new targets.
+// Valid only for clients built with Config.Nodes.
+func (c *Client) SetNodes(nodes []string) error {
+	if len(c.nodes) == 0 {
+		return errors.New("dstore: SetNodes on a fixed-peers client")
+	}
+	if len(nodes) < c.cfg.Code.N() {
+		return fmt.Errorf("dstore: %d nodes for an n=%d code", len(nodes), c.cfg.Code.N())
+	}
+	c.nodes = append([]string(nil), nodes...)
+	return nil
+}
+
+// peersFor returns the object's shard holders in shard order: the rendezvous
+// placement over the node universe, or the fixed Peers list.
+func (c *Client) peersFor(id string) []string {
+	if len(c.nodes) > 0 {
+		return placement.Assign(id, c.nodes, c.cfg.Code.N())
+	}
+	return c.cfg.Peers
+}
 
 // PendingRequests reports requests with registered response handlers —
 // zero once every operation has fully resolved (a leak check).
@@ -166,22 +232,23 @@ func (c *Client) alive(peer string) bool {
 	return c.cfg.Alive == nil || c.cfg.Alive(peer)
 }
 
-func (c *Client) distance(i int) int {
+func (c *Client) distance(peer string, i int) int {
 	if c.cfg.Distance != nil {
-		return c.cfg.Distance(c.cfg.Peers[i])
+		return c.cfg.Distance(peer)
 	}
 	return i
 }
 
-// rank orders the indices of currently-alive peers by retrieval preference,
-// excluding any in skip.
-func (c *Client) rank(skip map[int]bool) []int {
+// rank orders the shard indices of currently-alive holders by retrieval
+// preference, excluding any in skip. peers is the object's placement (shard
+// i on peers[i]); empty entries mark unknown holders.
+func (c *Client) rank(peers []string, skip map[int]bool) []int {
 	var cands []storage.Candidate
-	for i, peer := range c.cfg.Peers {
-		if skip[i] || !c.alive(peer) {
+	for i, peer := range peers {
+		if peer == "" || skip[i] || !c.alive(peer) {
 			continue
 		}
-		cands = append(cands, storage.Candidate{Idx: i, Load: c.loads[peer], Distance: c.distance(i)})
+		cands = append(cands, storage.Candidate{Idx: i, Load: c.loads[peer], Distance: c.distance(peer, i)})
 	}
 	return storage.Rank(c.cfg.Policy, cands, c.s.Rand())
 }
@@ -203,6 +270,7 @@ type transfer struct {
 	peer     string
 	req      uint64
 	id       string
+	shard    int   // shard index being stored, recorded by the daemon
 	shardLen int64 // total stream length, declared up front
 	dataLen  int64
 	blockLen int64
@@ -220,13 +288,14 @@ type transfer struct {
 // startTransfer begins a shard-stream transfer; onDone fires exactly once.
 // The caller feeds bytes with offer (an empty stream needs no offers and
 // commits on an initial empty chunk).
-func (c *Client) startTransfer(peer, id string, shardLen, dataLen, blockLen int64, onDone func(ok bool)) *transfer {
+func (c *Client) startTransfer(peer, id string, shard int, shardLen, dataLen, blockLen int64, onDone func(ok bool)) *transfer {
 	c.nextReq++
 	t := &transfer{
 		c:        c,
 		peer:     peer,
 		req:      c.nextReq,
 		id:       id,
+		shard:    shard,
 		shardLen: shardLen,
 		dataLen:  dataLen,
 		blockLen: blockLen,
@@ -269,6 +338,7 @@ func (t *transfer) sendChunk(data []byte) {
 		Kind:     KindPutChunk,
 		Req:      t.req,
 		ID:       t.id,
+		Shard:    int32(t.shard),
 		Off:      t.next,
 		ShardLen: t.shardLen,
 		DataLen:  t.dataLen,
@@ -366,6 +436,7 @@ func (t *transfer) resolve(ok bool) {
 type putOp struct {
 	c          *Client
 	id         string
+	peers      []string // the object's placement, shard i on peers[i]
 	dataLen    int64
 	transfers  []*transfer // nil entries: peer was dead at start
 	unresolved int
@@ -375,7 +446,7 @@ type putOp struct {
 }
 
 func (c *Client) newPutOp(id string, dataLen int64, done func(int, error)) *putOp {
-	return &putOp{c: c, id: id, dataLen: dataLen, done: done}
+	return &putOp{c: c, id: id, peers: c.peersFor(id), dataLen: dataLen, done: done}
 }
 
 func (op *putOp) finish(err error) {
@@ -409,19 +480,19 @@ func (op *putOp) resolveOne(ok bool) {
 	}
 }
 
-// start opens one transfer per peer (dead peers resolve immediately) and
-// arms the operation deadline.
+// start opens one transfer per placement holder (dead peers resolve
+// immediately) and arms the operation deadline.
 func (op *putOp) start(shardLen, blockLen int64) {
 	n := op.c.cfg.Code.N()
 	op.transfers = make([]*transfer, n)
 	op.unresolved = n
 	for i := 0; i < n; i++ {
-		peer := op.c.cfg.Peers[i]
+		peer := op.peers[i]
 		if !op.c.alive(peer) {
 			op.resolveOne(false)
 			continue
 		}
-		op.transfers[i] = op.c.startTransfer(peer, op.id, shardLen, op.dataLen, blockLen, op.resolveOne)
+		op.transfers[i] = op.c.startTransfer(peer, op.id, i, shardLen, op.dataLen, blockLen, op.resolveOne)
 	}
 	if op.unresolved > 0 {
 		op.c.s.After(op.c.cfg.OpTimeout, func() { op.finish(nil) })
@@ -537,17 +608,22 @@ func (m objMeta) blockSize() int {
 	return 1
 }
 
-// shardStream is one windowed shard read within a streamGetOp.
+// shardStream is one windowed shard read within a streamGetOp. peerIdx is
+// the shard index the stream delivers; it starts as the placement's
+// expectation for peer and is re-pointed at the daemon's recorded index if
+// the first chunk reports a different one (a not-yet-rebalanced entry).
 type shardStream struct {
-	peerIdx  int
-	req      uint64
-	pos      int64  // stream offset of the first buffered byte
-	buf      []byte // received, not yet consumed by the decoder
-	lastAck  int64
-	progress sim.Time // virtual time of the last chunk received
-	complete bool     // delivered and fully consumed by the decoder
-	dead     bool     // the daemon answered with an error
-	hedged   bool     // a spare was already issued on this stream's behalf
+	peer      string // daemon node serving the stream
+	peerIdx   int
+	req       uint64
+	pos       int64  // stream offset of the first buffered byte
+	buf       []byte // received, not yet consumed by the decoder
+	lastAck   int64
+	progress  sim.Time // virtual time of the last chunk received
+	confirmed bool     // a chunk arrived: peerIdx is the daemon's real index
+	complete  bool     // delivered and fully consumed by the decoder
+	dead      bool     // the daemon answered with an error
+	hedged    bool     // a spare was already issued on this stream's behalf
 }
 
 // deliveredTo reports whether the stream has received every byte through
@@ -567,6 +643,7 @@ func (st *shardStream) deliveredTo(shardLen int64) bool {
 type streamGetOp struct {
 	c       *Client
 	id      string
+	peers   []string // shard i is expected on peers[i]; "" = unknown holder
 	exclude map[int]bool
 
 	// mkSink builds the block consumer once the object layout is known;
@@ -590,20 +667,28 @@ type streamGetOp struct {
 	finished   bool
 }
 
-// startStreamGet launches the state machine. If metaHint is non-nil the
-// layout is known up front (rebuild, from the inventory) and decoding can
-// begin without waiting for a first chunk.
-func (c *Client) startStreamGet(id string, exclude map[int]bool, metaHint *objMeta,
+// startStreamGet launches the state machine over the object's placement
+// (peers[i] holds shard i). If metaHint is non-nil the layout is known up
+// front (rebuild, from the inventory) and decoding can begin without waiting
+// for a first chunk. rank, when non-nil, overrides the policy ranking of
+// candidate shard indices — the rebuild pipeline injects its survivor-load
+// spreading there.
+func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool, metaHint *objMeta, rank func() []int,
 	mkSink func(objMeta, int64) (blockSink, error), ready func() bool, done func(objMeta, error)) *streamGetOp {
 	op := &streamGetOp{
 		c:       c,
 		id:      id,
+		peers:   peers,
 		exclude: exclude,
 		mkSink:  mkSink,
 		ready:   ready,
 		done:    done,
 	}
-	op.candidates = c.rank(exclude)
+	if rank != nil {
+		op.candidates = rank()
+	} else {
+		op.candidates = c.rank(peers, exclude)
+	}
 	if metaHint != nil {
 		if err := op.setMeta(*metaHint); err != nil {
 			op.finish(err)
@@ -670,10 +755,10 @@ func (op *streamGetOp) issueNext() {
 	}
 	idx := op.candidates[op.cursor]
 	op.cursor++
-	peer := op.c.cfg.Peers[idx]
+	peer := op.peers[idx]
 	op.c.loads[peer]++
 	op.c.nextReq++
-	st := &shardStream{peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now()}
+	st := &shardStream{peer: peer, peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now()}
 	op.streams = append(op.streams, st)
 	op.c.pending[st.req] = func(m Msg) { op.onChunk(st, m) }
 	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id, Off: op.consumed, Win: op.winChunks()})
@@ -733,10 +818,46 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 	if op.finished || st.complete || st.dead {
 		return
 	}
+	if m.Err == "" && int(m.Shard) != st.peerIdx {
+		// The daemon holds a different shard index than the placement map
+		// expects — an entry an unfinished rebalance has not moved yet. The
+		// chunk states its true index, and any k distinct indices decode,
+		// so adopt the reported index while the stream is still fresh
+		// (nothing buffered or consumed under the old one). An index
+		// outside the code, one this operation must not read (a rebuild's
+		// own target), or one another stream has already confirmed kills
+		// the stream instead — a duplicate would complete without feeding
+		// the decoder and, being "fully delivered", would never hedge to
+		// the spare that has the piece actually needed. (Unconfirmed
+		// streams don't block adoption: their placement-guessed index may
+		// itself be wrong.)
+		idx := int(m.Shard)
+		adopt := idx >= 0 && idx < op.c.cfg.Code.N() && !op.exclude[idx] && len(st.buf) == 0 && !st.complete
+		if adopt {
+			for _, other := range op.streams {
+				if other != st && !other.dead && other.confirmed && other.peerIdx == idx {
+					adopt = false
+					break
+				}
+			}
+		}
+		if adopt {
+			st.peerIdx = idx
+		} else {
+			m.Err = fmt.Sprintf("dstore: %s holds shard %d of %s, expected %d",
+				st.peer, m.Shard, op.id, st.peerIdx)
+		}
+	}
 	if m.Err != "" {
 		st.dead = true
 		op.lastErr = m.Err
 		delete(op.c.pending, st.req)
+		// Cancel the daemon session: for locally-synthesized errors (index
+		// conflicts) the daemon is healthy and mid-stream, and even a
+		// daemon-reported mid-stream error leaves its get session
+		// registered until the orphan sweep. Cancelling an already-gone
+		// session is a no-op.
+		op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		if !st.hedged {
 			st.hedged = true
 			op.issueNext()
@@ -748,6 +869,26 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		return // out-of-protocol chunk; RUDP is FIFO so this is a stale req
 	}
 	st.progress = op.c.s.Now()
+	st.confirmed = true
+	for _, other := range op.streams {
+		if other == st || other.dead || !other.confirmed || other.peerIdx != st.peerIdx {
+			continue
+		}
+		// Another stream already delivers this shard index (two placement
+		// slots resolved to entries with the same index). A redundant
+		// stream must not linger: fully delivered, it would neither stall
+		// nor hedge, silently starving the decoder of a spare that has a
+		// piece it actually needs.
+		st.dead = true
+		delete(op.c.pending, st.req)
+		op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
+		if !st.hedged {
+			st.hedged = true
+			op.issueNext()
+		}
+		op.failIfStuck()
+		return
+	}
 	if !op.haveMeta {
 		if err := op.setMeta(objMeta{shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}); err != nil {
 			op.finish(err)
@@ -795,7 +936,7 @@ func (op *streamGetOp) ackStreams(force bool) {
 		}
 		if op.consumed > st.lastAck || (force && !st.complete) {
 			st.lastAck = op.consumed
-			op.c.send(op.c.cfg.Peers[st.peerIdx], Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: op.consumed, Win: win})
+			op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: op.consumed, Win: win})
 		}
 	}
 }
@@ -862,7 +1003,7 @@ func (op *streamGetOp) finish(err error) {
 	for _, st := range op.streams {
 		delete(op.c.pending, st.req)
 		if !st.dead && !st.complete {
-			op.c.send(op.c.cfg.Peers[st.peerIdx], Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
+			op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		}
 	}
 	op.done(op.meta, err)
@@ -877,7 +1018,7 @@ func (op *streamGetOp) finish(err error) {
 // single codeword decode in one piece.
 func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err error)) {
 	var dec *ecc.StreamDecoder
-	c.startStreamGet(id, nil, nil,
+	c.startStreamGet(id, c.peersFor(id), nil, nil, nil,
 		func(meta objMeta, dataLen int64) (blockSink, error) {
 			var err error
 			dec, err = ecc.NewStreamDecoder(c.cfg.Code, w, dataLen, meta.blockSize())
@@ -911,54 +1052,14 @@ func (c *Client) GetAsync(id string, done func(data []byte, err error)) {
 
 // ---- rebuild ----
 
-// RebuildAsync restores a replaced node's shard streams entirely over the
-// mesh: it gathers the object inventory from the survivors, then for each
-// object streams block codewords from k survivors, reconstructs the target's
-// piece of each block, and streams the pieces to the newcomer — no
-// participant ever holds more than a block's worth of any shard. done
-// receives the number of objects rebuilt.
-func (c *Client) RebuildAsync(target string, done func(objects int, err error)) {
-	targetIdx := -1
-	for i, p := range c.cfg.Peers {
-		if p == target {
-			targetIdx = i
-			break
-		}
-	}
-	if targetIdx < 0 {
-		done(0, fmt.Errorf("%w: %s", ErrUnknownPeer, target))
-		return
-	}
-	c.listObjects(targetIdx, func(infos []storage.ObjectInfo, err error) {
-		if err != nil {
-			done(0, err)
-			return
-		}
-		exclude := map[int]bool{targetIdx: true}
-		rebuilt := 0
-		var step func(i int)
-		step = func(i int) {
-			if i == len(infos) {
-				done(rebuilt, nil)
-				return
-			}
-			c.rebuildObject(infos[i], targetIdx, exclude, func(err error) {
-				if err != nil {
-					done(rebuilt, fmt.Errorf("rebuilding %s: %w", infos[i].ID, err))
-					return
-				}
-				rebuilt++
-				step(i + 1)
-			})
-		}
-		step(0)
-	})
-}
-
-// rebuildObject streams one object's missing shard to the target node. The
-// survivor inventory provides the layout up front; the outgoing transfer's
-// backlog gates the block pipeline (decode pauses while the newcomer lags).
-func (c *Client) rebuildObject(info storage.ObjectInfo, targetIdx int, exclude map[int]bool, done func(error)) {
+// rebuildObject streams one object's missing shard to the target node
+// peers[targetIdx], reading block codewords from the other holders in peers
+// (shard j on peers[j]; empty entries mark unknown holders). rank, when
+// non-nil, overrides the survivor ranking. The inventory provides the
+// layout up front; the outgoing transfer's backlog gates the block pipeline
+// (decode pauses while the newcomer lags).
+func (c *Client) rebuildObject(info storage.ObjectInfo, peers []string, targetIdx int, rank func() []int, done func(error)) {
+	exclude := map[int]bool{targetIdx: true}
 	meta := objMeta{shardLen: int64(info.ShardLen), dataLen: int64(info.DataLen), blockLen: int64(info.BlockLen)}
 	// The rebuilder needs only piece sizes, not the true object length: for
 	// the legacy unblocked layout, a synthetic length of k × shardLen yields
@@ -981,7 +1082,7 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, targetIdx int, exclude m
 		finished = true
 		done(err)
 	}
-	out = c.startTransfer(c.cfg.Peers[targetIdx], info.ID, meta.shardLen, meta.dataLen, meta.blockLen, func(ok bool) {
+	out = c.startTransfer(peers[targetIdx], info.ID, targetIdx, meta.shardLen, meta.dataLen, meta.blockLen, func(ok bool) {
 		transferDone = true
 		switch {
 		case opErr != nil:
@@ -993,7 +1094,7 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, targetIdx int, exclude m
 		}
 	})
 	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
-	op := c.startStreamGet(info.ID, exclude, &opMeta,
+	op := c.startStreamGet(info.ID, peers, exclude, &opMeta, rank,
 		func(m objMeta, layoutLen int64) (blockSink, error) {
 			return ecc.NewShardRebuilder(c.cfg.Code, targetIdx, writerFunc(func(p []byte) (int, error) {
 				out.offerCopy(p)
@@ -1033,71 +1134,6 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, targetIdx int, exclude m
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
-
-// listObjects gathers the union of the survivors' inventories.
-func (c *Client) listObjects(targetIdx int, done func([]storage.ObjectInfo, error)) {
-	type state struct {
-		infos     map[string]storage.ObjectInfo
-		reqs      []uint64
-		waiting   int
-		responded int
-		finished  bool
-	}
-	st := &state{infos: make(map[string]storage.ObjectInfo)}
-	finish := func() {
-		if st.finished {
-			return
-		}
-		st.finished = true
-		for _, req := range st.reqs {
-			delete(c.pending, req) // incl. peers that never responded
-		}
-		if st.responded == 0 {
-			done(nil, fmt.Errorf("%w: no inventory responses", ErrNotEnoughDaemons))
-			return
-		}
-		out := make([]storage.ObjectInfo, 0, len(st.infos))
-		for _, in := range st.infos {
-			out = append(out, in)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		done(out, nil)
-	}
-	for i, peer := range c.cfg.Peers {
-		if i == targetIdx || !c.alive(peer) {
-			continue
-		}
-		st.waiting++
-		c.nextReq++
-		req := c.nextReq
-		st.reqs = append(st.reqs, req)
-		c.pending[req] = func(m Msg) {
-			if st.finished || m.Kind != KindListResp {
-				return
-			}
-			delete(c.pending, req)
-			infos, err := decodeInventory(m.Data)
-			if err == nil {
-				st.responded++
-				for _, in := range infos {
-					if prev, ok := st.infos[in.ID]; !ok || (prev.DataLen < 0 && in.DataLen >= 0) {
-						st.infos[in.ID] = in
-					}
-				}
-			}
-			st.waiting--
-			if st.waiting == 0 {
-				finish()
-			}
-		}
-		c.send(peer, Msg{Kind: KindListReq, Req: req})
-	}
-	if st.waiting == 0 {
-		finish()
-		return
-	}
-	c.s.After(c.cfg.ReqTimeout, finish)
-}
 
 // ---- blocking wrappers ----
 

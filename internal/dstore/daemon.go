@@ -40,6 +40,13 @@ type Daemon struct {
 	asm  map[sessKey]*assembly
 	gets map[sessKey]*getSession
 
+	// inv caches the sorted inventory across the pages of a ListReq walk,
+	// revalidated against the backend's mutation generation — without it a
+	// paged walk over N objects re-sorts all N entries per page.
+	inv    []storage.ObjectInfo
+	invGen uint64
+	invOK  bool
+
 	// statsMu guards stats: messages arrive on one goroutine (the simulator
 	// or a socket driver's dispatch loop) but Stats may be read from another
 	// (rainnode's report ticker).
@@ -58,6 +65,7 @@ type sessKey struct {
 type assembly struct {
 	id       string
 	stage    *storage.Stage
+	shard    int // shard index being stored, from the first chunk
 	shardLen int64
 	dataLen  int64
 	blockLen int64
@@ -68,6 +76,7 @@ type assembly struct {
 // win bytes beyond the client's last consumed-ack in flight.
 type getSession struct {
 	id       string
+	shard    int // recorded shard index of the stored entry
 	shardLen int64
 	dataLen  int64
 	blockLen int64
@@ -157,7 +166,21 @@ func (d *Daemon) onMessage(from string, payload []byte) {
 		d.onGetAck(from, m)
 	case KindListReq:
 		d.bump(func(st *DaemonStats) { st.Lists++ })
-		d.reply(from, Msg{Kind: KindListResp, Req: m.Req, Shard: int32(d.shard), Data: encodeInventory(d.backend.List())})
+		if gen := d.backend.Generation(); !d.invOK || gen != d.invGen {
+			d.inv, d.invGen, d.invOK = d.backend.List(), gen, true
+		}
+		// m.ID is the continuation token: resume after that object id.
+		page, more := encodeInventoryPage(d.inv, m.ID, MaxListPayload)
+		resp := Msg{Kind: KindListResp, Req: m.Req, Shard: int32(d.shard), Data: page}
+		if more {
+			resp.Win = 1
+		}
+		d.reply(from, resp)
+	case KindDeleteReq:
+		// Idempotent: dropping an absent shard is success, so a re-sent
+		// delete after a lost ack converges.
+		d.backend.Delete(m.ID)
+		d.reply(from, Msg{Kind: KindDeleteResp, Req: m.Req, ID: m.ID})
 	}
 }
 
@@ -198,7 +221,13 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: "dstore: no such transfer"})
 			return
 		}
-		a = &assembly{id: m.ID, stage: d.backend.NewStage(), shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}
+		shard := int(m.Shard)
+		if shard < 0 {
+			// Legacy writers (rainnode's hand-rolled shard pushes) do not
+			// place objects; the daemon's configured index applies.
+			shard = d.shard
+		}
+		a = &assembly{id: m.ID, stage: d.backend.NewStage(), shard: shard, shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}
 		d.asm[key] = a
 	}
 	if m.Off != a.stage.Len() || m.ID != a.id {
@@ -216,7 +245,7 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 	a.touched = d.now()
 	d.bump(func(st *DaemonStats) { st.ChunksStored++ })
 	if a.stage.Len() >= a.shardLen {
-		if err := d.backend.Commit(a.stage, a.id, int(a.dataLen), int(a.blockLen)); err != nil {
+		if err := d.backend.Commit(a.stage, a.id, a.shard, int(a.dataLen), int(a.blockLen)); err != nil {
 			delete(d.asm, key)
 			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: err.Error()})
 			return
@@ -238,8 +267,13 @@ func (d *Daemon) onGetReq(from string, m Msg) {
 		d.reply(from, Msg{Kind: KindGetChunk, Req: m.Req, ID: m.ID, Err: fmt.Sprintf("dstore: get offset %d of %d-byte shard", m.Off, shardLen)})
 		return
 	}
+	shard := info.Shard
+	if shard < 0 {
+		shard = d.shard // positional legacy entry
+	}
 	g := &getSession{
 		id:       m.ID,
+		shard:    shard,
 		shardLen: shardLen,
 		dataLen:  int64(info.DataLen),
 		blockLen: int64(info.BlockLen),
@@ -297,7 +331,7 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 			Kind:     KindGetChunk,
 			Req:      req,
 			ID:       g.id,
-			Shard:    int32(d.shard),
+			Shard:    int32(g.shard),
 			Off:      off,
 			ShardLen: g.shardLen,
 			DataLen:  g.dataLen,

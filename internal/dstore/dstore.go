@@ -20,7 +20,13 @@
 //   - rebuilds a replaced node by streaming block codewords from k
 //     survivors, reconstructing the missing shard piece by piece and
 //     streaming it to the newcomer — entirely over the mesh, no shared
-//     memory between nodes.
+//     memory between nodes, several objects pipelined at once under a
+//     memory budget with survivor read load spread across k-subsets; and
+//   - rebalances after membership changes: each object's n shard holders
+//     come from a rendezvous placement map over the node universe
+//     (internal/placement), and Rebalance streams exactly the shards whose
+//     target holder moved, deleting stale copies only after their
+//     replacements commit.
 //
 // # Bounded memory
 //

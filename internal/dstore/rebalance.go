@@ -1,0 +1,700 @@
+package dstore
+
+import (
+	"fmt"
+	"sort"
+
+	"rain/internal/placement"
+	"rain/internal/storage"
+)
+
+// This file is the placement-reconciliation half of the client: the paged
+// cluster inventory walk, the budget-bounded concurrent task pipeline, the
+// concurrent node rebuild, and the rebalancer that moves shards onto their
+// target holders after a membership change. ReplaceNode-style rebuild is
+// the special case of reconciliation where the delta is "one node lost
+// everything"; a membership change is "every object whose rendezvous
+// placement changed" — both run the same per-object machinery.
+
+// invEntry aggregates what the queried daemons report about one object.
+type invEntry struct {
+	info    storage.ObjectInfo // best metadata seen (prefers known sizes)
+	holders map[string]int     // node -> shard index currently held
+}
+
+// listInventory walks the inventories of the given nodes page by page
+// (KindListReq with a resume-after token) and merges them into per-object
+// entries. Dead nodes and nodes that stop answering mid-walk contribute
+// what they managed to report. done receives the merged entries and how
+// many nodes answered at least one page; it is an error when none did.
+func (c *Client) listInventory(nodes []string, done func(entries map[string]*invEntry, responded int, err error)) {
+	entries := make(map[string]*invEntry)
+	waiting, responded := 0, 0
+	finished := false
+	nodeDone := func() {
+		waiting--
+		if waiting > 0 || finished {
+			return
+		}
+		finished = true
+		if responded == 0 {
+			done(nil, 0, fmt.Errorf("%w: no inventory responses", ErrNotEnoughDaemons))
+			return
+		}
+		done(entries, responded, nil)
+	}
+	merge := func(node string, defaultShard int, infos []storage.ObjectInfo) {
+		for _, in := range infos {
+			e := entries[in.ID]
+			if e == nil {
+				e = &invEntry{info: in, holders: make(map[string]int)}
+				entries[in.ID] = e
+			} else if e.info.DataLen < 0 && in.DataLen >= 0 {
+				in.Shard = e.info.Shard // keep whatever; holders carry indices
+				e.info = in
+			}
+			shard := in.Shard
+			if shard < 0 {
+				shard = defaultShard // positional legacy entry
+			}
+			if shard >= 0 && shard < c.cfg.Code.N() {
+				e.holders[node] = shard
+			}
+		}
+	}
+	for _, node := range nodes {
+		if !c.alive(node) {
+			continue
+		}
+		waiting++
+		node := node
+		first := true
+		var requestPage func(after string)
+		requestPage = func(after string) {
+			c.nextReq++
+			req := c.nextReq
+			answered := false
+			c.pending[req] = func(m Msg) {
+				if m.Kind != KindListResp || answered || finished {
+					return
+				}
+				answered = true
+				delete(c.pending, req)
+				infos, err := decodeInventory(m.Data)
+				if err != nil {
+					nodeDone()
+					return
+				}
+				if first {
+					first = false
+					responded++
+				}
+				merge(node, int(m.Shard), infos)
+				if m.Win == 1 && len(infos) > 0 {
+					requestPage(infos[len(infos)-1].ID)
+					return
+				}
+				nodeDone()
+			}
+			c.send(node, Msg{Kind: KindListReq, Req: req, ID: after})
+			c.s.After(c.cfg.ReqTimeout, func() {
+				if answered || finished {
+					return
+				}
+				answered = true
+				delete(c.pending, req)
+				nodeDone()
+			})
+		}
+		requestPage("")
+	}
+	if waiting == 0 {
+		finished = true
+		done(nil, 0, fmt.Errorf("%w: no inventory responses", ErrNotEnoughDaemons))
+	}
+}
+
+// runTasks drives n asynchronous tasks through a budgeted concurrency
+// window: task i occupies cost(i) bytes of the rebuild budget while in
+// flight, and new tasks are admitted while the in-flight sum stays within
+// Config.RebuildBudget — with at least one task always admitted, so a task
+// larger than the whole budget still runs (alone). Every task runs even if
+// earlier ones fail — one unreconcilable object must not strand the rest —
+// and done fires once with the first error after all have resolved.
+func (c *Client) runTasks(n int, cost func(int) int64, run func(i int, taskDone func(error)), done func(error)) {
+	if n == 0 {
+		done(nil)
+		return
+	}
+	var (
+		next, active int
+		inflight     int64
+		firstErr     error
+		finished     bool
+	)
+	var launch func()
+	launch = func() {
+		for !finished && next < n &&
+			(active == 0 || inflight+cost(next) <= c.cfg.RebuildBudget) {
+			i := next
+			next++
+			ci := cost(i)
+			active++
+			inflight += ci
+			if inflight > c.taskHighWater {
+				c.taskHighWater = inflight
+			}
+			resolved := false
+			run(i, func(err error) {
+				if resolved || finished {
+					return
+				}
+				resolved = true
+				active--
+				inflight -= ci
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if active == 0 && next >= n {
+					finished = true
+					done(firstErr)
+					return
+				}
+				launch()
+			})
+		}
+	}
+	launch()
+}
+
+// TaskBytesHighWater reports the peak budgeted cost the concurrent
+// rebuild/rebalance pipelines ever held in flight — the enforced memory
+// bound, exposed for the budget tests.
+func (c *Client) TaskBytesHighWater() int64 { return c.taskHighWater }
+
+// taskCost is the budget charge of pipelining one object: a block codeword
+// across all n shards, the working set its rebuild holds.
+func (c *Client) taskCost(e *invEntry) int64 {
+	block := int64(e.info.BlockLen)
+	if block <= 0 {
+		if block = int64(e.info.DataLen); block <= 0 {
+			block = int64(e.info.ShardLen) * int64(c.cfg.Code.K())
+		}
+	}
+	return block * int64(c.cfg.Code.N())
+}
+
+// spreadRank orders one object's survivor shard indices for rebuild reads:
+// ascending current request load, tie-broken by a per-object hash. Across a
+// pipeline of many objects this spreads the k-subsets over all survivors —
+// the declustered-rebuild load balance — whatever the retrieve policy.
+func (c *Client) spreadRank(id string, peers []string, skip map[int]bool) []int {
+	type cand struct {
+		idx  int
+		load int
+		h    uint64
+	}
+	var cands []cand
+	for i, peer := range peers {
+		if peer == "" || skip[i] || !c.alive(peer) {
+			continue
+		}
+		cands = append(cands, cand{idx: i, load: c.loads[peer], h: placement.Score(id, i, peer)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		if cands[a].h != cands[b].h {
+			return cands[a].h > cands[b].h
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.idx
+	}
+	return out
+}
+
+// ---- concurrent node rebuild ----
+
+// RebuildAsync restores a replaced node's shard streams entirely over the
+// mesh: it gathers the paged object inventory from the survivors, then
+// pipelines per-object rebuilds — several objects in flight at once, bounded
+// by Config.RebuildBudget at block × n bytes each — each streaming block
+// codewords from a survivor k-subset chosen to spread read load, and the
+// reconstructed pieces to the newcomer. Objects whose placement does not
+// include the target are skipped. done receives the number of objects
+// rebuilt.
+func (c *Client) RebuildAsync(target string, done func(objects int, err error)) {
+	universe := c.Universe()
+	survivors := make([]string, 0, len(universe))
+	seen := false
+	for _, node := range universe {
+		if node == target {
+			seen = true
+			continue
+		}
+		survivors = append(survivors, node)
+	}
+	if !seen {
+		done(0, fmt.Errorf("%w: %s", ErrUnknownPeer, target))
+		return
+	}
+	c.listInventory(survivors, func(entries map[string]*invEntry, _ int, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		type job struct {
+			id        string
+			e         *invEntry
+			targetIdx int
+			srcPeers  []string
+		}
+		var jobs []job
+		for _, id := range sortedIDs(entries) {
+			e := entries[id]
+			peers := c.peersFor(id)
+			targetIdx := placement.ShardOf(peers, target)
+			if targetIdx < 0 {
+				continue
+			}
+			jobs = append(jobs, job{id: id, e: e, targetIdx: targetIdx, srcPeers: srcPeersFor(peers, e.holders, targetIdx, target, target)})
+		}
+		rebuilt := 0
+		c.runTasks(len(jobs),
+			func(i int) int64 { return c.taskCost(jobs[i].e) },
+			func(i int, taskDone func(error)) {
+				j := jobs[i]
+				info := j.e.info
+				info.ID = j.id
+				rank := func() []int { return c.spreadRank(j.id, j.srcPeers, map[int]bool{j.targetIdx: true}) }
+				c.rebuildObject(info, j.srcPeers, j.targetIdx, rank, func(err error) {
+					if err != nil {
+						taskDone(fmt.Errorf("rebuilding %s: %w", j.id, err))
+						return
+					}
+					rebuilt++
+					taskDone(nil)
+				})
+			},
+			func(err error) { done(rebuilt, err) })
+	})
+}
+
+// srcPeersFor lays the observed holders over the target placement: shard j
+// is fetched from the node actually holding it when the inventory saw one,
+// falling back to the placement's expectation. The target index points at
+// the rebuild destination. exclude, when non-empty, names a node whose
+// entries must not serve as sources (a wiped node being rebuilt — its stale
+// inventory, if any, is gone); the reconcile path passes "" because every
+// observed holder, including the destination's own stale entry, is valid
+// source data (the staged write only replaces it after every source byte
+// has been read).
+func srcPeersFor(peers []string, holders map[string]int, targetIdx int, target, exclude string) []string {
+	src := append([]string(nil), peers...)
+	for node, sh := range holders {
+		if node != exclude && sh >= 0 && sh < len(src) && sh != targetIdx {
+			src[sh] = node
+		}
+	}
+	src[targetIdx] = target
+	// Blank placement-fallback slots whose node is known to hold a
+	// different shard: leaving them would query one node for two indices,
+	// and the duplicate answer wastes a read the op then has to hedge
+	// around. An empty slot just means "no known holder".
+	for i, node := range src {
+		if i == targetIdx || node == "" {
+			continue
+		}
+		if sh, ok := holders[node]; ok && sh != i {
+			src[i] = ""
+		}
+	}
+	return src
+}
+
+func sortedIDs(entries map[string]*invEntry) []string {
+	ids := make([]string, 0, len(entries))
+	for id := range entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---- shard copy and delete (the rebalance data movers) ----
+
+// copyShard relays one stored shard stream from src to dst unchanged — the
+// unit of rebalance movement, costing one shard of network traffic where a
+// reconstruct would read k. The relay is windowed on both legs: source
+// chunks are acked only as the outgoing transfer drains, so the client
+// buffers no more than a window of the stream.
+func (c *Client) copyShard(id, src, dst string, shardIdx int, info storage.ObjectInfo, done func(error)) {
+	shardLen := int64(info.ShardLen)
+	finished := false
+	finish := func(err error) {
+		if finished {
+			return
+		}
+		finished = true
+		done(err)
+	}
+	var out *transfer
+	var inReq uint64
+	var received, lastAck int64
+	out = c.startTransfer(dst, id, shardIdx, shardLen, int64(info.DataLen), int64(info.BlockLen), func(ok bool) {
+		delete(c.pending, inReq)
+		if !ok {
+			finish(fmt.Errorf("dstore: copy %s to %s: transfer failed", id, dst))
+			return
+		}
+		finish(nil)
+	})
+	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
+	maybeAck := func() {
+		if finished || received <= lastAck || out.backlog() >= highWater {
+			return
+		}
+		lastAck = received
+		c.send(src, Msg{Kind: KindGetAck, Req: inReq, ID: id, Off: received, Win: int32(c.cfg.Window)})
+	}
+	out.onAck = maybeAck
+	c.nextReq++
+	inReq = c.nextReq
+	c.pending[inReq] = func(m Msg) {
+		if finished {
+			return
+		}
+		if m.Err == "" && int(m.Shard) != shardIdx {
+			m.Err = fmt.Sprintf("dstore: %s holds shard %d of %s, expected %d", src, m.Shard, id, shardIdx)
+		}
+		if m.Err != "" {
+			delete(c.pending, inReq)
+			// finish before resolving the transfer: resolve fires its onDone,
+			// whose generic "transfer failed" would otherwise mask the actual
+			// source-side cause.
+			finish(fmt.Errorf("dstore: copy %s from %s: %s", id, src, m.Err))
+			out.resolve(false)
+			return
+		}
+		if m.Off != received {
+			return // stale or reordered chunk; RUDP is FIFO per pair
+		}
+		if len(m.Data) > 0 {
+			out.offerCopy(m.Data)
+			received += int64(len(m.Data))
+		}
+		if received >= shardLen {
+			delete(c.pending, inReq)
+			c.send(src, Msg{Kind: KindGetAck, Req: inReq, ID: id, Off: received, Win: int32(c.cfg.Window)})
+			return
+		}
+		maybeAck()
+	}
+	c.send(src, Msg{Kind: KindGetReq, Req: inReq, ID: id, Off: 0, Win: int32(c.cfg.Window)})
+	c.s.After(c.cfg.OpTimeout, func() {
+		if finished {
+			return
+		}
+		delete(c.pending, inReq)
+		finish(fmt.Errorf("dstore: copy %s from %s: %w", id, src, ErrTimeout))
+		out.resolve(false)
+	})
+}
+
+// deleteShard asks a daemon to drop its shard of an object.
+func (c *Client) deleteShard(node, id string, done func(error)) {
+	c.nextReq++
+	req := c.nextReq
+	resolved := false
+	c.pending[req] = func(m Msg) {
+		if resolved || m.Kind != KindDeleteResp {
+			return
+		}
+		resolved = true
+		delete(c.pending, req)
+		if m.Err != "" {
+			done(fmt.Errorf("dstore: delete %s on %s: %s", id, node, m.Err))
+			return
+		}
+		done(nil)
+	}
+	c.send(node, Msg{Kind: KindDeleteReq, Req: req, ID: id})
+	c.s.After(c.cfg.ReqTimeout, func() {
+		if resolved {
+			return
+		}
+		resolved = true
+		delete(c.pending, req)
+		done(fmt.Errorf("dstore: delete %s on %s: %w", id, node, ErrTimeout))
+	})
+}
+
+// ---- rebalance ----
+
+// RebalanceStats counts the work one reconciliation pass performed.
+type RebalanceStats struct {
+	Objects int // objects that needed any work
+	Moved   int // shards copied holder-to-holder (placement moved)
+	Rebuilt int // shards reconstructed from k pieces (no copy source)
+	Deleted int // stale shards dropped after their replacement committed
+}
+
+// RebalanceAsync reconciles every stored object with its target placement
+// over the current node universe: shards whose target holder changed are
+// streamed to it (copied from their current holder when one survives,
+// reconstructed from k otherwise), and stale copies are deleted only after
+// every target slot of the object has committed — so no object loses
+// availability mid-move. Objects are pipelined under the same budget as
+// rebuild. The usual trigger is SetNodes after a membership change; on an
+// unchanged universe it is a scrub, re-materialising any missing shards.
+//
+// drain names nodes outside the universe that are still reachable — a
+// graceful decommission. Their inventories are consulted, their shards
+// serve as copy sources (repair bandwidth 1 instead of k), and they are
+// emptied as their shards land on the new holders.
+func (c *Client) RebalanceAsync(drain []string, done func(RebalanceStats, error)) {
+	var stats RebalanceStats
+	universe := c.Universe()
+	sources := universe
+	for _, node := range drain {
+		if placement.ShardOf(sources, node) < 0 {
+			sources = append(append([]string(nil), sources...), node)
+		}
+	}
+	c.listInventory(sources, func(entries map[string]*invEntry, _ int, err error) {
+		if err != nil {
+			done(stats, err)
+			return
+		}
+		type job struct {
+			id string
+			e  *invEntry
+		}
+		var jobs []job
+		for _, id := range sortedIDs(entries) {
+			e := entries[id]
+			if c.reconcileNeeded(id, e) {
+				jobs = append(jobs, job{id: id, e: e})
+			}
+		}
+		c.runTasks(len(jobs),
+			func(i int) int64 { return c.taskCost(jobs[i].e) },
+			func(i int, taskDone func(error)) {
+				stats.Objects++
+				c.reconcileObject(jobs[i].id, jobs[i].e, &stats, taskDone)
+			},
+			func(err error) { done(stats, err) })
+	})
+}
+
+// reconcileNeeded reports whether an object's observed holders differ from
+// its target placement.
+func (c *Client) reconcileNeeded(id string, e *invEntry) bool {
+	peers := c.peersFor(id)
+	for i, dest := range peers {
+		if sh, ok := e.holders[dest]; (!ok || sh != i) && c.alive(dest) {
+			return true
+		}
+	}
+	for node := range e.holders {
+		if placement.ShardOf(peers, node) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reconcileObject walks one object's placement slot by slot, sequentially:
+// each slot whose holder is missing or stale is filled by copying the shard
+// from a node that currently holds it, or reconstructing it from k live
+// pieces when none does. The live holder map is updated after every commit,
+// so later steps (and the swap case, where two nodes exchange indices) read
+// only entries that are still valid. Stale copies are deleted last; a
+// failed delete is tolerated — the recorded-shard-index guard keeps readers
+// off stale entries, and the next pass retries.
+func (c *Client) reconcileObject(id string, e *invEntry, stats *RebalanceStats, done func(error)) {
+	peers := c.peersFor(id)
+	holders := make(map[string]int, len(e.holders))
+	for node, sh := range e.holders {
+		holders[node] = sh
+	}
+	info := e.info
+	info.ID = id
+
+	// landed reports whether shard sh already sits on its target holder;
+	// distinct counts the different shard indices currently live — the
+	// object's effective redundancy. Both consult the liveness view, not
+	// just the inventory-time holder map: a holder that died since the
+	// walk must not count as redundancy (a false-dead merely defers work
+	// to the next pass; a false-alive could let an overwrite destroy the
+	// last live copy of a shard).
+	landed := func(sh int) bool {
+		got, ok := holders[peers[sh]]
+		return ok && got == sh && c.alive(peers[sh])
+	}
+	distinct := func() int {
+		seen := make(map[int]bool, len(peers))
+		for node, sh := range holders {
+			if c.alive(node) {
+				seen[sh] = true
+			}
+		}
+		return len(seen)
+	}
+
+	// Schedule the slots so no destination's still-needed shard is
+	// overwritten before it lands at its own target: non-destructive slots
+	// (destination empty or already correct) run first, then destructive
+	// slots peel off once their displaced shard's slot is scheduled ahead
+	// of them. Residual cycles run last — and at execution time a cycle
+	// slot whose overwrite would drop the object's last copy of a shard at
+	// minimum redundancy is skipped for a future pass (a permutation at
+	// exactly k live shards cannot be applied without buffering a whole
+	// shard; reads stay correct meanwhile because streams carry their true
+	// index).
+	var order, rest []int
+	scheduled := make(map[int]bool)
+	for i, dest := range peers {
+		if sh, ok := holders[dest]; ok && sh != i && sh >= 0 && sh < len(peers) {
+			rest = append(rest, i)
+			continue
+		}
+		order = append(order, i)
+		scheduled[i] = true
+	}
+	for progress := true; progress && len(rest) > 0; {
+		progress = false
+		var still []int
+		for _, i := range rest {
+			if sh := holders[peers[i]]; scheduled[sh] || landed(sh) {
+				order = append(order, i)
+				scheduled[i] = true
+				progress = true
+				continue
+			}
+			still = append(still, i)
+		}
+		rest = still
+	}
+	order = append(order, rest...) // cycles, guarded again at execution
+
+	var fillSlot func(pos int)
+	var finishDeletes func()
+	rebuildTo := func(i int, next func(error)) {
+		src := srcPeersFor(peers, holders, i, peers[i], "")
+		rank := func() []int { return c.spreadRank(id, src, map[int]bool{i: true}) }
+		c.rebuildObject(info, src, i, rank, next)
+	}
+	var slotErr error
+	fillSlot = func(pos int) {
+		if pos == len(order) {
+			if slotErr != nil {
+				done(fmt.Errorf("rebalancing %s: %w", id, slotErr))
+				return
+			}
+			finishDeletes()
+			return
+		}
+		i := order[pos]
+		dest := peers[i]
+		sh, hasEntry := holders[dest]
+		if (hasEntry && sh == i) || !c.alive(dest) {
+			fillSlot(pos + 1)
+			return
+		}
+		src := ""
+		for node, held := range holders {
+			if held == i && node != dest && c.alive(node) && (src == "" || node < src) {
+				src = node
+			}
+		}
+		if src != "" && hasEntry && sh >= 0 && sh < len(peers) && !landed(sh) && distinct() <= c.cfg.Code.K() {
+			// The fill would duplicate shard i while destroying the last
+			// copy of shard sh, dropping the object below k distinct shards
+			// for good. (Rebuilding a shard that is missing cluster-wide is
+			// fine even here: it consumes dest's entry before the commit
+			// replaces it, trading sh for i at constant redundancy.) Leave
+			// the slot for a pass after redundancy recovers.
+			fillSlot(pos + 1)
+			return
+		}
+		step := func(err error, rebuilt bool) {
+			if err != nil {
+				if slotErr == nil {
+					slotErr = err
+				}
+				fillSlot(pos + 1) // other slots may still be fixable
+				return
+			}
+			holders[dest] = i
+			if rebuilt {
+				stats.Rebuilt++
+			} else {
+				stats.Moved++
+			}
+			fillSlot(pos + 1)
+		}
+		if src == "" {
+			rebuildTo(i, func(err error) { step(err, true) })
+			return
+		}
+		c.copyShard(id, src, dest, i, info, func(err error) {
+			if err != nil {
+				// The copy source died or went stale mid-move: fall back to
+				// reconstruction from whatever still answers.
+				rebuildTo(i, func(err error) { step(err, true) })
+				return
+			}
+			step(nil, false)
+		})
+	}
+	finishDeletes = func() {
+		var stale []string
+		for node, sh := range holders {
+			if placement.ShardOf(peers, node) >= 0 || !c.alive(node) {
+				continue
+			}
+			// Only drop a stale copy whose shard has landed on its (still
+			// live) target holder: if the slot could not be filled — or its
+			// holder has died since — this copy may be the shard's last and
+			// deleting it would shrink the object's redundancy.
+			if sh < 0 || sh >= len(peers) || !landed(sh) {
+				continue
+			}
+			stale = append(stale, node)
+		}
+		sort.Strings(stale)
+		var del func(i int)
+		del = func(i int) {
+			if i == len(stale) {
+				done(nil)
+				return
+			}
+			c.deleteShard(stale[i], id, func(err error) {
+				if err == nil {
+					stats.Deleted++
+				}
+				del(i + 1)
+			})
+		}
+		del(0)
+	}
+	fillSlot(0)
+}
+
+// Rebalance reconciles placements, blocking in virtual time. drain names
+// still-reachable nodes being decommissioned. See RebalanceAsync.
+func (c *Client) Rebalance(drain ...string) (RebalanceStats, error) {
+	var (
+		stats    RebalanceStats
+		err      error
+		finished bool
+	)
+	c.RebalanceAsync(drain, func(s RebalanceStats, e error) { stats, err, finished = s, e, true })
+	c.drive(&finished)
+	return stats, err
+}

@@ -277,7 +277,7 @@ func TestGetWindowPacing(t *testing.T) {
 	}
 	backend := storage.NewBackend()
 	shard := randBytes(3, 64<<10)
-	backend.Put("obj", shard, len(shard), 16<<10)
+	backend.Put("obj", shard, 0, len(shard), 16<<10)
 	const chunk = 4 << 10
 	d := dstore.NewDaemon(mesh, "dm", 0, backend, chunk)
 	var got []byte

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"rain/internal/storage"
 )
@@ -34,15 +35,27 @@ const (
 	// so the client can lay out the block codewords from the first chunk of
 	// whichever stream answers first.
 	KindGetChunk
-	// KindListReq asks a daemon for its object inventory.
+	// KindListReq asks a daemon for a page of its object inventory. ID is
+	// the continuation token: the object id to resume after, empty for the
+	// first page. Inventories are paged because a daemon placed into many
+	// objects holds far more entries than fit in one datagram.
 	KindListReq
-	// KindListResp returns the inventory, encoded in Data.
+	// KindListResp returns one inventory page, encoded in Data. Win is 1
+	// when more pages remain; the client re-requests with ID set to the
+	// last object id of this page. Paging by id (not offset) keeps the walk
+	// correct even if the inventory changes between pages.
 	KindListResp
 	// KindGetAck is the client's flow-control credit on a windowed get
 	// stream: the client has consumed the stream through byte Off, so the
 	// daemon may send through Off + Win chunks. An Off of -1 cancels the
 	// stream (the retrieve finished without it).
 	KindGetAck
+	// KindDeleteReq asks a daemon to drop its shard of an object — the
+	// cleanup half of a rebalance move, sent only after the shard's new
+	// holder has committed. Deleting an absent object succeeds (idempotent).
+	KindDeleteReq
+	// KindDeleteResp acknowledges a delete (or reports an error).
+	KindDeleteResp
 )
 
 func (k Kind) String() string {
@@ -61,6 +74,10 @@ func (k Kind) String() string {
 		return "listresp"
 	case KindGetAck:
 		return "getack"
+	case KindDeleteReq:
+		return "deletereq"
+	case KindDeleteResp:
+		return "deleteresp"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -127,7 +144,7 @@ func Unmarshal(buf []byte) (Msg, error) {
 		DataLen:  int64(binary.BigEndian.Uint64(buf[33:])),
 		BlockLen: int64(binary.BigEndian.Uint64(buf[41:])),
 	}
-	if m.Kind < KindPutChunk || m.Kind > KindGetAck {
+	if m.Kind < KindPutChunk || m.Kind > KindDeleteResp {
 		return Msg{}, fmt.Errorf("%w: kind %d", ErrBadMsg, buf[0])
 	}
 	idLen := int(binary.BigEndian.Uint16(buf[49:]))
@@ -147,11 +164,21 @@ func Unmarshal(buf []byte) (Msg, error) {
 	return m, nil
 }
 
+// inventoryEntrySize is the encoded size of one inventory entry:
+// idLen id shard dataLen shardLen blockLen.
+func inventoryEntrySize(in storage.ObjectInfo) int {
+	return 2 + len(in.ID) + 4 + 8 + 8 + 8
+}
+
+// MaxListPayload bounds one ListResp page so the message stays comfortably
+// inside a mesh datagram alongside its header.
+const MaxListPayload = 32 << 10
+
 // encodeInventory packs a daemon's object inventory into a ListResp payload.
 func encodeInventory(infos []storage.ObjectInfo) []byte {
 	size := 4
 	for _, in := range infos {
-		size += 2 + len(in.ID) + 8 + 8 + 8
+		size += inventoryEntrySize(in)
 	}
 	buf := make([]byte, size)
 	binary.BigEndian.PutUint32(buf, uint32(len(infos)))
@@ -160,6 +187,8 @@ func encodeInventory(infos []storage.ObjectInfo) []byte {
 		binary.BigEndian.PutUint16(buf[off:], uint16(len(in.ID)))
 		off += 2
 		off += copy(buf[off:], in.ID)
+		binary.BigEndian.PutUint32(buf[off:], uint32(int32(in.Shard)))
+		off += 4
 		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.DataLen)))
 		off += 8
 		binary.BigEndian.PutUint64(buf[off:], uint64(int64(in.ShardLen)))
@@ -168,6 +197,26 @@ func encodeInventory(infos []storage.ObjectInfo) []byte {
 		off += 8
 	}
 	return buf
+}
+
+// encodeInventoryPage packs the longest prefix of entries with ID > after
+// that fits in maxBytes (at least one entry regardless, so the walk always
+// advances), returning the payload and whether further entries remain.
+// infos must be sorted by ID, as Backend.List returns them.
+func encodeInventoryPage(infos []storage.ObjectInfo, after string, maxBytes int) (buf []byte, more bool) {
+	start := 0
+	if after != "" {
+		start = sort.Search(len(infos), func(i int) bool { return infos[i].ID > after })
+	}
+	end, size := start, 4
+	for end < len(infos) {
+		size += inventoryEntrySize(infos[end])
+		if size > maxBytes && end > start {
+			break
+		}
+		end++
+	}
+	return encodeInventory(infos[start:end]), end < len(infos)
 }
 
 // decodeInventory unpacks a ListResp payload.
@@ -184,18 +233,20 @@ func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
 		}
 		idLen := int(binary.BigEndian.Uint16(buf[off:]))
 		off += 2
-		if off+idLen+24 > len(buf) {
+		if off+idLen+28 > len(buf) {
 			return nil, fmt.Errorf("%w: truncated inventory", ErrBadMsg)
 		}
 		id := string(buf[off : off+idLen])
 		off += idLen
+		shard := int32(binary.BigEndian.Uint32(buf[off:]))
+		off += 4
 		dataLen := int64(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
 		shardLen := int64(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
 		blockLen := int64(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
-		infos = append(infos, storage.ObjectInfo{ID: id, DataLen: int(dataLen), ShardLen: int(shardLen), BlockLen: int(blockLen)})
+		infos = append(infos, storage.ObjectInfo{ID: id, Shard: int(shard), DataLen: int(dataLen), ShardLen: int(shardLen), BlockLen: int(blockLen)})
 	}
 	return infos, nil
 }

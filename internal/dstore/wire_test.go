@@ -2,7 +2,9 @@ package dstore
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rain/internal/storage"
@@ -19,6 +21,11 @@ func TestMsgRoundtrip(t *testing.T) {
 		{Kind: KindListResp, Req: 7, Shard: 2, Data: encodeInventory([]storage.ObjectInfo{{ID: "x", DataLen: 9, ShardLen: 3, BlockLen: 4}})},
 		{Kind: KindGetAck, Req: 8, ID: "obj", Off: 48 << 10},
 		{Kind: KindGetAck, Req: 9, ID: "obj", Off: -1},
+		{Kind: KindPutChunk, Req: 10, ID: "obj", Shard: -1, ShardLen: 8, Data: []byte{1}},
+		{Kind: KindListReq, Req: 11, ID: "resume-after-this-id"},
+		{Kind: KindListResp, Req: 12, Shard: 2, Win: 1, Data: encodeInventory([]storage.ObjectInfo{{ID: "y", Shard: 5, DataLen: 9, ShardLen: 3}})},
+		{Kind: KindDeleteReq, Req: 13, ID: "obj"},
+		{Kind: KindDeleteResp, Req: 14, ID: "obj"},
 	}
 	for _, m := range msgs {
 		got, err := Unmarshal(m.Marshal())
@@ -60,8 +67,8 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 func TestInventoryRoundtrip(t *testing.T) {
 	infos := []storage.ObjectInfo{
 		{ID: "a", DataLen: 0, ShardLen: 1},
-		{ID: "obj-2", DataLen: storage.UnknownSize, ShardLen: 4096, BlockLen: 16 << 10},
-		{ID: "big", DataLen: 1 << 30, ShardLen: 1 << 27, BlockLen: 1 << 20},
+		{ID: "obj-2", Shard: 3, DataLen: storage.UnknownSize, ShardLen: 4096, BlockLen: 16 << 10},
+		{ID: "big", Shard: storage.UnknownShard, DataLen: 1 << 30, ShardLen: 1 << 27, BlockLen: 1 << 20},
 	}
 	got, err := decodeInventory(encodeInventory(infos))
 	if err != nil {
@@ -75,5 +82,50 @@ func TestInventoryRoundtrip(t *testing.T) {
 	}
 	if _, err := decodeInventory([]byte{0, 0, 0, 5}); err == nil {
 		t.Fatal("truncated inventory accepted")
+	}
+}
+
+// TestInventoryPaging checks the continuation-token walk: pages respect the
+// byte bound, resume strictly after the token, always make progress, and
+// cover the whole inventory exactly once.
+func TestInventoryPaging(t *testing.T) {
+	var infos []storage.ObjectInfo
+	for i := 0; i < 500; i++ {
+		infos = append(infos, storage.ObjectInfo{ID: fmt.Sprintf("object-%04d", i), Shard: i % 8, DataLen: i, ShardLen: i * 2, BlockLen: 64 << 10})
+	}
+	const maxBytes = 2 << 10
+	var walked []storage.ObjectInfo
+	after := ""
+	pages := 0
+	for {
+		buf, more := encodeInventoryPage(infos, after, maxBytes)
+		if len(buf) > maxBytes {
+			t.Fatalf("page of %d bytes over the %d bound", len(buf), maxBytes)
+		}
+		page, err := decodeInventory(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 && more {
+			t.Fatal("empty page claims more data")
+		}
+		walked = append(walked, page...)
+		pages++
+		if !more {
+			break
+		}
+		after = page[len(page)-1].ID
+	}
+	if pages < 10 {
+		t.Fatalf("only %d pages for 500 entries under a %d-byte bound", pages, maxBytes)
+	}
+	if !reflect.DeepEqual(infos, walked) {
+		t.Fatalf("paged walk diverged: %d entries, want %d", len(walked), len(infos))
+	}
+	// A single over-sized entry still ships (progress guarantee).
+	big := []storage.ObjectInfo{{ID: strings.Repeat("x", 4<<10)}}
+	buf, more := encodeInventoryPage(big, "", maxBytes)
+	if page, err := decodeInventory(buf); err != nil || len(page) != 1 || more {
+		t.Fatalf("oversized entry page: %v %v more=%v", page, err, more)
 	}
 }

@@ -1,0 +1,124 @@
+// Package placement maps objects onto n-of-m node assignments with
+// rendezvous (highest-random-weight) hashing, replacing the seed's implicit
+// "shard i lives on peer i" rule. Every (object, shard, node) triple gets an
+// independent 64-bit score from a deterministic hash seeded per object; an
+// object's shard holders are chosen purely from those scores, so any node
+// that knows the membership view computes the same map with no coordination
+// and no stored state.
+//
+// The property that matters for rebalancing is rendezvous hashing's minimal
+// disruption. A membership change only perturbs the objects whose winner set
+// it touches, and within an affected object the greedy collision-skip
+// assignment (shard i takes the highest-scoring node not already holding a
+// lower shard, the CRUSH-style retry) displaces an expected chain of
+// ~m/(m-n) shards, so the expected fraction of all shard placements that
+// move on a single join or leave is ~1/(m-n) — which tends to the ideal 1/m
+// as the universe grows past the code width. placement_test.go asserts both
+// bounds.
+package placement
+
+// fnv1a64 is the 64-bit FNV-1a hash of the concatenated byte strings. It is
+// the placement hash: stable across processes and architectures (unlike
+// hash/maphash), cheap, and well-mixed enough for load spreading once
+// finalised below.
+func fnv1a64(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	// SplitMix64 finaliser: FNV's avalanche is weak in the high bits, and
+	// rendezvous ranking compares whole words.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Score is the rendezvous weight of a node for one shard of an object.
+// Exposed so tests and simulators can reproduce the ranking.
+func Score(id string, shard int, node string) uint64 {
+	return fnv1a64("rain.place", id, string(rune('0'+shard)), node)
+}
+
+// Assign returns the ordered n-node placement for an object over the node
+// universe: Assign(id, nodes, n)[i] is the node that holds shard i. It is
+// deterministic in (id, set-of-nodes, n) — node order in the input does not
+// matter — and returns nil when fewer than n nodes are offered.
+//
+// Shard i goes to the node with the highest Score(id, i, ·) that does not
+// already hold a lower shard of the same object, so the n holders are always
+// distinct (losing one node loses at most one shard per object). Because
+// every shard ranks the whole universe independently, a join or leave only
+// reassigns shards along the short displacement chain it causes.
+func Assign(id string, nodes []string, n int) []string {
+	if n <= 0 || len(nodes) < n {
+		return nil
+	}
+	type scored struct {
+		node  string
+		taken bool
+	}
+	cands := make([]scored, len(nodes))
+	for i, node := range nodes {
+		cands[i] = scored{node: node}
+	}
+	out := make([]string, n)
+	for shard := 0; shard < n; shard++ {
+		best := -1
+		var bestW uint64
+		for j := range cands {
+			if cands[j].taken {
+				continue
+			}
+			w := Score(id, shard, cands[j].node)
+			// Break hash ties on node name for a total order that cannot
+			// depend on input order.
+			if best < 0 || w > bestW || (w == bestW && cands[j].node < cands[best].node) {
+				best, bestW = j, w
+			}
+		}
+		cands[best].taken = true
+		out[shard] = cands[best].node
+	}
+	return out
+}
+
+// ShardOf returns the shard index node holds for the object under the given
+// placement, or -1 when the node is not in it.
+func ShardOf(place []string, node string) int {
+	for i, p := range place {
+		if p == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// Moves counts shard placements that differ between two assignments of the
+// same object — the per-object rebalance work a membership change causes.
+// Placements of different lengths count every slot of the longer one that
+// has no equal counterpart.
+func Moves(oldPlace, newPlace []string) int {
+	long, short := oldPlace, newPlace
+	if len(newPlace) > len(long) {
+		long, short = newPlace, oldPlace
+	}
+	moves := 0
+	for i := range long {
+		if i >= len(short) || long[i] != short[i] {
+			moves++
+		}
+	}
+	return moves
+}

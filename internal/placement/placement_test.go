@@ -1,0 +1,132 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodeSet(m int) []string {
+	nodes := make([]string, m)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%02d", i)
+	}
+	return nodes
+}
+
+func TestAssignBasics(t *testing.T) {
+	nodes := nodeSet(8)
+	for obj := 0; obj < 200; obj++ {
+		id := fmt.Sprintf("obj%d", obj)
+		place := Assign(id, nodes, 6)
+		if len(place) != 6 {
+			t.Fatalf("%s: placement of %d nodes", id, len(place))
+		}
+		seen := map[string]bool{}
+		for i, node := range place {
+			if seen[node] {
+				t.Fatalf("%s: node %s holds two shards", id, node)
+			}
+			seen[node] = true
+			if ShardOf(place, node) != i {
+				t.Fatalf("%s: ShardOf disagrees at %d", id, i)
+			}
+		}
+	}
+	if Assign("x", nodeSet(3), 6) != nil {
+		t.Fatal("placement over too few nodes should be nil")
+	}
+}
+
+func TestAssignOrderIndependent(t *testing.T) {
+	nodes := nodeSet(9)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	for obj := 0; obj < 50; obj++ {
+		id := fmt.Sprintf("obj%d", obj)
+		a, b := Assign(id, nodes, 5), Assign(id, reversed, 5)
+		if Moves(a, b) != 0 {
+			t.Fatalf("%s: placement depends on input order: %v vs %v", id, a, b)
+		}
+	}
+}
+
+// TestAssignSpreadsLoad checks the per-node shard counts over many objects
+// stay near uniform — the declustered layout that spreads rebuild load.
+func TestAssignSpreadsLoad(t *testing.T) {
+	nodes := nodeSet(10)
+	const objects, n = 2000, 6
+	held := map[string]int{}
+	for obj := 0; obj < objects; obj++ {
+		for _, node := range Assign(fmt.Sprintf("obj%d", obj), nodes, n) {
+			held[node]++
+		}
+	}
+	mean := float64(objects*n) / float64(len(nodes))
+	for node, c := range held {
+		if f := float64(c) / mean; f < 0.85 || f > 1.15 {
+			t.Fatalf("%s holds %d shards, %.2fx the mean %f", node, c, f, mean)
+		}
+	}
+}
+
+// TestAssignMinimalDisruption is the rendezvous property the rebalancer
+// depends on: one node leaving (or joining) an m-node universe moves
+// ~1/(m-n) of all shard placements (the ideal 1/m times the expected
+// m/(m-n) displacement chain of the collision-skip assignment), not ~1 per
+// object.
+func TestAssignMinimalDisruption(t *testing.T) {
+	const m, n, objects = 12, 6, 1500
+	nodes := nodeSet(m)
+	for _, tc := range []struct {
+		name  string
+		after []string
+	}{
+		{"leave", nodeSet(m)[:m-1]},
+		{"join", append(nodeSet(m), "node99")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			moved, total := 0, 0
+			for obj := 0; obj < objects; obj++ {
+				id := fmt.Sprintf("obj%d", obj)
+				moved += Moves(Assign(id, nodes, n), Assign(id, tc.after, n))
+				total += n
+			}
+			frac := float64(moved) / float64(total)
+			// Expected fraction is 1/(m-n) (chain analysis in the package
+			// doc); allow 1.4x for variance at this sample size.
+			bound := 1.4 / float64(m-n)
+			if frac > bound {
+				t.Fatalf("%s moved %.1f%% of placements, bound %.1f%%", tc.name, 100*frac, 100*bound)
+			}
+			if frac == 0 {
+				t.Fatalf("%s moved nothing; placement is ignoring membership", tc.name)
+			}
+		})
+	}
+}
+
+// TestAssignDisruptionScalesWithUniverse pins the scaling behaviour: with
+// the code width fixed, doubling the universe roughly halves the moved
+// fraction — placement work stays proportional to membership churn, not to
+// cluster size.
+func TestAssignDisruptionScalesWithUniverse(t *testing.T) {
+	const n, objects = 4, 1200
+	frac := func(m int) float64 {
+		nodes := nodeSet(m)
+		moved := 0
+		for obj := 0; obj < objects; obj++ {
+			id := fmt.Sprintf("obj%d", obj)
+			moved += Moves(Assign(id, nodes, n), Assign(id, nodes[:m-1], n))
+		}
+		return float64(moved) / float64(objects*n)
+	}
+	small, large := frac(8), frac(24)
+	if large >= small {
+		t.Fatalf("moved fraction grew with universe: m=8 %.3f vs m=24 %.3f", small, large)
+	}
+	if large > 1.4/float64(24-n) {
+		t.Fatalf("m=24 moved fraction %.3f above 1/(m-n) bound", large)
+	}
+}

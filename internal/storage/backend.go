@@ -15,10 +15,16 @@ import (
 // The networked daemon records real sizes so any client can decode.
 const UnknownSize = -1
 
+// UnknownShard marks an object whose shard index was not recorded at write
+// time. Readers fall back to the positional rule (node i holds shard i) for
+// such entries — the pre-placement layout.
+const UnknownShard = -1
+
 // ObjectInfo describes one shard held by a backend, as reported to rebuild
 // coordinators and streamed in dstore inventories.
 type ObjectInfo struct {
 	ID       string
+	Shard    int // shard index held, or UnknownShard (positional layout)
 	DataLen  int // original object length, or UnknownSize
 	ShardLen int
 	BlockLen int // block-codeword size of the layout; 0 = one codeword
@@ -40,6 +46,7 @@ type Backend struct {
 	mu       sync.Mutex
 	dir      string // "" = memory-backed
 	shards   map[string]backendEntry
+	gen      uint64 // bumped on every shard-set mutation
 	reads    int
 	writes   int
 	stageSeq int
@@ -49,6 +56,7 @@ type backendEntry struct {
 	shard    []byte // memory mode only
 	path     string // file mode only
 	shardLen int64
+	shardIdx int // shard index held, or UnknownShard
 	dataLen  int
 	blockLen int
 }
@@ -74,15 +82,16 @@ func (b *Backend) shardPath(id string) string {
 	return filepath.Join(b.dir, hex.EncodeToString([]byte(id))+".shard")
 }
 
-// Put stores the shard for an object together with the original object
-// length (UnknownSize if the writer does not know it) and the block-codeword
-// size of its layout (0 for a single whole-object codeword). A non-nil
-// error (file-backed mode only: disk full, permissions) means nothing was
-// stored.
-func (b *Backend) Put(id string, shard []byte, dataLen, blockLen int) error {
+// Put stores the shard for an object together with the shard index it
+// represents under the object's placement (UnknownShard for the positional
+// layout), the original object length (UnknownSize if the writer does not
+// know it), and the block-codeword size of its layout (0 for a single
+// whole-object codeword). A non-nil error (file-backed mode only: disk
+// full, permissions) means nothing was stored.
+func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	e := backendEntry{shardLen: int64(len(shard)), dataLen: dataLen, blockLen: blockLen}
+	e := backendEntry{shardLen: int64(len(shard)), shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
 	if b.dir == "" {
 		e.shard = append([]byte(nil), shard...)
 	} else {
@@ -92,8 +101,18 @@ func (b *Backend) Put(id string, shard []byte, dataLen, blockLen int) error {
 		}
 	}
 	b.shards[id] = e
+	b.gen++
 	b.writes++
 	return nil
+}
+
+// Generation returns a counter that changes whenever the shard set does —
+// a cheap cache-validity check for inventory snapshots (the dstore daemon
+// reuses one sorted List across the pages of an inventory walk).
+func (b *Backend) Generation() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
 }
 
 // Get fetches the whole shard for an object and the recorded object length.
@@ -173,17 +192,22 @@ func (b *Backend) Info(id string) (ObjectInfo, error) {
 	if !ok {
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}
-	return ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen}, nil
+	return ObjectInfo{ID: id, Shard: e.shardIdx, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen}, nil
 }
 
 // Delete removes an object's shard.
 func (b *Backend) Delete(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if e, ok := b.shards[id]; ok && e.path != "" {
+	e, ok := b.shards[id]
+	if !ok {
+		return
+	}
+	if e.path != "" {
 		os.Remove(e.path)
 	}
 	delete(b.shards, id)
+	b.gen++
 }
 
 // List returns info for every held shard, sorted by object id.
@@ -192,7 +216,7 @@ func (b *Backend) List() []ObjectInfo {
 	defer b.mu.Unlock()
 	out := make([]ObjectInfo, 0, len(b.shards))
 	for id, e := range b.shards {
-		out = append(out, ObjectInfo{ID: id, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen})
+		out = append(out, ObjectInfo{ID: id, Shard: e.shardIdx, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -222,6 +246,7 @@ func (b *Backend) Wipe() {
 		}
 	}
 	b.shards = make(map[string]backendEntry)
+	b.gen++
 }
 
 // Stage is an in-progress streaming shard write: chunks append as they
@@ -288,12 +313,13 @@ func (s *Stage) Abort() {
 }
 
 // Commit atomically publishes the staged bytes as the shard for id, with the
-// recorded object length and block-codeword size. The stage is consumed.
-func (b *Backend) Commit(s *Stage, id string, dataLen, blockLen int) error {
+// recorded shard index, object length and block-codeword size. The stage is
+// consumed.
+func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) error {
 	if s.err != nil {
 		return s.err
 	}
-	e := backendEntry{shardLen: s.n, dataLen: dataLen, blockLen: blockLen}
+	e := backendEntry{shardLen: s.n, shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
 	if s.f != nil {
 		name := s.f.Name()
 		if err := s.f.Close(); err != nil {
@@ -312,6 +338,7 @@ func (b *Backend) Commit(s *Stage, id string, dataLen, blockLen int) error {
 	}
 	b.mu.Lock()
 	b.shards[id] = e
+	b.gen++
 	b.writes++
 	b.mu.Unlock()
 	s.err = fmt.Errorf("storage: stage already committed")

@@ -23,7 +23,7 @@ func backendModes(t *testing.T, fn func(t *testing.T, b *Backend)) {
 func TestBackendPutGetMeta(t *testing.T) {
 	backendModes(t, func(t *testing.T, b *Backend) {
 		shard := []byte("some shard bytes")
-		b.Put("obj/with:odd id", shard, 123, 64)
+		b.Put("obj/with:odd id", shard, 0, 123, 64)
 		got, dataLen, err := b.Get("obj/with:odd id")
 		if err != nil || !bytes.Equal(got, shard) || dataLen != 123 {
 			t.Fatalf("get: %q %d %v", got, dataLen, err)
@@ -50,7 +50,7 @@ func TestBackendReadAt(t *testing.T) {
 	backendModes(t, func(t *testing.T, b *Backend) {
 		shard := make([]byte, 10<<10)
 		rand.New(rand.NewSource(1)).Read(shard)
-		b.Put("obj", shard, len(shard)*2, 0)
+		b.Put("obj", shard, 0, len(shard)*2, 0)
 		// Walk the shard in uneven chunks and reassemble.
 		var got []byte
 		buf := make([]byte, 1000)
@@ -99,7 +99,7 @@ func TestBackendStageCommit(t *testing.T) {
 		if _, _, err := b.Get("obj"); err == nil {
 			t.Fatal("uncommitted stage visible")
 		}
-		if err := b.Commit(st, "obj", len(shard)*3, 8<<10); err != nil {
+		if err := b.Commit(st, "obj", 0, len(shard)*3, 8<<10); err != nil {
 			t.Fatal(err)
 		}
 		got, dataLen, err := b.Get("obj")
@@ -115,7 +115,7 @@ func TestBackendStageCommit(t *testing.T) {
 			t.Fatal(err)
 		}
 		ab.Abort()
-		if err := b.Commit(ab, "obj2", 0, 0); err == nil {
+		if err := b.Commit(ab, "obj2", 0, 0, 0); err == nil {
 			t.Fatal("commit of aborted stage accepted")
 		}
 		if b.Objects() != 1 {
@@ -126,8 +126,8 @@ func TestBackendStageCommit(t *testing.T) {
 
 func TestBackendWipeRemovesFiles(t *testing.T) {
 	backendModes(t, func(t *testing.T, b *Backend) {
-		b.Put("a", []byte("1"), 1, 0)
-		b.Put("b", []byte("2"), 1, 0)
+		b.Put("a", []byte("1"), 0, 1, 0)
+		b.Put("b", []byte("2"), 0, 1, 0)
 		b.Wipe()
 		if b.Objects() != 0 {
 			t.Fatalf("objects after wipe: %d", b.Objects())
@@ -136,7 +136,7 @@ func TestBackendWipeRemovesFiles(t *testing.T) {
 			t.Fatalf("get after wipe: %v", err)
 		}
 		// The backend is usable again after a wipe.
-		b.Put("c", []byte("3"), 1, 0)
+		b.Put("c", []byte("3"), 0, 1, 0)
 		if got, _, err := b.Get("c"); err != nil || string(got) != "3" {
 			t.Fatalf("put after wipe: %q %v", got, err)
 		}

@@ -87,24 +87,43 @@ func (s *Server) Down() bool {
 	return s.down
 }
 
-// Put stores the symbol for an object.
+// Put stores the symbol for an object without recording which shard index
+// it is (the positional layout: readers assume node i holds symbol i).
 func (s *Server) Put(id string, shard []byte) error {
+	return s.PutShard(id, shard, UnknownShard)
+}
+
+// PutShard stores the symbol for an object together with the shard index it
+// represents — the placement-mapped layout, where a node may hold a
+// different index per object.
+func (s *Server) PutShard(id string, shard []byte, shardIdx int) error {
 	if s.Down() {
 		return fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	return s.backend.Put(id, shard, UnknownSize, 0)
+	return s.backend.Put(id, shard, shardIdx, UnknownSize, 0)
 }
 
 // Get fetches the symbol for an object.
 func (s *Server) Get(id string) ([]byte, error) {
+	shard, _, err := s.GetShard(id)
+	return shard, err
+}
+
+// GetShard fetches the symbol for an object along with its recorded shard
+// index (UnknownShard for positional entries).
+func (s *Server) GetShard(id string) (shard []byte, shardIdx int, err error) {
 	if s.Down() {
-		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.name)
+		return nil, UnknownShard, fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	shard, _, err := s.backend.Get(id)
+	shard, _, err = s.backend.Get(id)
 	if err != nil {
-		return nil, fmt.Errorf("%w on %s", err, s.name)
+		return nil, UnknownShard, fmt.Errorf("%w on %s", err, s.name)
 	}
-	return shard, nil
+	info, err := s.backend.Info(id)
+	if err != nil {
+		return nil, UnknownShard, fmt.Errorf("%w on %s", err, s.name)
+	}
+	return shard, info.Shard, nil
 }
 
 // Stat reports the shard length and recorded object length for an object.
@@ -304,11 +323,19 @@ func (st *Store) Get(id string) ([]byte, error) {
 		if have == st.code.K() {
 			break
 		}
-		shard, err := st.servers[idx].Get(id)
+		shard, shardIdx, err := st.servers[idx].GetShard(id)
 		if err != nil {
 			continue
 		}
-		shards[idx] = shard
+		// Placement-mapped entries record which symbol they hold; positional
+		// entries (UnknownShard) fall back to the node index.
+		if shardIdx < 0 {
+			shardIdx = idx
+		}
+		if shardIdx >= len(shards) || shards[shardIdx] != nil {
+			continue
+		}
+		shards[shardIdx] = shard
 		have++
 	}
 	if have < st.code.K() {
@@ -335,12 +362,20 @@ func (st *Store) Rebuild(i int) error {
 			if j == i || s.Down() {
 				continue
 			}
-			if shard, err := s.Get(id); err == nil {
-				shards[j] = shard
-				have++
-				if have == st.code.K() {
-					break
-				}
+			shard, shardIdx, err := s.GetShard(id)
+			if err != nil {
+				continue
+			}
+			if shardIdx < 0 {
+				shardIdx = j
+			}
+			if shardIdx >= len(shards) || shards[shardIdx] != nil {
+				continue
+			}
+			shards[shardIdx] = shard
+			have++
+			if have == st.code.K() {
+				break
 			}
 		}
 		if have < st.code.K() {
@@ -349,7 +384,7 @@ func (st *Store) Rebuild(i int) error {
 		if err := st.code.Reconstruct(shards); err != nil {
 			return fmt.Errorf("storage: rebuild %s: %w", id, err)
 		}
-		if err := st.servers[i].Put(id, shards[i]); err != nil {
+		if err := st.servers[i].PutShard(id, shards[i], i); err != nil {
 			return fmt.Errorf("storage: rebuild %s: %w", id, err)
 		}
 	}

@@ -37,6 +37,7 @@ import (
 
 	"rain/internal/core"
 	"rain/internal/ecc"
+	"rain/internal/placement"
 	"rain/internal/storage"
 )
 
@@ -103,13 +104,32 @@ func RebuildStream(code Code, target int, w io.Writer, readers []io.Reader, data
 // Cluster is a full RAIN deployment: a simulated set of nodes with bundled
 // network interfaces, running the membership ring, leader election, RUDP
 // communication and erasure-coded storage, with fault injection for every
-// layer. Put, Get and ReplaceNode are distributed operations whose shard
-// traffic crosses the simulated network as dstore protocol messages;
-// PutStream and GetStream are their bounded-memory forms, moving one block
-// codeword at a time so the cluster serves objects far larger than any
-// node's RAM (set ClusterOptions.StorageDir to also keep stored shards on
-// disk). See internal/core for the composition.
+// layer. Put, Get, ReplaceNode and Rebalance are distributed operations
+// whose shard traffic crosses the simulated network as dstore protocol
+// messages; PutStream and GetStream are their bounded-memory forms, moving
+// one block codeword at a time so the cluster serves objects far larger
+// than any node's RAM (set ClusterOptions.StorageDir to also keep stored
+// shards on disk).
+//
+// Each object's n shard holders are chosen by rendezvous placement over the
+// whole cluster (see Placement), so the cluster may be wider than the code:
+// pass a ClusterOptions.Code with N below the node count and many objects
+// spread over all nodes. ReplaceNode rebuilds a node's shards concurrently
+// — several objects pipelined under ClusterOptions.RebuildBudget — and
+// Rebalance reconciles every object with its target placement after
+// membership or data changes. See internal/core for the composition.
 type Cluster = core.Platform
+
+// Placement returns the ordered n-node assignment rendezvous hashing gives
+// an object over a node universe: Placement(id, nodes, n)[i] is the node
+// that holds shard i. Deterministic in (id, set-of-nodes, n); a single node
+// join or leave moves only ~1/(m-n) of all shard placements (tending to the
+// ideal 1/m as the cluster grows past the code width), which is what makes
+// rebalancing traffic proportional to membership churn rather than to
+// cluster size.
+func Placement(id string, nodes []string, n int) []string {
+	return placement.Assign(id, nodes, n)
+}
 
 // ClusterOptions configures NewCluster.
 type ClusterOptions = core.Options

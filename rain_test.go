@@ -120,3 +120,72 @@ func TestFacadeStreaming(t *testing.T) {
 		t.Fatalf("cluster stream roundtrip: n=%d err=%v", n, err)
 	}
 }
+
+// TestFacadePlacedCluster runs a cluster wider than its code: eight nodes
+// over rs(6,4), so each object's six shard holders come from the rendezvous
+// placement map. A hot swap then rebuilds only the replaced node's placed
+// shards (concurrently), and a Rebalance pass finds nothing left to fix.
+func TestFacadePlacedCluster(t *testing.T) {
+	code, err := NewReedSolomon(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+	cl, err := NewCluster(nodes, ClusterOptions{Seed: 3, Code: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Second)
+	objects := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		id := string(rune('a'+i)) + "-obj"
+		data := bytes.Repeat([]byte{byte(i + 1)}, 9<<10)
+		if err := cl.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+		objects[id] = data
+	}
+	// Shards spread beyond any fixed six: every node holds some.
+	for _, n := range nodes {
+		if cl.Backends[n].Objects() == 0 {
+			t.Fatalf("node %s holds no shards; placement is not spreading", n)
+		}
+	}
+	for id := range objects {
+		if got := len(Placement(id, nodes, code.N())); got != code.N() {
+			t.Fatalf("placement of %d nodes for %s", got, id)
+		}
+	}
+	if err := cl.Crash("n7"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(2 * time.Second)
+	rebuilt, err := cl.ReplaceNode("n7")
+	if err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	want := 0
+	for id := range objects {
+		for _, n := range Placement(id, nodes, code.N()) {
+			if n == "n7" {
+				want++
+			}
+		}
+	}
+	if rebuilt != want {
+		t.Fatalf("rebuilt %d objects, want the %d placed on n7", rebuilt, want)
+	}
+	stats, err := cl.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if stats.Moved+stats.Rebuilt+stats.Deleted != 0 {
+		t.Fatalf("rebalance after full rebuild still found work: %+v", stats)
+	}
+	for id, want := range objects {
+		got, err := cl.Get(id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after hot swap: %v", id, err)
+		}
+	}
+}
