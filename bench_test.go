@@ -234,6 +234,105 @@ func BenchmarkRSRepairSingleErasure(b *testing.B) {
 	}
 }
 
+// --- ISSUE 5: array-code fast path (fused XOR kernels + cached plans) ---
+
+// arrayBenchModes are the three array-code backends the perf trajectory
+// tracks: the seed per-term XorSlice path ("scalar"), the fused
+// gf.XorVecSlice gathers on one goroutine ("kernel"), and the default
+// GOMAXPROCS fan-out on top of the kernels ("parallel").
+var arrayBenchModes = []struct {
+	name string
+	opts []ecc.ArrayOption
+}{
+	{"scalar", []ecc.ArrayOption{ecc.ArrayScalar()}},
+	{"kernel", []ecc.ArrayOption{ecc.ArraySerial()}},
+	{"parallel", nil},
+}
+
+// BenchmarkArrayEncode measures xcode(13,11) encode throughput for the
+// three backends, plus the reused-buffer EncodeInto path ("into") that the
+// streaming encoder rides — the buffer reuse removes the n×ShardSize
+// allocate-and-zero from every block. The kernel- and into-vs-scalar ratios
+// at 1 MiB extend the PR 1 before/after trajectory to the array codes.
+func BenchmarkArrayEncode(b *testing.B) {
+	for _, m := range arrayBenchModes {
+		c, err := ecc.NewXCode(13, m.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range rsBenchSizes[1:] { // 64KiB, 1MiB
+			data := make([]byte, size.n)
+			rand.New(rand.NewSource(41)).Read(data)
+			b.Run(fmt.Sprintf("xcode13/%s/%s", m.name, size.name), func(b *testing.B) {
+				b.SetBytes(int64(size.n))
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Encode(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	c, err := ecc.NewXCode(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	be := c.(ecc.BufferEncoder)
+	for _, size := range rsBenchSizes[1:] {
+		data := make([]byte, size.n)
+		rand.New(rand.NewSource(41)).Read(data)
+		shards := make([][]byte, c.N())
+		for i := range shards {
+			shards[i] = make([]byte, c.ShardSize(size.n))
+		}
+		b.Run(fmt.Sprintf("xcode13/into/%s", size.name), func(b *testing.B) {
+			b.SetBytes(int64(size.n))
+			for i := 0; i < b.N; i++ {
+				if err := be.EncodeInto(data, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArrayReconstruct measures two-column repair of a 1 MiB
+// xcode(13,11) codeword: the seed path ("scalar": a fresh GF(2) Gaussian
+// elimination per call) against the compiled-plan replay ("planned": cached
+// XOR schedule, fused gathers, zero solver work per call).
+func BenchmarkArrayReconstruct(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		opts []ecc.ArrayOption
+	}{
+		{"scalar", []ecc.ArrayOption{ecc.ArrayScalar()}},
+		{"planned", nil},
+	} {
+		c, err := ecc.NewXCode(13, m.opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 1<<20)
+		rand.New(rand.NewSource(42)).Read(data)
+		shards, err := c.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("xcode13/%s/1MiB", m.name), func(b *testing.B) {
+			b.SetBytes(1 << 20)
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				work[i%c.N()] = nil
+				work[(i+1)%c.N()] = nil
+				if err := c.Reconstruct(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- ISSUE 3: streaming decode vs whole-shard decode ---
 
 // BenchmarkStreamDecode measures block-wise streaming decode of a 4 MiB
@@ -292,6 +391,52 @@ func BenchmarkStreamDecode(b *testing.B) {
 				}
 			}
 		})
+	}
+	// Array-code cases (ISSUE 5): same object, xcode(13,11), two data
+	// columns erased so every block pays reconstruction. "scalar" routes
+	// each block through the seed path (work-copy + fresh GF(2) Gaussian
+	// solve + whole-column materialisation); "planned" replays the cached
+	// XOR schedule for the erasure pattern straight into the reused block
+	// buffer, allocation-free. Their ratio is the ISSUE 5 streaming-decode
+	// before/after number.
+	scalarX, err := ecc.NewXCode(13, ecc.ArrayScalar())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plannedX, err := ecc.NewXCode(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range rsBenchSizes[:2] { // 4KiB, 64KiB blocks
+		streams := make([][]byte, plannedX.N())
+		if err := ecc.EncodeReader(plannedX, bytes.NewReader(data), size.n, func(blk int, shards [][]byte, dataLen int) error {
+			for i, s := range shards {
+				streams[i] = append(streams[i], s...)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []struct {
+			name string
+			code ecc.Code
+		}{{"scalar", scalarX}, {"planned", plannedX}} {
+			b.Run(fmt.Sprintf("xcode13/%s/%s", m.name, size.name), func(b *testing.B) {
+				b.SetBytes(objectSize)
+				for i := 0; i < b.N; i++ {
+					readers := make([]io.Reader, m.code.N())
+					for j := range streams {
+						readers[j] = bytes.NewReader(streams[j])
+					}
+					readers[i%m.code.N()] = nil
+					readers[(i+1)%m.code.N()] = nil
+					n, err := ecc.DecodeStreams(m.code, io.Discard, readers, objectSize, size.n)
+					if err != nil || n != objectSize {
+						b.Fatalf("n=%d err=%v", n, err)
+					}
+				}
+			})
+		}
 	}
 }
 

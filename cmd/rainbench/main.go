@@ -10,7 +10,7 @@
 //
 // It is also the CI benchmark-regression gate over `go test -bench` output:
 //
-//	go test -run '^$' -bench 'RS|StreamDecode|DStore' -benchtime 3x -count 3 . > bench.txt
+//	go test -run '^$' -bench 'RS|StreamDecode|DStore|Array' -benchtime 3x -count 3 . > bench.txt
 //	rainbench -record -baseline BENCH_baseline.json -input bench.txt   # refresh the committed baseline
 //	rainbench -check  -baseline BENCH_baseline.json -input bench.txt   # fail on >25% geomean regression
 package main

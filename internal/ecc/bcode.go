@@ -29,7 +29,7 @@ import "fmt"
 // near-one-factorization is perfect, which holds for the rotational
 // construction exactly when n+1 is prime. n must be even, n >= 4, and n+1
 // prime; otherwise NewBCode returns ErrInvalidParams.
-func NewBCode(n int) (Code, error) {
+func NewBCode(n int, opts ...ArrayOption) (Code, error) {
 	if n < 4 || n%2 != 0 || !isPrime(n+1) {
 		return nil, fmt.Errorf("%w: bcode requires even n >= 4 with n+1 prime, got n=%d", ErrInvalidParams, n)
 	}
@@ -108,5 +108,5 @@ func NewBCode(n int) (Code, error) {
 		}
 		cells[i][rows-1] = cell{data: -1, eq: eq}
 	}
-	return newXORCode(fmt.Sprintf("bcode(%d,%d)", n, n-2), n, rows, n-2, cells)
+	return newXORCode(fmt.Sprintf("bcode(%d,%d)", n, n-2), n, rows, n-2, cells, opts)
 }

@@ -27,7 +27,8 @@
 // Encode may return data shards that alias the input buffer (see
 // Code.Encode): callers that mutate the input afterwards, or write into the
 // returned shards, must copy first. StreamEncoder.Next reuses its block
-// buffer, so returned shards are valid only until the following Next.
+// buffer — and, for BufferEncoder codes, one shard-buffer set per stream —
+// so returned shards are valid only until the following Next.
 // Symmetrically, pieces passed to StreamDecoder.NextBlock and
 // ShardRebuilder.NextBlock are never retained — the caller may reuse them
 // as soon as the call returns.
@@ -79,12 +80,28 @@ type DataReconstructor interface {
 	ReconstructData(shards [][]byte) error
 }
 
+// BufferEncoder is optionally implemented by codes that can encode into
+// caller-provided shard buffers, the allocation-free counterpart of Encode.
+// The streaming encoder type-asserts for it so one set of shard buffers per
+// stream is reused across every block instead of allocating (and zeroing)
+// n*ShardSize(blockLen) bytes per block.
+type BufferEncoder interface {
+	// EncodeInto encodes data into shards, which must hold exactly N
+	// buffers of exactly ShardSize(len(data)) bytes each. Every byte of
+	// every buffer is overwritten; data is not modified, and the buffers
+	// never alias it.
+	EncodeInto(data []byte, shards [][]byte) error
+}
+
 // ContiguousLayout is a marker interface for codes whose data shards are
 // contiguous slices of the message: shard i of a dataLen-byte encode holds
 // message bytes [i*ShardSize(dataLen), (i+1)*ShardSize(dataLen)). The
 // streaming decoder writes such codes' data shards straight through; codes
 // with scattered layouts (the XOR array codes, whose data chunks interleave
-// with parity cells across rows) decode through Code.Decode block by block.
+// with parity cells across rows) instead gather each block's message out of
+// the shard cells — strided copies for present cells, cached-plan XOR
+// replays for missing ones (see xorplan.go) — falling back to Code.Decode
+// for implementations the decoder does not know.
 type ContiguousLayout interface {
 	// ContiguousData is a marker method; it performs no work.
 	ContiguousData()

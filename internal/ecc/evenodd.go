@@ -21,7 +21,7 @@ import "fmt"
 // contribute to S and therefore to every diagonal parity cell, which is why
 // EVENODD's update complexity exceeds the optimal 2 — the comparison
 // reproduced by experiment E15.
-func NewEvenOdd(p int) (Code, error) {
+func NewEvenOdd(p int, opts ...ArrayOption) (Code, error) {
 	if p < 3 || !isPrime(p) {
 		return nil, fmt.Errorf("%w: evenodd requires prime p >= 3, got p=%d", ErrInvalidParams, p)
 	}
@@ -84,12 +84,13 @@ func NewEvenOdd(p int) (Code, error) {
 		sortInts(eq)
 		cells[p+1][i] = cell{data: -1, eq: eq}
 	}
-	code, err := newXORCode(fmt.Sprintf("evenodd(%d,%d)", n, p), n, rows, p, cells)
+	code, err := newXORCode(fmt.Sprintf("evenodd(%d,%d)", n, p), n, rows, p, cells, opts)
 	if err != nil {
 		return nil, err
 	}
-	// The classic two-data-column zigzag decoder; other patterns use the
-	// generic solver.
+	// The classic two-data-column zigzag decoder, used on the scalar path;
+	// other patterns (and the kernel modes, which replay cached plans) use
+	// the generic machinery.
 	code.fastReconstruct = evenoddFastReconstruct(p)
 	return code, nil
 }

@@ -6,11 +6,13 @@ import (
 	"testing"
 )
 
-// genericOnlyEvenOdd builds an EVENODD code with the fast decoder disabled,
-// so tests can cross-check the zigzag against the generic GF(2) solver.
+// genericOnlyEvenOdd builds a scalar-mode EVENODD code with the fast
+// decoder disabled, so tests can cross-check the zigzag against the generic
+// GF(2) solver. (Both sides pin ArrayScalar: the default kernel mode replays
+// cached plans and would never reach either scalar decoder.)
 func genericOnlyEvenOdd(t *testing.T, p int) *xorCode {
 	t.Helper()
-	c, err := NewEvenOdd(p)
+	c, err := NewEvenOdd(p, ArrayScalar())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +23,7 @@ func genericOnlyEvenOdd(t *testing.T, p int) *xorCode {
 
 func TestEvenOddZigzagMatchesGenericSolver(t *testing.T) {
 	for _, p := range []int{3, 5, 7, 11} {
-		fast, err := NewEvenOdd(p)
+		fast, err := NewEvenOdd(p, ArrayScalar())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +59,7 @@ func TestEvenOddZigzagMatchesGenericSolver(t *testing.T) {
 }
 
 func TestEvenOddZigzagRoundTrip(t *testing.T) {
-	c, err := NewEvenOdd(7)
+	c, err := NewEvenOdd(7, ArrayScalar())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestEvenOddZigzagRoundTrip(t *testing.T) {
 func TestEvenOddParityColumnErasureFallsBack(t *testing.T) {
 	// Patterns touching parity columns are not handled by the zigzag and
 	// must fall back to the generic solver — still correct.
-	c, err := NewEvenOdd(5)
+	c, err := NewEvenOdd(5, ArrayScalar())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +99,15 @@ func TestEvenOddParityColumnErasureFallsBack(t *testing.T) {
 }
 
 func BenchmarkEvenOddZigzagVsGeneric(b *testing.B) {
-	fast, err := NewEvenOdd(7)
+	planned, err := NewEvenOdd(7)
 	if err != nil {
 		b.Fatal(err)
 	}
-	slowCode, err := NewEvenOdd(7)
+	fast, err := NewEvenOdd(7, ArrayScalar())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slowCode, err := NewEvenOdd(7, ArrayScalar())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -116,7 +122,7 @@ func BenchmarkEvenOddZigzagVsGeneric(b *testing.B) {
 	for _, tc := range []struct {
 		name string
 		code Code
-	}{{"zigzag", fast}, {"generic", slow}} {
+	}{{"planned", planned}, {"zigzag", fast}, {"generic", slow}} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.SetBytes(int64(len(msg)))
 			for i := 0; i < b.N; i++ {

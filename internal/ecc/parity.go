@@ -7,7 +7,7 @@ import "fmt"
 // notes that traditional RAID offers only this ("parity") or mirroring, and
 // positions array codes as the generalisation trading storage for fault
 // tolerance; this implementation is the baseline for that comparison.
-func NewSingleParity(k int) (Code, error) {
+func NewSingleParity(k int, opts ...ArrayOption) (Code, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: single parity requires k >= 1, got %d", ErrInvalidParams, k)
 	}
@@ -21,7 +21,7 @@ func NewSingleParity(k int) (Code, error) {
 		eq[j] = j
 	}
 	cells[k] = []cell{{data: -1, eq: eq}}
-	return newXORCode(fmt.Sprintf("parity(%d,%d)", n, k), n, 1, k, cells)
+	return newXORCode(fmt.Sprintf("parity(%d,%d)", n, k), n, 1, k, cells, opts)
 }
 
 // mirror is r-way replication: n = r copies, k = 1. Tolerates r-1 erasures

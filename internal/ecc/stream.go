@@ -18,6 +18,12 @@ type StreamEncoder struct {
 	buf       []byte
 	block     int
 	done      bool
+
+	// When the code supports buffer reuse (BufferEncoder), shards land in
+	// one reused buffer set instead of a fresh allocation per block.
+	into   BufferEncoder
+	bufs   [][]byte // n backing buffers of ShardSize(blockSize) bytes
+	shards [][]byte // reused per-block views into bufs
 }
 
 // NewStreamEncoder returns a streaming encoder reading blockSize bytes per
@@ -28,7 +34,9 @@ func NewStreamEncoder(code Code, r io.Reader, blockSize int) (*StreamEncoder, er
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("%w: block size %d", ErrInvalidParams, blockSize)
 	}
-	return &StreamEncoder{code: code, r: r, blockSize: blockSize, buf: make([]byte, blockSize)}, nil
+	e := &StreamEncoder{code: code, r: r, blockSize: blockSize, buf: make([]byte, blockSize)}
+	e.into, _ = code.(BufferEncoder)
+	return e, nil
 }
 
 // Next reads and encodes the next block, returning its n shards and the
@@ -51,7 +59,27 @@ func (e *StreamEncoder) Next() (shards [][]byte, dataLen int, err error) {
 	default:
 		return nil, 0, fmt.Errorf("ecc: stream block %d: %w", e.block, err)
 	}
-	shards, encErr := e.code.Encode(e.buf[:n])
+	var encErr error
+	if e.into != nil {
+		size := e.code.ShardSize(n)
+		if e.bufs == nil {
+			// Sized for a full block; a short final block only shrinks the
+			// per-shard size, so the buffers cover every block.
+			maxSize := e.code.ShardSize(e.blockSize)
+			backing := make([]byte, e.code.N()*maxSize)
+			e.bufs = make([][]byte, e.code.N())
+			e.shards = make([][]byte, e.code.N())
+			for i := range e.bufs {
+				e.bufs[i] = backing[i*maxSize : (i+1)*maxSize : (i+1)*maxSize]
+			}
+		}
+		for i := range e.shards {
+			e.shards[i] = e.bufs[i][:size]
+		}
+		shards, encErr = e.shards, e.into.EncodeInto(e.buf[:n], e.shards)
+	} else {
+		shards, encErr = e.code.Encode(e.buf[:n])
+	}
 	if encErr != nil {
 		return nil, 0, fmt.Errorf("ecc: stream block %d: %w", e.block, encErr)
 	}

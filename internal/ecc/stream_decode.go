@@ -88,6 +88,9 @@ type blockStream struct {
 	block     int64
 	work      [][]byte // reused shard-header scratch, one entry per shard
 	contig    bool     // data shards are contiguous message slices
+	arr       *xorCode // plan-cached array code (kernel mode), else nil
+	xs        xorScratch
+	buf       []byte // reused decoded-block buffer (array-code decode path)
 }
 
 func newBlockStream(code Code, dataLen int64, blockSize int) (blockStream, error) {
@@ -98,14 +101,18 @@ func newBlockStream(code Code, dataLen int64, blockSize int) (blockStream, error
 		return blockStream{}, fmt.Errorf("%w: block size %d", ErrInvalidParams, blockSize)
 	}
 	_, contig := code.(ContiguousLayout)
-	return blockStream{
+	bs := blockStream{
 		code:      code,
 		dataLen:   dataLen,
 		blockSize: blockSize,
 		blocks:    StreamBlocks(dataLen, blockSize),
 		work:      make([][]byte, code.N()),
 		contig:    contig,
-	}, nil
+	}
+	if xc, ok := code.(*xorCode); ok && xc.planned() {
+		bs.arr = xc
+	}
+	return bs, nil
 }
 
 // Blocks returns the total number of block codewords in the stream.
@@ -188,12 +195,28 @@ func (d *StreamDecoder) NextBlock(shards [][]byte) error {
 		return err
 	}
 	if !d.contig {
-		// Scattered layout (XOR array codes): reassemble the message through
-		// the code's own Decode. The per-block allocation is bounded by the
-		// block size and short-lived.
-		buf, err := d.code.Decode(d.work, blockLen)
-		if err != nil {
-			return fmt.Errorf("ecc: stream block %d: %w", d.block, err)
+		// Scattered layout (XOR array codes): gather the block's message out
+		// of the shard cells. On the plan-cached path this is allocation-free
+		// — present data cells are strided copies into the reused block
+		// buffer, missing ones replay the cached XOR schedule for this
+		// erasure pattern directly into place (no whole-column
+		// reconstruction, no parity recompute, no per-block solver). Unknown
+		// scattered codes fall back to their own Decode, whose per-block
+		// allocation is bounded by the block size and short-lived.
+		var buf []byte
+		if d.arr != nil {
+			if cap(d.buf) < blockLen {
+				d.buf = make([]byte, blockLen)
+			}
+			buf = d.buf[:blockLen]
+			if err := d.arr.decodeInto(buf, d.work, pieceLen/d.arr.rows, &d.xs); err != nil {
+				return fmt.Errorf("ecc: stream block %d: %w", d.block, err)
+			}
+		} else {
+			var err error
+			if buf, err = d.code.Decode(d.work, blockLen); err != nil {
+				return fmt.Errorf("ecc: stream block %d: %w", d.block, err)
+			}
 		}
 		if _, err := d.w.Write(buf); err != nil {
 			return fmt.Errorf("ecc: stream block %d: %w", d.block, err)
@@ -269,7 +292,13 @@ func (r *ShardRebuilder) NextBlock(shards [][]byte) error {
 		return err
 	}
 	r.work[r.target] = nil
-	if r.target < r.code.K() {
+	if r.arr != nil {
+		// Plan-cached array path: the missing columns (the target plus any
+		// absent survivors) are restored into scratch buffers replayed from
+		// the cached schedule — allocation-free per block, and the restored
+		// buffers live only until the write below returns.
+		err = r.arr.planReconstruct(r.work, pieceLen/r.arr.rows, false, false, &r.xs)
+	} else if r.target < r.code.K() {
 		err = reconstructData(r.code, r.work)
 	} else {
 		err = r.code.Reconstruct(r.work)

@@ -17,7 +17,7 @@ import "fmt"
 // is placed in the columns themselves (there are no dedicated parity
 // columns), so like the B-Code every data symbol participates in exactly two
 // parity equations.
-func NewXCode(n int) (Code, error) {
+func NewXCode(n int, opts ...ArrayOption) (Code, error) {
 	if n < 5 || !isPrime(n) {
 		return nil, fmt.Errorf("%w: xcode requires prime n >= 5, got n=%d", ErrInvalidParams, n)
 	}
@@ -42,5 +42,5 @@ func NewXCode(n int) (Code, error) {
 		cells[i][n-2] = cell{data: -1, eq: eqDiag}
 		cells[i][n-1] = cell{data: -1, eq: eqAnti}
 	}
-	return newXORCode(fmt.Sprintf("xcode(%d,%d)", n, n-2), n, rows, n-2, cells)
+	return newXORCode(fmt.Sprintf("xcode(%d,%d)", n, n-2), n, rows, n-2, cells, opts)
 }

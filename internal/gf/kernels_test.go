@@ -81,7 +81,10 @@ func TestMulAddSliceMatchesScalar(t *testing.T) {
 func TestXorVecSliceMatchesScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(104))
 	for _, n := range kernelTestLengths {
-		for _, k := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12} {
+		// The k list straddles every group boundary of the 8/4/3/2/1 fused
+		// dispatch, including the array-code equation lengths (11 for
+		// xcode(13), up to 2p-ish for EVENODD diagonals).
+		for _, k := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 19, 23} {
 			in := make([][]byte, k)
 			for j := range in {
 				in[j] = randBytes(rng, n)

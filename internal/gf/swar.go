@@ -78,9 +78,11 @@ func PQSlice(in [][]byte, p, q []byte) {
 }
 
 // XorVecSlice sets out to the XOR of all inputs: out[i] = in[0][i] ^ ... ^
-// in[len(in)-1][i]. Inputs are consumed in fused groups of four so out is
-// touched once per four sources. Every input must be at least len(out)
-// bytes; out must not alias any input. With no inputs, out is zeroed.
+// in[len(in)-1][i]. Inputs are consumed in fused groups of up to eight so out
+// is touched once per eight sources — the wide groups are what make the XOR
+// array codes' parity equations (up to n-2 terms each) a near-single-pass
+// computation. Every input must be at least len(out) bytes; out must not
+// alias any input. With no inputs, out is zeroed.
 func XorVecSlice(in [][]byte, out []byte) {
 	if len(out) == 0 {
 		return
@@ -90,6 +92,9 @@ func XorVecSlice(in [][]byte, out []byte) {
 	case len(in) == 0:
 		clearSlice(out)
 		return
+	case len(in) >= 8:
+		xorVec8(in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7], out)
+		j = 8
 	case len(in) >= 4:
 		xorVec4(in[0], in[1], in[2], in[3], out)
 		j = 4
@@ -100,8 +105,16 @@ func XorVecSlice(in [][]byte, out []byte) {
 		copy(out, in[0][:len(out)])
 		j = 1
 	}
-	for ; j+4 <= len(in); j += 4 {
+	for ; j+8 <= len(in); j += 8 {
+		xorAddVec8(in[j], in[j+1], in[j+2], in[j+3], in[j+4], in[j+5], in[j+6], in[j+7], out)
+	}
+	if j+4 <= len(in) {
 		xorAddVec4(in[j], in[j+1], in[j+2], in[j+3], out)
+		j += 4
+	}
+	if j+3 <= len(in) {
+		xorAddVec3(in[j], in[j+1], in[j+2], out)
+		j += 3
 	}
 	if j+2 <= len(in) {
 		xorAddVec2(in[j], in[j+1], out)
@@ -109,6 +122,97 @@ func XorVecSlice(in [][]byte, out []byte) {
 	}
 	if j < len(in) {
 		XorSlice(in[j][:len(out)], out)
+	}
+}
+
+func xorVec8(s0, s1, s2, s3, s4, s5, s6, s7, dst []byte) {
+	n := len(dst)
+	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
+	s4, s5, s6, s7 = s4[:n], s5[:n], s6[:n], s7[:n]
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		a0 := binary.LittleEndian.Uint64(s0[i:]) ^ binary.LittleEndian.Uint64(s1[i:]) ^
+			binary.LittleEndian.Uint64(s2[i:]) ^ binary.LittleEndian.Uint64(s3[i:]) ^
+			binary.LittleEndian.Uint64(s4[i:]) ^ binary.LittleEndian.Uint64(s5[i:]) ^
+			binary.LittleEndian.Uint64(s6[i:]) ^ binary.LittleEndian.Uint64(s7[i:])
+		a1 := binary.LittleEndian.Uint64(s0[i+8:]) ^ binary.LittleEndian.Uint64(s1[i+8:]) ^
+			binary.LittleEndian.Uint64(s2[i+8:]) ^ binary.LittleEndian.Uint64(s3[i+8:]) ^
+			binary.LittleEndian.Uint64(s4[i+8:]) ^ binary.LittleEndian.Uint64(s5[i+8:]) ^
+			binary.LittleEndian.Uint64(s6[i+8:]) ^ binary.LittleEndian.Uint64(s7[i+8:])
+		a2 := binary.LittleEndian.Uint64(s0[i+16:]) ^ binary.LittleEndian.Uint64(s1[i+16:]) ^
+			binary.LittleEndian.Uint64(s2[i+16:]) ^ binary.LittleEndian.Uint64(s3[i+16:]) ^
+			binary.LittleEndian.Uint64(s4[i+16:]) ^ binary.LittleEndian.Uint64(s5[i+16:]) ^
+			binary.LittleEndian.Uint64(s6[i+16:]) ^ binary.LittleEndian.Uint64(s7[i+16:])
+		a3 := binary.LittleEndian.Uint64(s0[i+24:]) ^ binary.LittleEndian.Uint64(s1[i+24:]) ^
+			binary.LittleEndian.Uint64(s2[i+24:]) ^ binary.LittleEndian.Uint64(s3[i+24:]) ^
+			binary.LittleEndian.Uint64(s4[i+24:]) ^ binary.LittleEndian.Uint64(s5[i+24:]) ^
+			binary.LittleEndian.Uint64(s6[i+24:]) ^ binary.LittleEndian.Uint64(s7[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], a0)
+		binary.LittleEndian.PutUint64(dst[i+8:], a1)
+		binary.LittleEndian.PutUint64(dst[i+16:], a2)
+		binary.LittleEndian.PutUint64(dst[i+24:], a3)
+	}
+	for ; i < n; i++ {
+		dst[i] = s0[i] ^ s1[i] ^ s2[i] ^ s3[i] ^ s4[i] ^ s5[i] ^ s6[i] ^ s7[i]
+	}
+}
+
+func xorAddVec8(s0, s1, s2, s3, s4, s5, s6, s7, dst []byte) {
+	n := len(dst)
+	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
+	s4, s5, s6, s7 = s4[:n], s5[:n], s6[:n], s7[:n]
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		a0 := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(s0[i:]) ^ binary.LittleEndian.Uint64(s1[i:]) ^
+			binary.LittleEndian.Uint64(s2[i:]) ^ binary.LittleEndian.Uint64(s3[i:]) ^
+			binary.LittleEndian.Uint64(s4[i:]) ^ binary.LittleEndian.Uint64(s5[i:]) ^
+			binary.LittleEndian.Uint64(s6[i:]) ^ binary.LittleEndian.Uint64(s7[i:])
+		a1 := binary.LittleEndian.Uint64(dst[i+8:]) ^
+			binary.LittleEndian.Uint64(s0[i+8:]) ^ binary.LittleEndian.Uint64(s1[i+8:]) ^
+			binary.LittleEndian.Uint64(s2[i+8:]) ^ binary.LittleEndian.Uint64(s3[i+8:]) ^
+			binary.LittleEndian.Uint64(s4[i+8:]) ^ binary.LittleEndian.Uint64(s5[i+8:]) ^
+			binary.LittleEndian.Uint64(s6[i+8:]) ^ binary.LittleEndian.Uint64(s7[i+8:])
+		a2 := binary.LittleEndian.Uint64(dst[i+16:]) ^
+			binary.LittleEndian.Uint64(s0[i+16:]) ^ binary.LittleEndian.Uint64(s1[i+16:]) ^
+			binary.LittleEndian.Uint64(s2[i+16:]) ^ binary.LittleEndian.Uint64(s3[i+16:]) ^
+			binary.LittleEndian.Uint64(s4[i+16:]) ^ binary.LittleEndian.Uint64(s5[i+16:]) ^
+			binary.LittleEndian.Uint64(s6[i+16:]) ^ binary.LittleEndian.Uint64(s7[i+16:])
+		a3 := binary.LittleEndian.Uint64(dst[i+24:]) ^
+			binary.LittleEndian.Uint64(s0[i+24:]) ^ binary.LittleEndian.Uint64(s1[i+24:]) ^
+			binary.LittleEndian.Uint64(s2[i+24:]) ^ binary.LittleEndian.Uint64(s3[i+24:]) ^
+			binary.LittleEndian.Uint64(s4[i+24:]) ^ binary.LittleEndian.Uint64(s5[i+24:]) ^
+			binary.LittleEndian.Uint64(s6[i+24:]) ^ binary.LittleEndian.Uint64(s7[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], a0)
+		binary.LittleEndian.PutUint64(dst[i+8:], a1)
+		binary.LittleEndian.PutUint64(dst[i+16:], a2)
+		binary.LittleEndian.PutUint64(dst[i+24:], a3)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= s0[i] ^ s1[i] ^ s2[i] ^ s3[i] ^ s4[i] ^ s5[i] ^ s6[i] ^ s7[i]
+	}
+}
+
+func xorAddVec3(s0, s1, s2, dst []byte) {
+	n := len(dst)
+	s0, s1, s2 = s0[:n], s1[:n], s2[:n]
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		a0 := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(s0[i:]) ^
+			binary.LittleEndian.Uint64(s1[i:]) ^ binary.LittleEndian.Uint64(s2[i:])
+		a1 := binary.LittleEndian.Uint64(dst[i+8:]) ^ binary.LittleEndian.Uint64(s0[i+8:]) ^
+			binary.LittleEndian.Uint64(s1[i+8:]) ^ binary.LittleEndian.Uint64(s2[i+8:])
+		a2 := binary.LittleEndian.Uint64(dst[i+16:]) ^ binary.LittleEndian.Uint64(s0[i+16:]) ^
+			binary.LittleEndian.Uint64(s1[i+16:]) ^ binary.LittleEndian.Uint64(s2[i+16:])
+		a3 := binary.LittleEndian.Uint64(dst[i+24:]) ^ binary.LittleEndian.Uint64(s0[i+24:]) ^
+			binary.LittleEndian.Uint64(s1[i+24:]) ^ binary.LittleEndian.Uint64(s2[i+24:])
+		binary.LittleEndian.PutUint64(dst[i:], a0)
+		binary.LittleEndian.PutUint64(dst[i+8:], a1)
+		binary.LittleEndian.PutUint64(dst[i+16:], a2)
+		binary.LittleEndian.PutUint64(dst[i+24:], a3)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= s0[i] ^ s1[i] ^ s2[i]
 	}
 }
 
