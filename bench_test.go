@@ -611,6 +611,48 @@ func BenchmarkDStorePutGet(b *testing.B) {
 	}
 }
 
+// BenchmarkWireRoundTrip measures the pooled header pipeline of one 32 KiB
+// data chunk in isolation — the per-datagram cost under BenchmarkDStorePutGet
+// with the simulator factored out. One op marshals a chunk message straight
+// into a pooled frame, pushes the service and RUDP wire headers into its
+// headroom, then parses the datagram back through all three layers with the
+// payload aliased end to end. The payload is copied exactly once (caller
+// bytes into the frame); allocs/op is pinned by TestWireRoundTripAllocs.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	payload := make([]byte, 32<<10)
+	rand.New(rand.NewSource(6)).Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, data := dstore.NewMsgFrame(dstore.Msg{
+			Kind: dstore.KindPutChunk, Req: uint64(i), ID: "obj0",
+			Off: int64(i) * int64(len(payload)), ShardLen: 1 << 20,
+			DataLen: 4 << 20, BlockLen: 64 << 10, Win: 4,
+		}, len(payload))
+		copy(data, payload)
+		rudp.PushService(f, dstore.ServiceDaemon)
+		rudp.Wire{Kind: rudp.KindData, Seq: uint64(i + 1), Payload: f.Datagram()}.PushHeader(f)
+
+		w, err := rudp.UnmarshalWire(f.Datagram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		service, framed, ok := rudp.SplitService(w.Payload)
+		if !ok || service != dstore.ServiceDaemon {
+			b.Fatal("bad service frame")
+		}
+		m, err := dstore.Unmarshal(framed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Data) != len(payload) {
+			b.Fatal("payload truncated")
+		}
+		f.Release()
+	}
+}
+
 // BenchmarkConcurrentRebuild measures whole-node rebuild on an 8-node
 // simulated cluster holding 32 placement-mapped rs(6,4) objects: the
 // "sequential" mode (rebuild budget 1, one object in flight — the seed

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"rain/internal/dstore"
+	"rain/internal/netbuf"
 	"rain/internal/rudp"
 	"rain/internal/storage"
 )
@@ -182,6 +183,14 @@ func (c *udpChannel) Handle(node, service string, fn func(from string, payload [
 
 func (c *udpChannel) SendService(from, to, service string, payload []byte) {
 	c.node.Send(rudp.FrameService(service, payload))
+}
+
+// SendFrame is the zero-copy SendService: the frame already carries the
+// marshaled message, so only the service header is pushed before handing the
+// buffer to the connection.
+func (c *udpChannel) SendFrame(from, to, service string, f *netbuf.Frame) {
+	rudp.PushService(f, service)
+	c.node.SendFrame(f)
 }
 
 func (c *udpChannel) deliver(p []byte) {

@@ -1,13 +1,13 @@
 package dstore
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"rain/internal/ecc"
+	"rain/internal/netbuf"
 	"rain/internal/placement"
 	"rain/internal/sim"
 	"rain/internal/storage"
@@ -16,7 +16,7 @@ import (
 // Defaults for the client session layer.
 const (
 	// DefaultChunkSize keeps every chunk comfortably under datagram limits.
-	DefaultChunkSize = 16 << 10
+	DefaultChunkSize = 32 << 10
 	// DefaultWindow bounds un-acked chunks in flight per peer transfer.
 	DefaultWindow = 4
 	// DefaultBlockSize is the block-codeword size for streaming puts: the
@@ -48,6 +48,9 @@ var (
 	// ErrShortSource reports a streaming put whose reader ended before the
 	// declared object length.
 	ErrShortSource = errors.New("dstore: source ended before declared length")
+	// ErrLongSource reports a streaming put whose reader kept delivering
+	// past the declared object length.
+	ErrLongSource = errors.New("dstore: source longer than declared length")
 )
 
 // Config parameterises a Client. Zero fields take the defaults above.
@@ -135,6 +138,19 @@ type Client struct {
 	pending map[uint64]func(m Msg)
 	loads   map[string]int // per-peer requests issued, for LeastLoaded
 	sizes   map[string]int // object id -> length, learned from own puts
+
+	// encScratch is the reusable shard buffer set for whole-object puts on
+	// BufferEncoder codes; safe to reuse because offer() copies chunks into
+	// pooled frames before returning.
+	encScratch [][]byte
+	// encShards is the reusable per-put shard slice header set (the shard
+	// byte buffers live in encScratch or alias the caller's data).
+	encShards [][]byte
+	// streamBufs recycles shard-stream receive windows across get operations.
+	streamBufs [][]byte
+	// resultBufs recycles whole-object assembly buffers across GetAsync
+	// calls; the caller gets a copy, so the assembly area never escapes.
+	resultBufs [][]byte
 
 	// taskHighWater is the peak budgeted cost admitted by concurrent
 	// rebuild/rebalance pipelines — the enforced memory bound, for tests.
@@ -254,7 +270,52 @@ func (c *Client) rank(peers []string, skip map[int]bool) []int {
 }
 
 func (c *Client) send(to string, m Msg) {
-	c.mesh.SendService(c.node, to, ServiceDaemon, m.Marshal())
+	c.mesh.SendFrame(c.node, to, ServiceDaemon, m.MarshalFrame())
+}
+
+// getStreamBuf takes a recycled receive window, or nil for a fresh start.
+func (c *Client) getStreamBuf() []byte {
+	if n := len(c.streamBufs); n > 0 {
+		b := c.streamBufs[n-1]
+		c.streamBufs = c.streamBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putStreamBuf returns a receive window to the recycle list.
+func (c *Client) putStreamBuf(b []byte) {
+	if cap(b) > 0 && len(c.streamBufs) < 16 {
+		c.streamBufs = append(c.streamBufs, b)
+	}
+}
+
+// getResultBuf takes a recycled assembly buffer with at least want capacity
+// (0 = whatever is pooled).
+func (c *Client) getResultBuf(want int) []byte {
+	if n := len(c.resultBufs); n > 0 {
+		b := c.resultBufs[n-1]
+		c.resultBufs = c.resultBufs[:n-1]
+		if cap(b) >= want {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, want)
+}
+
+// putResultBuf returns an assembly buffer to the recycle list.
+func (c *Client) putResultBuf(b []byte) {
+	if cap(b) > 0 && len(c.resultBufs) < 4 {
+		c.resultBufs = append(c.resultBufs, b)
+	}
+}
+
+// resultWriter assembles a decoded object in a client-pooled buffer.
+type resultWriter struct{ buf []byte }
+
+func (w *resultWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
 }
 
 // ---- shard transfers (the put direction) ----
@@ -274,15 +335,22 @@ type transfer struct {
 	shardLen int64 // total stream length, declared up front
 	dataLen  int64
 	blockLen int64
-	segs     [][]byte // offered, unsent segments
-	segOff   int      // consumed prefix of segs[0]
-	queued   int64    // total unsent bytes across segs
-	next     int64    // next stream offset to send
+	queue    []putChunk // marshaled, not-yet-sent chunks
+	queued   int64      // total unsent payload bytes across queue
+	next     int64      // next stream offset to send
 	acked    int64
 	progress sim.Time // virtual time of last ack progress
 	resolved bool
 	onAck    func() // feeder backpressure hook, fired on ack progress
 	onDone   func(ok bool)
+}
+
+// putChunk is one fully marshaled, not-yet-sent chunk of a put transfer: the
+// wire bytes live in a pooled frame built at offer time, so sending is a
+// reference handoff.
+type putChunk struct {
+	f *netbuf.Frame
+	n int64 // payload bytes
 }
 
 // startTransfer begins a shard-stream transfer; onDone fires exactly once.
@@ -304,76 +372,71 @@ func (c *Client) startTransfer(peer, id string, shard int, shardLen, dataLen, bl
 	}
 	c.pending[t.req] = t.onAckMsg
 	if shardLen == 0 {
-		t.sendChunk(nil) // metadata-only commit
+		c.send(peer, t.chunkHdr(0)) // metadata-only commit
 	}
 	t.watch()
 	return t
 }
 
-// offer appends bytes to the outgoing stream without copying; the caller
-// must not mutate them afterwards. Use offerCopy when the bytes will be
-// reused (the streaming encoder's block buffers).
-func (t *transfer) offer(p []byte) {
-	if t.resolved || len(p) == 0 {
-		return
-	}
-	t.segs = append(t.segs, p)
-	t.queued += int64(len(p))
-	t.pump()
-}
-
-// offerCopy copies p into the outgoing stream.
-func (t *transfer) offerCopy(p []byte) {
-	if t.resolved || len(p) == 0 {
-		return
-	}
-	t.offer(append([]byte(nil), p...))
-}
-
-// backlog reports bytes offered but not yet acked by the daemon.
-func (t *transfer) backlog() int64 { return t.queued + (t.next - t.acked) }
-
-func (t *transfer) sendChunk(data []byte) {
-	t.c.send(t.peer, Msg{
+// chunkHdr builds the header of the put chunk at stream offset off. Win
+// carries the client's send window so the daemon can coalesce its acks.
+func (t *transfer) chunkHdr(off int64) Msg {
+	return Msg{
 		Kind:     KindPutChunk,
 		Req:      t.req,
 		ID:       t.id,
 		Shard:    int32(t.shard),
-		Off:      t.next,
+		Win:      int32(t.c.cfg.Window),
+		Off:      off,
 		ShardLen: t.shardLen,
 		DataLen:  t.dataLen,
 		BlockLen: t.blockLen,
-		Data:     data,
-	})
-	t.next += int64(len(data))
+	}
 }
 
-// pump sends chunks while the in-flight window has room and bytes are
-// queued.
+// offer appends bytes to the outgoing stream. The bytes are marshaled into
+// chunk-sized pooled frames immediately — the put path's single payload copy
+// — so the caller may reuse p (the streaming encoder's block buffers).
+func (t *transfer) offer(p []byte) {
+	if t.resolved || len(p) == 0 {
+		return
+	}
+	chunk := t.c.cfg.ChunkSize
+	for off := 0; off < len(p); off += chunk {
+		n := len(p) - off
+		if n > chunk {
+			n = chunk
+		}
+		f, data := NewMsgFrame(t.chunkHdr(t.next+t.queued), n)
+		copy(data, p[off:off+n])
+		t.queue = append(t.queue, putChunk{f: f, n: int64(n)})
+		t.queued += int64(n)
+	}
+	t.pump()
+}
+
+// offerCopy is offer; the name survives from when offer aliased its input.
+func (t *transfer) offerCopy(p []byte) { t.offer(p) }
+
+// backlog reports bytes offered but not yet acked by the daemon.
+func (t *transfer) backlog() int64 { return t.queued + (t.next - t.acked) }
+
+// pump hands marshaled chunks to the mesh while the in-flight window has
+// room.
 func (t *transfer) pump() {
-	chunk := int64(t.c.cfg.ChunkSize)
-	window := int64(t.c.cfg.Window) * chunk
+	window := int64(t.c.cfg.Window) * int64(t.c.cfg.ChunkSize)
 	if t.queued > 0 && t.next == t.acked {
 		// Transitioning from fully-acked idle to sending: restart the stall
 		// clock, or a long-idle transfer would look stalled immediately.
 		t.progress = t.c.s.Now()
 	}
-	for t.queued > 0 && t.next-t.acked < window {
-		head := t.segs[0]
-		n := int64(len(head) - t.segOff)
-		if n > chunk {
-			n = chunk
-		}
-		if room := window - (t.next - t.acked); n > room {
-			n = room
-		}
-		t.sendChunk(head[t.segOff : t.segOff+int(n)])
-		t.segOff += int(n)
-		t.queued -= n
-		if t.segOff == len(head) {
-			t.segs = t.segs[1:]
-			t.segOff = 0
-		}
+	for len(t.queue) > 0 && t.next-t.acked+t.queue[0].n <= window {
+		pc := t.queue[0]
+		t.queue[0] = putChunk{}
+		t.queue = t.queue[1:]
+		t.queued -= pc.n
+		t.next += pc.n
+		t.c.mesh.SendFrame(t.c.node, t.peer, ServiceDaemon, pc.f)
 	}
 }
 
@@ -421,9 +484,20 @@ func (t *transfer) resolve(ok bool) {
 		return
 	}
 	t.resolved = true
-	t.segs = nil
+	for i := range t.queue {
+		t.queue[i].f.Release()
+		t.queue[i] = putChunk{}
+	}
+	t.queue = nil
 	t.queued = 0
 	delete(t.c.pending, t.req)
+	if !ok && t.next > 0 && t.acked < t.shardLen {
+		// The daemon holds a staged partial write that will now never
+		// complete. A chunk at offset -1 can never match the stage length, so
+		// the daemon aborts the stage at once instead of leaking it until the
+		// orphan sweep. (Its error reply is ignored; the handler is gone.)
+		t.c.send(t.peer, Msg{Kind: KindPutChunk, Req: t.req, ID: t.id, Off: -1, ShardLen: t.shardLen})
+	}
 	t.onDone(ok)
 	if t.onAck != nil {
 		t.onAck() // unblock a feeder waiting on this transfer
@@ -505,7 +579,7 @@ func (op *putOp) start(shardLen, blockLen int64) {
 // k daemons committed. The whole object is held in memory — use
 // PutStreamAsync for objects that should stream.
 func (c *Client) PutAsync(id string, data []byte, done func(stored int, err error)) {
-	shards, err := c.cfg.Code.Encode(data)
+	shards, err := c.encodeForPut(data)
 	if err != nil {
 		done(0, err)
 		return
@@ -514,9 +588,80 @@ func (c *Client) PutAsync(id string, data []byte, done func(stored int, err erro
 	op.start(int64(len(shards[0])), 0)
 	for i, t := range op.transfers {
 		if t != nil {
-			t.offer(shards[i]) // shards are immutable for the op's duration
+			t.offer(shards[i])
 		}
 	}
+}
+
+// encodeForPut produces the n outbound shards for a whole-object put with
+// as little copying as the code allows. All three paths are safe against
+// the caller mutating data after PutAsync returns, because offer() copies
+// every chunk into a pooled frame before PutAsync completes:
+//
+//   - contiguous-layout codes with a parity-only encoder: full data shards
+//     alias data directly; only parity (plus a padded tail shard, if any)
+//     lands in the client's scratch — zero data copies;
+//   - BufferEncoder codes: encode into the reusable scratch — one copy,
+//     no allocation;
+//   - otherwise: the code's allocating Encode.
+func (c *Client) encodeForPut(data []byte) ([][]byte, error) {
+	code := c.cfg.Code
+	pe, parityOK := code.(ecc.ParityEncoder)
+	_, contig := code.(ecc.ContiguousLayout)
+	if parityOK && contig {
+		k, n := code.K(), code.N()
+		shardLen := code.ShardSize(len(data))
+		scratch := c.encodeScratch(len(data))
+		if len(c.encShards) != n {
+			c.encShards = make([][]byte, n)
+		}
+		shards := c.encShards
+		full := 0
+		if shardLen > 0 {
+			if full = len(data) / shardLen; full > k {
+				full = k
+			}
+		}
+		for i := 0; i < full; i++ {
+			shards[i] = data[i*shardLen : (i+1)*shardLen : (i+1)*shardLen]
+		}
+		for i := full; i < k; i++ {
+			s := scratch[i]
+			pad := 0
+			if off := i * shardLen; off < len(data) {
+				pad = copy(s, data[off:])
+			}
+			clear(s[pad:])
+			shards[i] = s
+		}
+		for i := k; i < n; i++ {
+			shards[i] = scratch[i]
+		}
+		if err := pe.EncodeParityInto(shards[:k], shards[k:]); err != nil {
+			return nil, err
+		}
+		return shards, nil
+	}
+	if be, ok := code.(ecc.BufferEncoder); ok {
+		shards := c.encodeScratch(len(data))
+		return shards, be.EncodeInto(data, shards)
+	}
+	return code.Encode(data)
+}
+
+// encodeScratch returns the client's reusable shard buffer set, sized for a
+// dataLen-byte object.
+func (c *Client) encodeScratch(dataLen int) [][]byte {
+	n := c.cfg.Code.N()
+	size := c.cfg.Code.ShardSize(dataLen)
+	if len(c.encScratch) != n || (len(c.encScratch) > 0 && len(c.encScratch[0]) != size) {
+		c.encScratch = make([][]byte, n)
+		buf := make([]byte, n*size)
+		for i := range c.encScratch {
+			c.encScratch[i] = buf[i*size : (i+1)*size : (i+1)*size]
+		}
+	}
+	return c.encScratch
 }
 
 // PutStreamAsync encodes r through the block-codeword streaming layout and
@@ -542,6 +687,21 @@ func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func
 	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
 	var encoded int64
 	encDone := false
+	probed := false
+	// probeExcess checks the raw reader for bytes past the declared length —
+	// a caller bug the put must surface, not silently truncate. It runs
+	// before the stream-completing block is offered (and, for empty streams,
+	// at EOF), so no daemon can have committed a shard of the bad put: every
+	// stage is still short and the abort poison discards it.
+	probeExcess := func() bool {
+		probed = true
+		var probe [1]byte
+		if pn, _ := r.Read(probe[:]); pn > 0 {
+			op.finish(fmt.Errorf("%w: declared %d bytes", ErrLongSource, dataLen))
+			return false
+		}
+		return true
+	}
 	var feed func()
 	feed = func() {
 		for !op.finished && !encDone {
@@ -555,6 +715,10 @@ func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func
 				encDone = true
 				if encoded != dataLen {
 					op.finish(fmt.Errorf("%w: read %d of %d bytes", ErrShortSource, encoded, dataLen))
+					return
+				}
+				if !probed {
+					probeExcess() // zero-block stream: nothing was offered
 				}
 				return
 			}
@@ -563,6 +727,9 @@ func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func
 				return
 			}
 			encoded += int64(n)
+			if encoded == dataLen && !probeExcess() {
+				return // over-long source: final block withheld, stages abort
+			}
 			for i, t := range op.transfers {
 				if t != nil && !t.resolved {
 					// The encoder reuses its block buffer, so each piece is
@@ -616,8 +783,9 @@ type shardStream struct {
 	peer      string // daemon node serving the stream
 	peerIdx   int
 	req       uint64
-	pos       int64  // stream offset of the first buffered byte
-	buf       []byte // received, not yet consumed by the decoder
+	pos       int64  // stream offset of the first unconsumed byte
+	buf       []byte // receive window; unconsumed bytes are buf[off:]
+	off       int    // consumed prefix of buf
 	lastAck   int64
 	progress  sim.Time // virtual time of the last chunk received
 	confirmed bool     // a chunk arrived: peerIdx is the daemon's real index
@@ -626,12 +794,40 @@ type shardStream struct {
 	hedged    bool     // a spare was already issued on this stream's behalf
 }
 
+// bytes returns the buffered, not-yet-consumed bytes.
+func (st *shardStream) bytes() []byte { return st.buf[st.off:] }
+
+// size returns the buffered, not-yet-consumed byte count.
+func (st *shardStream) size() int64 { return int64(len(st.buf) - st.off) }
+
+// appendData buffers an arrived chunk. The consumed prefix is kept in place
+// (dropping is O(1)) and reclaimed only when the buffer would otherwise
+// grow, so the allocation steadies at the flow-control window.
+func (st *shardStream) appendData(p []byte) {
+	if st.off == len(st.buf) {
+		st.buf, st.off = st.buf[:0], 0
+	} else if st.off > 0 && len(st.buf)+len(p) > cap(st.buf) {
+		n := copy(st.buf, st.buf[st.off:])
+		st.buf, st.off = st.buf[:n], 0
+	}
+	st.buf = append(st.buf, p...)
+}
+
+// drop consumes n buffered bytes from the front.
+func (st *shardStream) drop(n int64) {
+	st.off += int(n)
+	st.pos += n
+	if st.off == len(st.buf) {
+		st.buf, st.off = st.buf[:0], 0
+	}
+}
+
 // deliveredTo reports whether the stream has received every byte through
 // the end of the shard stream (it may still hold bytes the decoder has not
 // consumed). Such a stream will never produce another chunk, so it neither
 // stalls nor hedges.
 func (st *shardStream) deliveredTo(shardLen int64) bool {
-	return st.pos+int64(len(st.buf)) >= shardLen
+	return st.pos+st.size() >= shardLen
 }
 
 // streamGetOp drives a block-wise retrieve or rebuild: ranked windowed shard
@@ -758,7 +954,7 @@ func (op *streamGetOp) issueNext() {
 	peer := op.peers[idx]
 	op.c.loads[peer]++
 	op.c.nextReq++
-	st := &shardStream{peer: peer, peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now()}
+	st := &shardStream{peer: peer, peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now(), buf: op.c.getStreamBuf()}
 	op.streams = append(op.streams, st)
 	op.c.pending[st.req] = func(m Msg) { op.onChunk(st, m) }
 	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id, Off: op.consumed, Win: op.winChunks()})
@@ -832,7 +1028,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		// streams don't block adoption: their placement-guessed index may
 		// itself be wrong.)
 		idx := int(m.Shard)
-		adopt := idx >= 0 && idx < op.c.cfg.Code.N() && !op.exclude[idx] && len(st.buf) == 0 && !st.complete
+		adopt := idx >= 0 && idx < op.c.cfg.Code.N() && !op.exclude[idx] && st.size() == 0 && !st.complete
 		if adopt {
 			for _, other := range op.streams {
 				if other != st && !other.dead && other.confirmed && other.peerIdx == idx {
@@ -865,7 +1061,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		op.failIfStuck()
 		return
 	}
-	if m.Off != st.pos+int64(len(st.buf)) {
+	if m.Off != st.pos+st.size() {
 		return // out-of-protocol chunk; RUDP is FIFO so this is a stale req
 	}
 	st.progress = op.c.s.Now()
@@ -899,7 +1095,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		// window with an immediate ack.
 		op.ackStreams(true)
 	}
-	st.buf = append(st.buf, m.Data...)
+	st.appendData(m.Data)
 	op.advance(st)
 	op.tryDecode()
 	if !op.finished {
@@ -913,28 +1109,37 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 func (op *streamGetOp) advance(st *shardStream) {
 	if st.pos < op.consumed {
 		drop := op.consumed - st.pos
-		if drop > int64(len(st.buf)) {
-			drop = int64(len(st.buf))
+		if drop > st.size() {
+			drop = st.size()
 		}
-		st.buf = append(st.buf[:0], st.buf[drop:]...)
-		st.pos += drop
+		st.drop(drop)
 	}
 	if op.haveMeta && !st.complete && st.pos >= op.meta.shardLen {
 		st.complete = true
 		delete(op.c.pending, st.req)
+		if st.lastAck < op.meta.shardLen {
+			// Final credit: coalesced acks may not have covered the tail, and
+			// the daemon only closes the get session once the whole stream is
+			// both sent and acknowledged.
+			st.lastAck = op.meta.shardLen
+			op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: op.meta.shardLen, Win: op.winChunks()})
+		}
 	}
 }
 
-// ackStreams sends flow-control credits: every live stream whose consumed
-// frontier advanced (or, with force, whose window needs refreshing) gets a
-// GetAck so its daemon keeps the pipeline full.
+// ackStreams sends flow-control credits, coalesced: a live stream is acked
+// once the decode frontier has advanced half a window past its last credit
+// (half keeps the daemon's pipe full with half the return traffic), or
+// unconditionally with force (a window refresh after the layout is learned).
+// Streams that complete get their final credit in advance.
 func (op *streamGetOp) ackStreams(force bool) {
 	win := op.winChunks()
+	half := int64(win) * int64(op.c.cfg.ChunkSize) / 2
 	for _, st := range op.streams {
-		if st.dead {
+		if st.dead || st.complete {
 			continue
 		}
-		if op.consumed > st.lastAck || (force && !st.complete) {
+		if (op.consumed > st.lastAck && op.consumed-st.lastAck >= half) || force {
 			st.lastAck = op.consumed
 			op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: op.consumed, Win: win})
 		}
@@ -960,8 +1165,8 @@ func (op *streamGetOp) tryDecode() {
 			if st.dead || shards[st.peerIdx] != nil {
 				continue
 			}
-			if st.pos == op.consumed && int64(len(st.buf)) >= pieceLen {
-				shards[st.peerIdx] = st.buf[:pieceLen]
+			if st.pos == op.consumed && st.size() >= pieceLen {
+				shards[st.peerIdx] = st.bytes()[:pieceLen]
 				have++
 			}
 		}
@@ -1005,6 +1210,8 @@ func (op *streamGetOp) finish(err error) {
 		if !st.dead && !st.complete {
 			op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		}
+		op.c.putStreamBuf(st.buf)
+		st.buf, st.off = nil, 0
 	}
 	op.done(op.meta, err)
 }
@@ -1040,13 +1247,17 @@ func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err e
 // the local cache of own puts as the fallback for objects written through
 // the direct in-process frontend, which records no size.
 func (c *Client) GetAsync(id string, done func(data []byte, err error)) {
-	var buf bytes.Buffer
-	c.GetStreamAsync(id, &buf, func(n int64, err error) {
+	// Assemble in a pooled buffer and hand the caller a copy: the copy is an
+	// append, which for byte slices allocates without zeroing, so each get
+	// pays one memmove instead of clearing a fresh object-sized allocation.
+	w := &resultWriter{buf: c.getResultBuf(c.sizes[id])}
+	c.GetStreamAsync(id, w, func(n int64, err error) {
+		defer c.putResultBuf(w.buf)
 		if err != nil {
 			done(nil, err)
 			return
 		}
-		done(buf.Bytes(), nil)
+		done(append([]byte(nil), w.buf...), nil)
 	})
 }
 

@@ -69,6 +69,8 @@ type assembly struct {
 	shardLen int64
 	dataLen  int64
 	blockLen int64
+	win      int32 // client's put window in chunks (0 = ack every chunk)
+	sinceAck int32 // chunks accepted since the last ack
 	touched  time.Time
 }
 
@@ -149,7 +151,7 @@ func (d *Daemon) reply(to string, m Msg) {
 	if m.Err != "" {
 		d.bump(func(st *DaemonStats) { st.Errors++ })
 	}
-	d.mesh.SendService(d.node, to, ServiceClient, m.Marshal())
+	d.mesh.SendFrame(d.node, to, ServiceClient, m.MarshalFrame())
 }
 
 func (d *Daemon) onMessage(from string, payload []byte) {
@@ -227,7 +229,8 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 			// place objects; the daemon's configured index applies.
 			shard = d.shard
 		}
-		a = &assembly{id: m.ID, stage: d.backend.NewStage(), shard: shard, shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen}
+		a = &assembly{id: m.ID, stage: d.backend.NewStage(), shard: shard, shardLen: m.ShardLen, dataLen: m.DataLen, blockLen: m.BlockLen, win: m.Win}
+		a.stage.Reserve(m.ShardLen)
 		d.asm[key] = a
 	}
 	if m.Off != a.stage.Len() || m.ID != a.id {
@@ -243,6 +246,7 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 		return
 	}
 	a.touched = d.now()
+	a.sinceAck++
 	d.bump(func(st *DaemonStats) { st.ChunksStored++ })
 	if a.stage.Len() >= a.shardLen {
 		if err := d.backend.Commit(a.stage, a.id, a.shard, int(a.dataLen), int(a.blockLen)); err != nil {
@@ -252,7 +256,14 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 		}
 		d.bump(func(st *DaemonStats) { st.Commits++ })
 		delete(d.asm, key)
+	} else if a.win > 1 && a.sinceAck < a.win/2 {
+		// Coalesce put acks: the client declared a win-chunk send window, so
+		// acking every win/2 chunks (acks are cumulative) keeps its pipe full
+		// with half the return traffic. Commit, error and the legacy win==0
+		// stream still ack every chunk.
+		return
 	}
+	a.sinceAck = 0
 	d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: a.id, Off: a.stage.Len(), ShardLen: a.shardLen})
 }
 
@@ -323,11 +334,12 @@ func (d *Daemon) onGetAck(from string, m Msg) {
 
 // pumpGet streams chunks while the session's credit window has room. An
 // empty shard stream still sends one empty chunk so the client learns the
-// object metadata.
+// object metadata. Chunk bytes are read from the backend straight into the
+// outgoing pooled frame — the daemon's get path copies the payload zero
+// times.
 func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
-	send := func(data []byte, off int64) {
-		d.bump(func(st *DaemonStats) { st.ChunksServed++ })
-		d.reply(from, Msg{
+	hdr := func(off int64) Msg {
+		return Msg{
 			Kind:     KindGetChunk,
 			Req:      req,
 			ID:       g.id,
@@ -336,13 +348,13 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 			ShardLen: g.shardLen,
 			DataLen:  g.dataLen,
 			BlockLen: g.blockLen,
-			Data:     data,
-		})
+		}
 	}
 	if g.shardLen == 0 {
 		if g.sent == 0 {
 			g.sent = 1 // marker: metadata chunk sent
-			send(nil, 0)
+			d.bump(func(st *DaemonStats) { st.ChunksServed++ })
+			d.reply(from, hdr(0))
 		}
 		return
 	}
@@ -354,12 +366,14 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 		if room := g.win - (g.sent - g.credit); room < n {
 			n = room
 		}
-		buf := make([]byte, n)
-		if err := d.backend.ReadAt(g.id, buf, g.sent); err != nil {
+		f, data := NewMsgFrame(hdr(g.sent), int(n))
+		if err := d.backend.ReadAt(g.id, data, g.sent); err != nil {
+			f.Release()
 			d.reply(from, Msg{Kind: KindGetChunk, Req: req, ID: g.id, Err: err.Error()})
 			return
 		}
-		send(buf, g.sent)
+		d.bump(func(st *DaemonStats) { st.ChunksServed++ })
+		d.mesh.SendFrame(d.node, from, ServiceClient, f)
 		g.sent += n
 	}
 }

@@ -45,6 +45,8 @@
 // by the owner-driven Daemon.SweepOrphans.
 package dstore
 
+import "rain/internal/netbuf"
+
 // Service names on the RUDP mesh. Daemons listen on ServiceDaemon; clients
 // listen for responses on ServiceClient. A node may run both.
 const (
@@ -55,7 +57,13 @@ const (
 // Mesh is the transport the store runs over: per-service registration and
 // addressed sends. *rudp.Mesh implements it; cmd/rainnode adapts a real-UDP
 // channel to it.
+//
+// Handler payloads are borrowed: they may alias a pooled transport buffer
+// and are valid only until the handler returns. SendFrame consumes the
+// caller's frame reference (the zero-copy SendService); the frame must leave
+// netbuf.Headroom room for the transport's service and wire headers.
 type Mesh interface {
 	Handle(node, service string, fn func(from string, payload []byte))
 	SendService(from, to, service string, payload []byte)
+	SendFrame(from, to, service string, f *netbuf.Frame)
 }

@@ -2,6 +2,9 @@ package dstore_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -325,5 +328,76 @@ func TestGetWindowPacing(t *testing.T) {
 	s.RunFor(time.Second)
 	if d.GetSessions() != 0 {
 		t.Fatalf("cancelled session lingers: %d", d.GetSessions())
+	}
+}
+
+// failingReader delivers its data then fails with err instead of EOF.
+type failingReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestPutStreamLengthMismatch pins the abort contract for streaming puts
+// whose source disagrees with the declared length: a short reader, an
+// over-long reader, and a mid-stream read error must each fail cleanly —
+// typed error, every daemon's staged write aborted, no partial object
+// visible — and leave the cluster fully usable.
+func TestPutStreamLengthMismatch(t *testing.T) {
+	const block = 8 << 10
+	c := newCluster(t, 33, 6, 4, sim.ProfileLAN, func(cfg *dstore.Config) {
+		cfg.BlockSize = block
+	})
+	data := randBytes(7, 40<<10)
+	boom := errors.New("disk on fire")
+	long := append(append([]byte(nil), data...), 0x5a)
+
+	cases := []struct {
+		name    string
+		r       io.Reader
+		wantErr error
+	}{
+		{"short reader", bytes.NewReader(data[:30<<10]), dstore.ErrShortSource},
+		{"long reader", bytes.NewReader(long), dstore.ErrLongSource},
+		{"mid-stream error", &failingReader{data: data[:20<<10], err: boom}, boom},
+	}
+	for i, tc := range cases {
+		id := fmt.Sprintf("bad%d", i)
+		_, err := c.clients["a"].PutStream(id, tc.r, int64(len(data)))
+		if !errors.Is(err, tc.wantErr) {
+			t.Fatalf("%s: err=%v, want %v", tc.name, err, tc.wantErr)
+		}
+		// The abort poison must reach every daemon: no staged assembly
+		// survives and no daemon committed a partial shard.
+		c.s.RunFor(time.Second)
+		for node, d := range c.daemons {
+			if n := d.Assemblies(); n != 0 {
+				t.Fatalf("%s: daemon %s keeps %d staged assemblies", tc.name, node, n)
+			}
+		}
+		for node, b := range c.backends {
+			if _, _, err := b.Stat(id); err == nil {
+				t.Fatalf("%s: daemon %s committed a partial object", tc.name, node)
+			}
+		}
+		if _, err := c.clients["b"].Get(id); err == nil {
+			t.Fatalf("%s: get of aborted object succeeded", tc.name)
+		}
+	}
+	// The same id and the same cluster still work after the failures.
+	if _, err := c.clients["a"].PutStream("bad0", bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatalf("put after aborts: %v", err)
+	}
+	if got, err := c.clients["b"].Get("bad0"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip after aborts: %v", err)
 	}
 }

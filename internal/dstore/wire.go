@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rain/internal/netbuf"
 	"rain/internal/storage"
 )
 
@@ -105,12 +106,13 @@ var ErrBadMsg = errors.New("dstore: malformed message")
 // kind req shard win off shardLen dataLen blockLen idLen errLen dataLen32.
 const msgHeader = 1 + 8 + 4 + 4 + 8 + 8 + 8 + 8 + 2 + 2 + 4
 
-// Marshal encodes m for transmission as one mesh datagram.
-func (m Msg) Marshal() []byte {
+// marshalInto encodes the header, ID and Err into buf (sized by the caller),
+// declaring dataLen payload bytes, and returns the data region for the caller
+// to fill.
+func (m Msg) marshalInto(buf []byte, dataLen int) []byte {
 	if len(m.ID) > 0xffff || len(m.Err) > 0xffff {
 		panic("dstore: id or error string too long")
 	}
-	buf := make([]byte, msgHeader+len(m.ID)+len(m.Err)+len(m.Data))
 	buf[0] = byte(m.Kind)
 	binary.BigEndian.PutUint64(buf[1:], m.Req)
 	binary.BigEndian.PutUint32(buf[9:], uint32(m.Shard))
@@ -121,15 +123,41 @@ func (m Msg) Marshal() []byte {
 	binary.BigEndian.PutUint64(buf[41:], uint64(m.BlockLen))
 	binary.BigEndian.PutUint16(buf[49:], uint16(len(m.ID)))
 	binary.BigEndian.PutUint16(buf[51:], uint16(len(m.Err)))
-	binary.BigEndian.PutUint32(buf[53:], uint32(len(m.Data)))
+	binary.BigEndian.PutUint32(buf[53:], uint32(dataLen))
 	off := msgHeader
 	off += copy(buf[off:], m.ID)
 	off += copy(buf[off:], m.Err)
-	copy(buf[off:], m.Data)
+	return buf[off : off+dataLen]
+}
+
+// Marshal encodes m for transmission as one mesh datagram, allocating a fresh
+// buffer. The hot paths use NewMsgFrame instead.
+func (m Msg) Marshal() []byte {
+	buf := make([]byte, msgHeader+len(m.ID)+len(m.Err)+len(m.Data))
+	copy(m.marshalInto(buf, len(m.Data)), m.Data)
 	return buf
 }
 
-// Unmarshal decodes a message produced by Marshal.
+// NewMsgFrame encodes m's header, ID and Err directly into a pooled frame
+// sized for dataLen payload bytes, and returns the frame together with the
+// payload's data region so the producer (erasure encoder, backend read) can
+// write the bytes in place — the zero-copy Marshal. m.Data is ignored; the
+// caller owns the returned frame reference.
+func NewMsgFrame(m Msg, dataLen int) (*netbuf.Frame, []byte) {
+	f := netbuf.NewFrame(msgHeader + len(m.ID) + len(m.Err) + dataLen)
+	return f, m.marshalInto(f.Payload(), dataLen)
+}
+
+// MarshalFrame encodes m (including m.Data) into a pooled frame.
+func (m Msg) MarshalFrame() *netbuf.Frame {
+	f, data := NewMsgFrame(m, len(m.Data))
+	copy(data, m.Data)
+	return f
+}
+
+// Unmarshal decodes a message produced by Marshal. The returned Data aliases
+// buf — it is valid only until the transport reclaims the receive buffer
+// (for mesh handlers: until the handler returns); retainers must copy.
 func Unmarshal(buf []byte) (Msg, error) {
 	if len(buf) < msgHeader {
 		return Msg{}, fmt.Errorf("%w: %d bytes", ErrBadMsg, len(buf))
@@ -159,7 +187,7 @@ func Unmarshal(buf []byte) (Msg, error) {
 	m.Err = string(buf[off : off+errLen])
 	off += errLen
 	if dataLen > 0 {
-		m.Data = append([]byte(nil), buf[off:]...)
+		m.Data = buf[off:]
 	}
 	return m, nil
 }
@@ -225,6 +253,12 @@ func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
 		return nil, fmt.Errorf("%w: inventory %d bytes", ErrBadMsg, len(buf))
 	}
 	n := int(binary.BigEndian.Uint32(buf))
+	// An entry is at least 30 bytes (empty id); reject counts the buffer
+	// cannot possibly hold before sizing the slice, so a corrupt or hostile
+	// count can't force a multi-gigabyte allocation.
+	if n > (len(buf)-4)/30 {
+		return nil, fmt.Errorf("%w: inventory count %d exceeds %d payload bytes", ErrBadMsg, n, len(buf))
+	}
 	infos := make([]storage.ObjectInfo, 0, n)
 	off := 4
 	for i := 0; i < n; i++ {
@@ -247,6 +281,9 @@ func decodeInventory(buf []byte) ([]storage.ObjectInfo, error) {
 		blockLen := int64(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
 		infos = append(infos, storage.ObjectInfo{ID: id, Shard: int(shard), DataLen: int(dataLen), ShardLen: int(shardLen), BlockLen: int(blockLen)})
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing inventory bytes", ErrBadMsg, len(buf)-off)
 	}
 	return infos, nil
 }

@@ -85,7 +85,9 @@ func (c *Comm) onMessage(from string, payload []byte) {
 	}
 	src := int(binary.BigEndian.Uint32(payload))
 	tag := Tag(int32(binary.BigEndian.Uint32(payload[4:])))
-	body := payload[8:]
+	// The payload aliases the transport's pooled receive buffer and is only
+	// valid until this handler returns; the queue outlives it, so copy.
+	body := append([]byte(nil), payload[8:]...)
 	key := msgKey{from: src, tag: tag}
 	c.rt.mu.Lock()
 	c.queues[key] = append(c.queues[key], body)

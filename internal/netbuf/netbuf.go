@@ -1,0 +1,127 @@
+// Package netbuf provides pooled, reference-counted datagram buffers shared
+// by the wire-protocol layers. A Frame is allocated once per datagram by the
+// topmost layer (e.g. a dstore message), each lower layer prepends its header
+// into the frame's reserved headroom, and the final on-the-wire bytes are a
+// single contiguous slice — no layer ever copies the payload it was handed.
+//
+// Ownership is explicit and reference-counted:
+//
+//   - NewFrame returns a frame with one reference, owned by the caller.
+//   - Handing a frame to a consuming API (Conn.SendFrame, Mesh.SendFrame)
+//     transfers that reference; the caller must not touch the frame after.
+//   - A holder that stashes a frame beyond a call boundary (a retransmit
+//     queue, an out-of-order receive buffer, a simulated in-flight packet)
+//     takes its own reference with Retain and drops it with Release.
+//   - Release of the last reference resets the frame and returns it to a
+//     size-class pool for reuse; over-size frames are simply garbage.
+//
+// Receive-side handlers get payloads that alias a frame owned by the
+// transport; the bytes are valid only until the handler returns, and anything
+// retained longer must be copied (the wire ownership contract in DESIGN.md).
+package netbuf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Headroom is the number of bytes reserved in front of every frame's payload
+// for lower-layer headers (the RUDP wire header plus a service frame). The
+// transport layers panic at build time of a frame path if their combined
+// headers cannot fit.
+const Headroom = 64
+
+// Size classes for the backing buffers (Headroom + payload capacity). The
+// classes track the shapes the store actually sends: small control messages,
+// mid-size pages, chunk-size data frames, and the real-UDP driver's
+// max-datagram receive buffers.
+var classSizes = [...]int{
+	Headroom + 512,
+	Headroom + 8<<10,
+	Headroom + 20<<10,
+	Headroom + 68<<10,
+}
+
+var pools [len(classSizes)]sync.Pool
+
+// Frame is one pooled datagram buffer. The payload region is fixed at
+// creation; headers are pushed in front of it, growing the datagram toward
+// the start of the backing buffer.
+type Frame struct {
+	buf   []byte
+	start int // current datagram start (<= Headroom)
+	end   int // payload end
+	class int // pool index, -1 for oversize unpooled frames
+	refs  atomic.Int32
+}
+
+// NewFrame returns a frame with a size-byte payload region and one
+// reference. The payload bytes are not zeroed — the caller is expected to
+// overwrite the whole region.
+func NewFrame(size int) *Frame {
+	if size < 0 {
+		panic(fmt.Sprintf("netbuf: negative frame size %d", size))
+	}
+	total := Headroom + size
+	for class, cs := range classSizes {
+		if total <= cs {
+			f, _ := pools[class].Get().(*Frame)
+			if f == nil {
+				f = &Frame{buf: make([]byte, cs), class: class}
+			}
+			f.start = Headroom
+			f.end = Headroom + size
+			f.refs.Store(1)
+			return f
+		}
+	}
+	f := &Frame{buf: make([]byte, total), class: -1}
+	f.start = Headroom
+	f.end = total
+	f.refs.Store(1)
+	return f
+}
+
+// Payload returns the frame's payload region (the bytes the topmost layer
+// owns), excluding any pushed headers.
+func (f *Frame) Payload() []byte { return f.buf[Headroom:f.end] }
+
+// Datagram returns the payload plus every header pushed so far — the bytes
+// that go on the wire.
+func (f *Frame) Datagram() []byte { return f.buf[f.start:f.end] }
+
+// Push reserves n more header bytes immediately in front of the current
+// datagram start and returns that region for the caller to fill. It panics
+// when the headroom is exhausted — header budgets are static, so that is a
+// programming error, not an input error.
+func (f *Frame) Push(n int) []byte {
+	if n > f.start {
+		panic(fmt.Sprintf("netbuf: push %d exceeds %d-byte headroom", n, f.start))
+	}
+	f.start -= n
+	return f.buf[f.start : f.start+n]
+}
+
+// Pushed reports how many header bytes have been pushed in front of the
+// payload.
+func (f *Frame) Pushed() int { return Headroom - f.start }
+
+// Retain adds a reference. Every Retain must be paired with exactly one
+// Release.
+func (f *Frame) Retain() { f.refs.Add(1) }
+
+// Release drops a reference; the last release returns the frame to its pool.
+// Using a frame after its last release is a use-after-free — the pool will
+// hand the buffer to an unrelated sender.
+func (f *Frame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("netbuf: frame over-released")
+	}
+	if f.class >= 0 {
+		pools[f.class].Put(f)
+	}
+}

@@ -1,0 +1,79 @@
+package netbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameLayout(t *testing.T) {
+	f := NewFrame(10)
+	if got := len(f.Payload()); got != 10 {
+		t.Fatalf("payload len %d, want 10", got)
+	}
+	copy(f.Payload(), "0123456789")
+	hdr := f.Push(3)
+	copy(hdr, "abc")
+	if f.Pushed() != 3 {
+		t.Fatalf("pushed %d, want 3", f.Pushed())
+	}
+	if !bytes.Equal(f.Datagram(), []byte("abc0123456789")) {
+		t.Fatalf("datagram %q", f.Datagram())
+	}
+	if !bytes.Equal(f.Payload(), []byte("0123456789")) {
+		t.Fatalf("payload %q after push", f.Payload())
+	}
+	f.Release()
+}
+
+func TestFramePoolReuse(t *testing.T) {
+	f := NewFrame(100)
+	buf := &f.buf[0]
+	f.Release()
+	g := NewFrame(200) // same class
+	if &g.buf[0] != buf {
+		t.Skip("pool did not reuse (GC raced); not a correctness failure")
+	}
+	if len(g.Payload()) != 200 {
+		t.Fatalf("reused frame payload len %d, want 200", len(g.Payload()))
+	}
+	if g.Pushed() != 0 {
+		t.Fatalf("reused frame has %d pushed header bytes", g.Pushed())
+	}
+	g.Release()
+}
+
+func TestFrameRefcount(t *testing.T) {
+	f := NewFrame(8)
+	f.Retain()
+	f.Release()
+	f.Payload()[0] = 1 // still alive: one ref left
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+func TestFrameOversize(t *testing.T) {
+	f := NewFrame(1 << 20)
+	if f.class != -1 {
+		t.Fatalf("1 MiB frame pooled in class %d", f.class)
+	}
+	if len(f.Payload()) != 1<<20 {
+		t.Fatalf("payload len %d", len(f.Payload()))
+	}
+	f.Release()
+}
+
+func TestFrameAllocsSteadyState(t *testing.T) {
+	allocs := testing.AllocsPerRun(200, func() {
+		f := NewFrame(16 << 10)
+		f.Push(8)
+		f.Release()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("frame get/release allocates %.1f objects/op, want 0", allocs)
+	}
+}

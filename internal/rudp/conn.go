@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rain/internal/linkstate"
+	"rain/internal/netbuf"
 )
 
 // Config parameterises a Conn. Zero fields take the defaults below.
@@ -55,12 +56,26 @@ type Stats struct {
 	FailoverSends uint64   // retransmissions that switched paths
 }
 
+// ackEvery bounds receive-side ack coalescing: one cumulative ack per this
+// many in-order data arrivals on the fast path, with any residue flushed by
+// the next Tick (well inside the sender's RTO) and gaps, duplicates and
+// window-edge arrivals acked immediately.
+const ackEvery = 4
+
 type pending struct {
 	seq      uint64
-	payload  []byte
+	payload  []byte        // the application datagram (service-framed bytes)
+	frame    *netbuf.Frame // owns payload (and the pushed wire header); one queue ref
 	lastSent int64
 	lastPath int
 	sent     bool
+}
+
+// recvSlot is one buffered out-of-order datagram; the slot holds a frame
+// reference so pooled sender/reader buffers stay alive until delivery.
+type recvSlot struct {
+	payload []byte
+	frame   *netbuf.Frame
 }
 
 // Conn is the RUDP endpoint state machine for traffic from one local node
@@ -82,7 +97,13 @@ type Conn struct {
 	rr       int // round-robin cursor over up paths
 
 	recvNext uint64 // next in-order sequence expected
-	recvBuf  map[uint64][]byte
+	recvBuf  map[uint64]recvSlot
+
+	// Receive-side ack coalescing state: in-order arrivals since the last
+	// ack, and the path the next flushed ack should use.
+	unacked int
+	ackPath int
+	ackOwed bool
 
 	stats Stats
 }
@@ -104,7 +125,7 @@ func NewConn(cfg Config, transmit func(path int, w Wire), deliver func([]byte)) 
 		nextSeq:  1,
 		sendBase: 1,
 		recvNext: 1,
-		recvBuf:  make(map[uint64][]byte),
+		recvBuf:  make(map[uint64]recvSlot),
 	}
 	for i := range c.monitors {
 		ep, err := linkstate.NewEndpoint(cfg.Slack, linkstate.TinExplicit)
@@ -145,10 +166,25 @@ func (c *Conn) Backlog() int { return len(c.queue) }
 // Send queues one datagram for reliable delivery and attempts immediate
 // transmission. The queue is unbounded; when every path is down the data
 // waits, exactly the paper's MPI-over-RUDP behaviour ("the application may
-// hang until the link is restored").
+// hang until the link is restored"). The payload is copied (into a pooled
+// frame); callers that build their datagrams in frames use SendFrame to skip
+// the copy.
 func (c *Conn) Send(payload []byte, now int64) {
-	p := &pending{seq: c.nextSeq, payload: append([]byte(nil), payload...)}
+	f := netbuf.NewFrame(len(payload))
+	copy(f.Payload(), payload)
+	c.SendFrame(f, now)
+}
+
+// SendFrame queues the frame's current datagram bytes (payload plus any
+// service header the caller pushed) for reliable delivery, taking ownership
+// of the caller's frame reference. The wire header is marshaled once into
+// the frame's headroom, so retransmissions re-send the same bytes without
+// re-marshaling, and byte-oriented drivers write the frame directly.
+func (c *Conn) SendFrame(f *netbuf.Frame, now int64) {
+	payload := f.Datagram()
+	p := &pending{seq: c.nextSeq, payload: payload, frame: f}
 	c.nextSeq++
+	Wire{Kind: KindData, Seq: p.seq, Payload: payload}.PushHeader(f)
 	c.queue = append(c.queue, p)
 	c.pump(now)
 }
@@ -186,7 +222,7 @@ func (c *Conn) pump(now int64) {
 		p.lastPath = path
 		c.stats.Sent++
 		c.stats.PerPathData[path]++
-		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload})
+		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload, Frame: p.frame})
 	}
 }
 
@@ -216,12 +252,26 @@ func (c *Conn) Tick(now int64) {
 		p.lastPath = path
 		c.stats.Retransmits++
 		c.stats.PerPathData[path]++
-		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload})
+		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload, Frame: p.frame})
+	}
+	if c.ackOwed {
+		c.flushAck(c.ackPath)
 	}
 	c.pump(now)
 }
 
-// OnWire processes a datagram received on path i.
+// flushAck transmits the current cumulative acknowledgement and resets the
+// coalescing state.
+func (c *Conn) flushAck(path int) {
+	c.unacked = 0
+	c.ackOwed = false
+	c.stats.AcksSent++
+	c.transmit(path, Wire{Kind: KindAck, Ack: c.recvNext - 1})
+}
+
+// OnWire processes a datagram received on path i. Data payloads (and any
+// frame backing them) are borrowed: they are either handed to deliver before
+// OnWire returns or retained via w.Frame while buffered out of order.
 func (c *Conn) OnWire(path int, w Wire, now int64) {
 	switch w.Kind {
 	case KindPing:
@@ -231,14 +281,19 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 		// A path recovering may unblock queued data.
 		c.pump(now)
 	case KindData:
+		fresh := false
 		if w.Seq < c.recvNext {
 			c.stats.Duplicates++
 		} else if _, dup := c.recvBuf[w.Seq]; dup {
 			c.stats.Duplicates++
 		} else {
-			c.recvBuf[w.Seq] = w.Payload
+			fresh = true
+			if w.Frame != nil {
+				w.Frame.Retain()
+			}
+			c.recvBuf[w.Seq] = recvSlot{payload: w.Payload, frame: w.Frame}
 			for {
-				payload, ok := c.recvBuf[c.recvNext]
+				slot, ok := c.recvBuf[c.recvNext]
 				if !ok {
 					break
 				}
@@ -246,12 +301,24 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 				c.recvNext++
 				c.stats.Delivered++
 				if c.deliver != nil {
-					c.deliver(payload)
+					c.deliver(slot.payload)
+				}
+				if slot.frame != nil {
+					slot.frame.Release()
 				}
 			}
 		}
-		c.stats.AcksSent++
-		c.transmit(path, Wire{Kind: KindAck, Ack: c.recvNext - 1})
+		// Ack immediately on anything unusual — duplicates (the sender
+		// retransmitted, so an earlier ack was lost), gaps (out-of-order
+		// buffering), and every ackEvery-th in-order arrival; coalesce the
+		// rest, with Tick as the flush backstop.
+		c.unacked++
+		c.ackPath = path
+		if !fresh || len(c.recvBuf) > 0 || c.unacked >= ackEvery {
+			c.flushAck(path)
+		} else {
+			c.ackOwed = true
+		}
 	case KindAck:
 		if w.Ack+1 <= c.sendBase {
 			return
@@ -261,6 +328,13 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 		for _, p := range c.queue {
 			if p.seq >= newBase {
 				keep = append(keep, p)
+				continue
+			}
+			// Acknowledged: drop the queue's frame reference so the pooled
+			// buffer can be reused once any in-flight copies drain.
+			if p.frame != nil {
+				p.frame.Release()
+				p.frame = nil
 			}
 		}
 		// Zero the tail so released datagrams can be collected.

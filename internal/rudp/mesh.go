@@ -3,6 +3,7 @@ package rudp
 import (
 	"fmt"
 
+	"rain/internal/netbuf"
 	"rain/internal/sim"
 )
 
@@ -33,6 +34,15 @@ type Mesh struct {
 	conns    map[string]map[string]*Conn
 	handlers map[string]map[string]func(from string, payload []byte)
 	stopped  map[string]bool
+	addrs    map[string][]sim.Addr // memoized NodeAddr per node × path
+}
+
+// addr returns the memoized NIC address for a node and path.
+func (m *Mesh) addr(node string, path int) sim.Addr {
+	if a, ok := m.addrs[node]; ok && path < len(a) {
+		return a[path]
+	}
+	return sim.NodeAddr(node, path)
 }
 
 // NewMesh builds the mesh and starts per-node tick loops on the scheduler.
@@ -47,6 +57,14 @@ func NewMesh(s *sim.Scheduler, net *sim.Network, nodes []string, cfg Config) (*M
 		conns:    make(map[string]map[string]*Conn),
 		handlers: make(map[string]map[string]func(string, []byte)),
 		stopped:  make(map[string]bool),
+		addrs:    make(map[string][]sim.Addr),
+	}
+	for _, a := range nodes {
+		nics := make([]sim.Addr, cfg.Paths)
+		for i := range nics {
+			nics[i] = sim.NodeAddr(a, i)
+		}
+		m.addrs[a] = nics
 	}
 	for _, a := range nodes {
 		m.conns[a] = make(map[string]*Conn)
@@ -92,7 +110,16 @@ func (m *Mesh) transmit(from, to string, path int, w Wire) {
 	if m.stopped[from] {
 		return
 	}
-	m.Net.SendSized(sim.NodeAddr(from, path), sim.NodeAddr(to, path), envelope{From: from, W: w}, w.WireSize())
+	// The in-flight packet aliases the sender's frame (no copy); hold a
+	// reference until the network delivers or drops it, so an ack that
+	// releases the sender's queue cannot recycle the buffer under a
+	// still-travelling duplicate.
+	var done func()
+	if w.Frame != nil {
+		w.Frame.Retain()
+		done = w.Frame.Release
+	}
+	m.Net.SendSizedDone(m.addr(from, path), m.addr(to, path), envelope{From: from, W: w}, w.WireSize(), done)
 }
 
 func (m *Mesh) onPacket(node string, path int, p sim.Packet) {
@@ -120,6 +147,18 @@ func FrameService(service string, payload []byte) []byte {
 	copy(buf[1:], service)
 	copy(buf[1+len(service):], payload)
 	return buf
+}
+
+// PushService prepends the service frame into a frame's headroom — the
+// zero-copy FrameService. The service name must leave room for the wire
+// header that Conn.SendFrame pushes below it.
+func PushService(f *netbuf.Frame, service string) {
+	if 1+len(service)+wireHeader > netbuf.Headroom-f.Pushed() {
+		panic(fmt.Sprintf("rudp: service name %q does not fit the frame headroom", service))
+	}
+	hdr := f.Push(1 + len(service))
+	hdr[0] = byte(len(service))
+	copy(hdr[1:], service)
 }
 
 // SplitService undoes FrameService. ok is false for malformed frames.
@@ -165,14 +204,28 @@ func (m *Mesh) OnMessage(node string, fn func(from string, payload []byte)) {
 
 // SendService queues a reliable datagram from one node to another, addressed
 // to the named service on the receiver. A node may send to itself: loopback
-// datagrams skip the network and deliver on the next scheduler event.
+// datagrams skip the network and deliver on the next scheduler event. The
+// payload is copied; senders that build datagrams in frames use SendFrame.
 func (m *Mesh) SendService(from, to, service string, payload []byte) {
+	f := netbuf.NewFrame(len(payload))
+	copy(f.Payload(), payload)
+	m.SendFrame(from, to, service, f)
+}
+
+// SendFrame queues a reliable datagram whose bytes live in f's payload
+// region, consuming the caller's frame reference — the zero-copy
+// SendService. The service header is pushed into the frame's headroom and
+// the framed bytes travel by reference all the way through the connection's
+// retransmit queue and the simulated network.
+func (m *Mesh) SendFrame(from, to, service string, f *netbuf.Frame) {
+	PushService(f, service)
 	if from == to {
-		framed := FrameService(service, payload)
+		framed := f.Datagram()
 		m.S.After(0, func() {
 			if !m.stopped[from] {
 				m.dispatch(from, from, framed)
 			}
+			f.Release()
 		})
 		return
 	}
@@ -180,7 +233,7 @@ func (m *Mesh) SendService(from, to, service string, payload []byte) {
 	if !ok {
 		panic(fmt.Sprintf("rudp: no conn %s->%s", from, to))
 	}
-	conn.Send(FrameService(service, payload), int64(m.S.Now()))
+	conn.SendFrame(f, int64(m.S.Now()))
 }
 
 // Send queues a reliable datagram from one node to another on the default

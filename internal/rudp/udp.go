@@ -1,11 +1,18 @@
 package rudp
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"rain/internal/netbuf"
 )
+
+// maxDatagram bounds one received UDP datagram (64 KiB, the protocol
+// maximum).
+const maxDatagram = 64 * 1024
 
 // UDPNode drives a Conn over real UDP sockets, one socket per bundled path —
 // the deployment the paper ran on its testbed. Like the original RUDP it
@@ -13,8 +20,17 @@ import (
 // for unreliable packet delivery (§2.5), which is what made transparent
 // checkpointing of communicating processes possible.
 //
+// Socket writes never happen under the connection lock: every entry point
+// runs the state machine with mu held, which stages outgoing datagrams on
+// outq, then unlocks and flushes the staged batch — so a slow or blocking
+// send on one path never stalls the read loops' OnWire delivery, and a whole
+// window of datagrams reaches the socket layer as one batch (one sendmmsg
+// syscall per path on Linux).
+//
 // Lifecycle: NewUDPNode binds the local sockets; Connect supplies the remote
-// addresses and starts the receive and timer loops; Close stops them.
+// addresses and starts the receive and timer loops; Close stops them by
+// closing the sockets (the read loops exit on net.ErrClosed — no deadline
+// polling).
 type UDPNode struct {
 	cfg   Config
 	socks []*net.UDPConn
@@ -23,14 +39,25 @@ type UDPNode struct {
 	conn    *Conn
 	remotes []*net.UDPAddr
 	start   time.Time
+	outq    []outPkt // staged under mu, written after unlock
 
 	deliver func([]byte)
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
+// outPkt is one staged outgoing datagram: marshaled bytes plus the frame
+// reference (if any) that keeps them alive until the socket write returns.
+type outPkt struct {
+	path  int
+	buf   []byte
+	frame *netbuf.Frame
+}
+
 // NewUDPNode binds one UDP socket per local address ("host:port", port 0
-// for ephemeral). deliver receives datagrams exactly once, in order.
+// for ephemeral). deliver receives datagrams exactly once, in order; the
+// payload aliases a pooled receive buffer and is only valid until deliver
+// returns — retainers must copy.
 func NewUDPNode(locals []string, cfg Config, deliver func([]byte)) (*UDPNode, error) {
 	if len(locals) == 0 {
 		return nil, fmt.Errorf("rudp: need at least one local address")
@@ -99,35 +126,90 @@ func (n *UDPNode) Connect(remotes []string) error {
 	return nil
 }
 
-// transmit runs with n.mu held (all Conn entry points lock it).
+// transmit runs with n.mu held (all Conn entry points lock it). It only
+// stages the datagram; the entry point flushes the batch after unlocking, so
+// the kernel send path is never entered under the lock.
 func (n *UDPNode) transmit(path int, w Wire) {
-	// Socket writes never block meaningfully for UDP; errors (e.g. peer
-	// gone) surface as silence, which the link monitor translates into
-	// Down — exactly the fault model the protocol expects.
-	_, _ = n.socks[path].WriteToUDP(w.Marshal(), n.remotes[path])
+	p := outPkt{path: path}
+	if w.Frame != nil {
+		// The frame already carries the marshaled datagram (wire header
+		// pushed by SendFrame). Hold a reference until the write completes:
+		// an ack processed before the flush could otherwise recycle it.
+		w.Frame.Retain()
+		p.frame = w.Frame
+		p.buf = w.Frame.Datagram()
+	} else {
+		// Control datagrams (acks, pings) marshal into a small pooled frame.
+		f := netbuf.NewFrame(w.WireSize())
+		w.marshalHeader(f.Payload())
+		copy(f.Payload()[wireHeader:], w.Payload)
+		p.frame = f
+		p.buf = f.Payload()
+	}
+	n.outq = append(n.outq, p)
+}
+
+// takeBatch hands the staged datagrams to the caller; runs with n.mu held.
+func (n *UDPNode) takeBatch() []outPkt {
+	q := n.outq
+	n.outq = nil
+	return q
+}
+
+// writeBatch flushes staged datagrams outside the lock, coalescing runs of
+// same-path packets into one batched socket call. Socket errors (e.g. peer
+// gone) surface as silence, which the link monitor translates into Down —
+// exactly the fault model the protocol expects.
+func (n *UDPNode) writeBatch(q []outPkt) {
+	for i := 0; i < len(q); {
+		j := i + 1
+		for j < len(q) && q[j].path == q[i].path {
+			j++
+		}
+		bufs := make([][]byte, 0, j-i)
+		for _, p := range q[i:j] {
+			bufs = append(bufs, p.buf)
+		}
+		sendBatch(n.socks[q[i].path], n.remotes[q[i].path], bufs)
+		i = j
+	}
+	for i := range q {
+		if q[i].frame != nil {
+			q[i].frame.Release()
+		}
+		q[i] = outPkt{}
+	}
 }
 
 func (n *UDPNode) readLoop(path int) {
 	defer n.wg.Done()
-	buf := make([]byte, 64*1024)
 	for {
-		_ = n.socks[path].SetReadDeadline(time.Now().Add(100 * time.Millisecond))
-		sz, _, err := n.socks[path].ReadFromUDP(buf)
-		select {
-		case <-n.done:
-			return
-		default:
-		}
+		f := netbuf.NewFrame(maxDatagram)
+		sz, _, err := n.socks[path].ReadFromUDP(f.Payload())
 		if err != nil {
-			continue // deadline or transient error: keep listening
+			f.Release()
+			if errors.Is(err, net.ErrClosed) {
+				return // Close closed the socket: shut down
+			}
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			continue // transient error: keep listening
 		}
-		w, err := UnmarshalWire(buf[:sz])
+		w, err := UnmarshalWire(f.Payload()[:sz])
 		if err != nil {
+			f.Release()
 			continue // garbage datagram: drop, as UDP would
 		}
+		w.Frame = f
 		n.mu.Lock()
 		n.conn.OnWire(path, w, n.now())
+		q := n.takeBatch()
 		n.mu.Unlock()
+		n.writeBatch(q)
+		f.Release()
 	}
 }
 
@@ -142,7 +224,9 @@ func (n *UDPNode) tickLoop() {
 		case <-t.C:
 			n.mu.Lock()
 			n.conn.Tick(n.now())
+			q := n.takeBatch()
 			n.mu.Unlock()
+			n.writeBatch(q)
 		}
 	}
 }
@@ -151,7 +235,19 @@ func (n *UDPNode) tickLoop() {
 func (n *UDPNode) Send(payload []byte) {
 	n.mu.Lock()
 	n.conn.Send(payload, n.now())
+	q := n.takeBatch()
 	n.mu.Unlock()
+	n.writeBatch(q)
+}
+
+// SendFrame queues a framed datagram for reliable delivery, consuming the
+// caller's frame reference — the zero-copy Send.
+func (n *UDPNode) SendFrame(f *netbuf.Frame) {
+	n.mu.Lock()
+	n.conn.SendFrame(f, n.now())
+	q := n.takeBatch()
+	n.mu.Unlock()
+	n.writeBatch(q)
 }
 
 // PathStatus reports the link-state view of path i.
@@ -175,7 +271,8 @@ func (n *UDPNode) Backlog() int {
 	return n.conn.Backlog()
 }
 
-// Close stops the loops and closes the sockets.
+// Close stops the loops and closes the sockets; the read loops wake with
+// net.ErrClosed and exit.
 func (n *UDPNode) Close() {
 	close(n.done)
 	n.closeSocks()

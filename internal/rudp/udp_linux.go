@@ -1,0 +1,100 @@
+//go:build linux && (amd64 || arm64)
+
+package rudp
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// sysSendmmsg is the sendmmsg(2) syscall number; the stdlib's frozen syscall
+// tables predate it on amd64.
+var sysSendmmsg = map[string]uintptr{"amd64": 307, "arm64": 269}[runtime.GOARCH]
+
+// sendBatch transmits a run of datagrams to one destination with a single
+// sendmmsg(2) per syscall round — the writev-style batched socket write of
+// the zero-copy pipeline. Any failure falls back to per-datagram writes;
+// send errors are deliberately ignored (UDP semantics: the link monitor
+// detects dead peers through silence).
+func sendBatch(sock *net.UDPConn, addr *net.UDPAddr, bufs [][]byte) {
+	if len(bufs) == 1 {
+		sock.WriteToUDP(bufs[0], addr)
+		return
+	}
+	rc, err := sock.SyscallConn()
+	if err != nil {
+		sendBatchFallback(sock, addr, bufs)
+		return
+	}
+	sa, salen, ok := rawSockaddr(addr)
+	if !ok {
+		sendBatchFallback(sock, addr, bufs)
+		return
+	}
+	iovs := make([]syscall.Iovec, len(bufs))
+	msgs := make([]mmsghdr, len(bufs))
+	for i, b := range bufs {
+		iovs[i].Base = &b[0]
+		iovs[i].SetLen(len(b))
+		msgs[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+		msgs[i].hdr.Namelen = salen
+		msgs[i].hdr.Iov = &iovs[i]
+		msgs[i].hdr.Iovlen = 1 // uint64 on amd64/arm64, matching the build tags
+	}
+	sent := 0
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < len(msgs) {
+			n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&msgs[sent])), uintptr(len(msgs)-sent), 0, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // wait for writability, then retry
+			}
+			if errno != 0 {
+				return true // give up; fallback below resends the rest
+			}
+			sent += int(n)
+		}
+		return true
+	})
+	runtime.KeepAlive(bufs)
+	runtime.KeepAlive(iovs)
+	if werr != nil || sent < len(msgs) {
+		for _, b := range bufs[sent:] {
+			sock.WriteToUDP(b, addr)
+		}
+	}
+}
+
+// mmsghdr mirrors struct mmsghdr from sendmmsg(2).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// rawSockaddr encodes a UDP address as the raw sockaddr sendmmsg expects.
+// The returned pointer references memory the caller must keep alive across
+// the syscall (it does, via the msgs slice).
+func rawSockaddr(addr *net.UDPAddr) (unsafe.Pointer, uint32, bool) {
+	if ip4 := addr.IP.To4(); ip4 != nil {
+		sa := &syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		sa.Port = uint16(addr.Port>>8) | uint16(addr.Port&0xff)<<8
+		copy(sa.Addr[:], ip4)
+		return unsafe.Pointer(sa), syscall.SizeofSockaddrInet4, true
+	}
+	if ip6 := addr.IP.To16(); ip6 != nil {
+		sa := &syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		sa.Port = uint16(addr.Port>>8) | uint16(addr.Port&0xff)<<8
+		copy(sa.Addr[:], ip6)
+		return unsafe.Pointer(sa), syscall.SizeofSockaddrInet6, true
+	}
+	return nil, 0, false
+}
+
+func sendBatchFallback(sock *net.UDPConn, addr *net.UDPAddr, bufs [][]byte) {
+	for _, b := range bufs {
+		sock.WriteToUDP(b, addr)
+	}
+}

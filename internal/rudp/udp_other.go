@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package rudp
+
+import "net"
+
+// sendBatch transmits a run of datagrams to one destination. The portable
+// implementation writes them one by one; Linux batches with sendmmsg(2).
+// Send errors are ignored (UDP semantics: dead peers surface as silence to
+// the link monitor).
+func sendBatch(sock *net.UDPConn, addr *net.UDPAddr, bufs [][]byte) {
+	for _, b := range bufs {
+		sock.WriteToUDP(b, addr)
+	}
+}

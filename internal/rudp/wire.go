@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"rain/internal/linkstate"
+	"rain/internal/netbuf"
 )
 
 // Kind discriminates wire messages.
@@ -58,6 +59,11 @@ type Wire struct {
 	Ack     uint64         // KindAck: highest in-order sequence received
 	Ping    linkstate.Ping // KindPing
 	Payload []byte         // KindData
+	// Frame, when non-nil, owns the buffer Payload aliases (and, for frames
+	// built by Conn.SendFrame, the already-marshaled wire header in front of
+	// it). Drivers use it to transmit without re-marshaling and to manage
+	// buffer lifetime; the Wire value itself holds no reference.
+	Frame *netbuf.Frame
 }
 
 const wireHeader = 1 + 8 + 8 + 8 + 8 + 8 + 4 // kind + seq + ack + ping(3x8) + len
@@ -66,11 +72,9 @@ const wireHeader = 1 + 8 + 8 + 8 + 8 + 8 + 4 // kind + seq + ack + ping(3x8) + l
 // simulator's link-capacity model.
 func (w Wire) WireSize() int { return wireHeader + len(w.Payload) }
 
-// Marshal encodes w for transmission over a byte-oriented transport (the
-// real-UDP driver). The simulator passes Wire values directly and skips
-// this.
-func (w Wire) Marshal() []byte {
-	buf := make([]byte, wireHeader+len(w.Payload))
+// marshalHeader writes the fixed wire header into buf, which must be at
+// least wireHeader bytes.
+func (w Wire) marshalHeader(buf []byte) {
 	buf[0] = byte(w.Kind)
 	binary.BigEndian.PutUint64(buf[1:], w.Seq)
 	binary.BigEndian.PutUint64(buf[9:], w.Ack)
@@ -78,14 +82,44 @@ func (w Wire) Marshal() []byte {
 	binary.BigEndian.PutUint64(buf[25:], w.Ping.Echo)
 	binary.BigEndian.PutUint64(buf[33:], w.Ping.Tokens)
 	binary.BigEndian.PutUint32(buf[41:], uint32(len(w.Payload)))
+}
+
+// PushHeader marshals w's header into f's headroom, directly below any
+// bytes already pushed, so f.Datagram() becomes the complete encoded
+// datagram for the frame's current payload — the zero-copy Marshal.
+// w.Payload must be f's datagram bytes before the push (its length is
+// encoded in the header).
+func (w Wire) PushHeader(f *netbuf.Frame) {
+	w.marshalHeader(f.Push(wireHeader))
+}
+
+// Marshal encodes w for transmission over a byte-oriented transport. The
+// simulator passes Wire values directly and skips this; the real-UDP driver
+// uses it only for datagrams without a pre-marshaled Frame (acks, pings).
+func (w Wire) Marshal() []byte {
+	buf := make([]byte, wireHeader+len(w.Payload))
+	w.marshalHeader(buf)
 	copy(buf[wireHeader:], w.Payload)
 	return buf
+}
+
+// AppendMarshal appends the encoded datagram to dst and returns the extended
+// slice — Marshal without the per-call allocation.
+func (w Wire) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, wireHeader+len(w.Payload))...)
+	w.marshalHeader(dst[off:])
+	copy(dst[off+wireHeader:], w.Payload)
+	return dst
 }
 
 // ErrBadWire reports a malformed encoded datagram.
 var ErrBadWire = errors.New("rudp: malformed wire datagram")
 
-// UnmarshalWire decodes a datagram produced by Marshal.
+// UnmarshalWire decodes a datagram produced by Marshal. The returned
+// Payload aliases buf — it is valid only as long as the caller keeps buf
+// alive and unmodified; receivers that retain it longer must copy (or hold a
+// reference on the owning frame).
 func UnmarshalWire(buf []byte) (Wire, error) {
 	if len(buf) < wireHeader {
 		return Wire{}, fmt.Errorf("%w: %d bytes", ErrBadWire, len(buf))
@@ -108,7 +142,7 @@ func UnmarshalWire(buf []byte) (Wire, error) {
 		return Wire{}, fmt.Errorf("%w: kind %d", ErrBadWire, w.Kind)
 	}
 	if n > 0 {
-		w.Payload = append([]byte(nil), buf[wireHeader:]...)
+		w.Payload = buf[wireHeader:]
 	}
 	return w, nil
 }

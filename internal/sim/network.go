@@ -162,14 +162,29 @@ func (n *Network) Send(from, to Addr, payload any) {
 // links packets serialize back to back at the configured capacity before
 // incurring the propagation delay.
 func (n *Network) SendSized(from, to Addr, payload any, size int) {
+	n.SendSizedDone(from, to, payload, size, nil)
+}
+
+// SendSizedDone is SendSized with a completion hook: done (when non-nil) is
+// called exactly once when the packet leaves the network — after its handler
+// returns, or at the moment it is dropped. Senders whose payloads alias
+// reusable buffers use it to know when the network no longer references the
+// bytes.
+func (n *Network) SendSizedDone(from, to Addr, payload any, size int, done func()) {
 	n.sent++
 	st := n.link(from, to)
 	if st.cut {
 		n.cutDropped++
+		if done != nil {
+			done()
+		}
 		return
 	}
 	if st.cfg.Loss > 0 && n.s.Rand().Float64() < st.cfg.Loss {
 		n.dropped++
+		if done != nil {
+			done()
+		}
 		return
 	}
 	delay := st.cfg.Delay
@@ -187,6 +202,9 @@ func (n *Network) SendSized(from, to Addr, payload any, size int) {
 	}
 	pkt := Packet{From: from, To: to, Payload: payload}
 	n.s.After(delay, func() {
+		if done != nil {
+			defer done()
+		}
 		// Re-check the cut state at delivery time so a cable pulled while
 		// the packet was in flight still kills it, and drop packets to
 		// detached (crashed) endpoints.

@@ -27,12 +27,14 @@ type Time int64
 // Duration converts a standard library duration to a simulator duration.
 func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the
+// scheduler's freelist once popped; Timer handles guard against recycled
+// slots by remembering the seq they were issued for.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	cancel *bool
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -57,10 +59,11 @@ func (h *eventHeap) Pop() any {
 
 // Scheduler owns virtual time and the pending event queue.
 type Scheduler struct {
-	now Time
-	pq  eventHeap
-	seq uint64
-	rng *rand.Rand
+	now  Time
+	pq   eventHeap
+	seq  uint64
+	rng  *rand.Rand
+	free []*event // recycled events, so steady-state scheduling is alloc-free
 }
 
 // New returns a scheduler whose random source is seeded deterministically.
@@ -76,32 +79,53 @@ func (s *Scheduler) Now() Time { return s.now }
 // here so a seed reproduces the run bit-for-bit.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled callback that can be stopped.
-type Timer struct{ cancelled *bool }
+// Timer is a handle to a scheduled callback that can be stopped. The zero
+// value is a valid no-op handle.
+type Timer struct {
+	e   *event
+	seq uint64
+}
 
 // Stop cancels the timer; the callback will not run. Stopping an already
-// fired or stopped timer is a no-op.
-func (t *Timer) Stop() {
-	if t != nil && t.cancelled != nil {
-		*t.cancelled = true
+// fired or stopped timer is a no-op (the event slot may have been recycled
+// for a later scheduling, which the seq check detects).
+func (t Timer) Stop() {
+	if t.e != nil && t.e.seq == t.seq {
+		t.e.cancelled = true
 	}
 }
 
 // At schedules fn at absolute virtual time at (clamped to now if in the
 // past) and returns a cancellable handle.
-func (s *Scheduler) At(at Time, fn func()) *Timer {
+func (s *Scheduler) At(at Time, fn func()) Timer {
 	if at < s.now {
 		at = s.now
 	}
-	cancelled := new(bool)
 	s.seq++
-	heap.Push(&s.pq, &event{at: at, seq: s.seq, fn: fn, cancel: cancelled})
-	return &Timer{cancelled: cancelled}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = event{at: at, seq: s.seq, fn: fn}
+	} else {
+		e = &event{at: at, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.pq, e)
+	return Timer{e: e, seq: s.seq}
 }
 
 // After schedules fn after duration d of virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now.Add(d), fn)
+}
+
+// recycle returns a popped event to the freelist, dropping the callback
+// reference so it can be collected.
+func (s *Scheduler) recycle(e *event) {
+	e.fn = nil
+	if len(s.free) < 1024 {
+		s.free = append(s.free, e)
+	}
 }
 
 // Step executes the next pending event, advancing virtual time. It returns
@@ -109,11 +133,14 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 func (s *Scheduler) Step() bool {
 	for len(s.pq) > 0 {
 		e := heap.Pop(&s.pq).(*event)
-		if *e.cancel {
+		if e.cancelled {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.recycle(e) // before fn: fn may schedule and reuse this slot
+		fn()
 		return true
 	}
 	return false

@@ -45,8 +45,8 @@ func TestTimerStop(t *testing.T) {
 		t.Fatal("stopped timer fired")
 	}
 	tm.Stop() // double stop is a no-op
-	var nilTimer *Timer
-	nilTimer.Stop() // nil stop is a no-op
+	var zeroTimer Timer
+	zeroTimer.Stop() // zero-value stop is a no-op
 }
 
 func TestNestedScheduling(t *testing.T) {

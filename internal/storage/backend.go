@@ -50,6 +50,26 @@ type Backend struct {
 	reads    int
 	writes   int
 	stageSeq int
+	spare    [][]byte // retired shard buffers, recycled into new stages
+}
+
+// takeSpare pops a retired shard buffer for reuse, or returns nil.
+func (b *Backend) takeSpare() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := len(b.spare); n > 0 {
+		buf := b.spare[n-1]
+		b.spare = b.spare[:n-1]
+		return buf[:0]
+	}
+	return nil
+}
+
+// keepSpare retires a shard buffer into the recycle list. Caller holds b.mu.
+func (b *Backend) keepSpare(buf []byte) {
+	if cap(buf) > 0 && len(b.spare) < 8 {
+		b.spare = append(b.spare, buf)
+	}
 }
 
 type backendEntry struct {
@@ -93,12 +113,19 @@ func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) 
 	defer b.mu.Unlock()
 	e := backendEntry{shardLen: int64(len(shard)), shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
 	if b.dir == "" {
-		e.shard = append([]byte(nil), shard...)
+		var buf []byte
+		if n := len(b.spare); n > 0 {
+			buf, b.spare = b.spare[n-1][:0], b.spare[:n-1]
+		}
+		e.shard = append(buf, shard...)
 	} else {
 		e.path = b.shardPath(id)
 		if err := os.WriteFile(e.path, shard, 0o644); err != nil {
 			return fmt.Errorf("storage: put %s: %w", id, err)
 		}
+	}
+	if old, ok := b.shards[id]; ok {
+		b.keepSpare(old.shard)
 	}
 	b.shards[id] = e
 	b.gen++
@@ -206,6 +233,7 @@ func (b *Backend) Delete(id string) {
 	if e.path != "" {
 		os.Remove(e.path)
 	}
+	b.keepSpare(e.shard)
 	delete(b.shards, id)
 	b.gen++
 }
@@ -276,6 +304,8 @@ func (b *Backend) NewStage() *Stage {
 			return s
 		}
 		s.f = f
+	} else {
+		s.buf = b.takeSpare()
 	}
 	return s
 }
@@ -297,6 +327,18 @@ func (s *Stage) Append(p []byte) error {
 	return nil
 }
 
+// Reserve hints the stage's final size so memory-mode staging allocates its
+// buffer once instead of growing append by append. A no-op for file-backed
+// stages and for hints at or below the current capacity.
+func (s *Stage) Reserve(size int64) {
+	if s.err != nil || s.f != nil || size <= int64(cap(s.buf)) {
+		return
+	}
+	buf := make([]byte, len(s.buf), size)
+	copy(buf, s.buf)
+	s.buf = buf
+}
+
 // Len returns the number of bytes appended so far.
 func (s *Stage) Len() int64 { return s.n }
 
@@ -308,7 +350,12 @@ func (s *Stage) Abort() {
 		os.Remove(name)
 		s.f = nil
 	}
-	s.buf = nil
+	if s.buf != nil {
+		s.b.mu.Lock()
+		s.b.keepSpare(s.buf)
+		s.b.mu.Unlock()
+		s.buf = nil
+	}
 	s.err = fmt.Errorf("storage: stage aborted")
 }
 
@@ -337,6 +384,9 @@ func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) e
 		s.buf = nil
 	}
 	b.mu.Lock()
+	if old, ok := b.shards[id]; ok {
+		b.keepSpare(old.shard)
+	}
 	b.shards[id] = e
 	b.gen++
 	b.writes++

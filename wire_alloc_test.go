@@ -1,0 +1,82 @@
+package rain
+
+// Guard rails for the zero-copy pooled wire path (ISSUE 6): the payload of a
+// data chunk is copied exactly once on the send side (caller bytes into the
+// pooled frame) and zero times on the receive side (every layer parses by
+// aliasing), and the steady-state pipeline does not allocate per datagram.
+
+import (
+	"bytes"
+	"testing"
+
+	"rain/internal/dstore"
+	"rain/internal/rudp"
+)
+
+// wireRoundTrip drives one datagram through the full header pipeline —
+// marshal into a pooled frame, push service + wire headers, parse all three
+// layers back — and returns the innermost decoded message plus the frame's
+// payload data region so callers can check aliasing. The frame is released
+// before returning, which is safe for same-goroutine inspection: the pool
+// never clears buffers and nothing else runs in between.
+func wireRoundTrip(t testing.TB, id string, payload []byte) (dstore.Msg, []byte) {
+	f, data := dstore.NewMsgFrame(dstore.Msg{
+		Kind: dstore.KindPutChunk, Req: 3, ID: id,
+		ShardLen: 1 << 20, DataLen: 4 << 20, BlockLen: 64 << 10, Win: 4,
+	}, len(payload))
+	copy(data, payload)
+	rudp.PushService(f, dstore.ServiceDaemon)
+	rudp.Wire{Kind: rudp.KindData, Seq: 9, Payload: f.Datagram()}.PushHeader(f)
+
+	w, err := rudp.UnmarshalWire(f.Datagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	service, framed, ok := rudp.SplitService(w.Payload)
+	if !ok || service != dstore.ServiceDaemon {
+		t.Fatal("bad service frame")
+	}
+	m, err := dstore.Unmarshal(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	return m, data
+}
+
+// TestWireRoundTripAliases pins the receive-side copy count at zero: the
+// payload decoded at the innermost layer must alias the frame buffer the
+// datagram arrived in, through the wire header, the service frame and the
+// message header alike.
+func TestWireRoundTripAliases(t *testing.T) {
+	payload := []byte("shard chunk bytes, long enough to matter")
+	m, data := wireRoundTrip(t, "obj0", payload)
+	if !bytes.Equal(m.Data, payload) {
+		t.Fatalf("payload corrupted: %q", m.Data)
+	}
+	if &m.Data[0] != &data[0] {
+		t.Fatal("decoded payload was copied; want it to alias the frame buffer")
+	}
+}
+
+// TestWireRoundTripAllocs pins the steady-state allocation count of the
+// pipeline: with pooled frames the only per-datagram allocation the path is
+// allowed is the message ID string materialised by Unmarshal, and with an
+// empty ID there must be none at all. The bound of 1 (not 0) tolerates an
+// occasional pool refill after a GC between runs.
+func TestWireRoundTripAllocs(t *testing.T) {
+	payload := make([]byte, 32<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	wireRoundTrip(t, "", payload) // warm the frame pool
+	allocs := testing.AllocsPerRun(200, func() {
+		m, _ := wireRoundTrip(t, "", payload)
+		if len(m.Data) != len(payload) {
+			t.Fatal("payload truncated")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("wire round trip allocates %.1f objects per datagram, want <= 1", allocs)
+	}
+}
