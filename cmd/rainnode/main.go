@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -47,6 +48,7 @@ import (
 	"rain/internal/netbuf"
 	"rain/internal/rudp"
 	"rain/internal/storage"
+	"rain/internal/telemetry"
 )
 
 func main() {
@@ -64,6 +66,7 @@ func main() {
 	block := flag.Int("block", dstore.DefaultBlockSize, "block-codeword size recorded for -putobj")
 	file := flag.String("file", "", "input file for -putshard / -putobj")
 	out := flag.String("out", "", "output file for -getshard / -getobj (default: shard summary / stdout)")
+	debug := flag.String("debug", "", "listen address for the /debug telemetry surface (e.g. :6060)")
 	flag.Parse()
 
 	if *local == "" || *remote == "" {
@@ -72,6 +75,24 @@ func main() {
 	}
 	locals := strings.Split(*local, ",")
 	remotes := strings.Split(*remote, ",")
+
+	// The live observability surface: the process-wide registry every layer
+	// (rudp, netbuf, storage, dstore) reports into, plus the trace ring. The
+	// full dstore schema is pre-registered so /debug/metrics exports every
+	// family — zero-valued included — whatever subset this invocation runs.
+	reg := telemetry.Default()
+	dstore.RegisterMetrics(reg, "local")
+	if *debug != "" {
+		go func() {
+			srv := &http.Server{Addr: *debug, Handler: telemetry.Handler(reg, telemetry.DefaultTracer())}
+			if err := srv.ListenAndServe(); err != nil {
+				fmt.Fprintln(os.Stderr, "debug listener:", err)
+			}
+		}()
+		fmt.Println("debug surface on", *debug)
+	}
+	// SIGUSR1 dumps a registry snapshot to stderr (no-op where unsupported).
+	watchDumpSignal(reg)
 
 	ch := newUDPChannel()
 	received := 0
@@ -225,7 +246,7 @@ func (c *udpChannel) dispatchLoop() {
 
 // runDaemon serves the dstore protocol until interrupted.
 func runDaemon(ch *udpChannel, node *rudp.UDPNode, shard int, interval time.Duration) {
-	backend := storage.NewBackend()
+	backend := storage.NewBackend(telemetry.Default().Node("local"))
 	d := dstore.NewDaemon(ch, "local", shard, backend, 0)
 	fmt.Printf("storage daemon up, shard %d\n", shard)
 	for {

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "rain/internal/telemetry"
+
+// watchDumpSignal is a no-op on platforms without SIGUSR1.
+func watchDumpSignal(*telemetry.Registry) {}

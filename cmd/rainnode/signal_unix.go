@@ -1,0 +1,28 @@
+//go:build unix
+
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rain/internal/telemetry"
+)
+
+// watchDumpSignal dumps a full registry snapshot as JSON to stderr on
+// SIGUSR1 — the no-listener escape hatch for inspecting a live node.
+func watchDumpSignal(reg *telemetry.Registry) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reg.Snapshot()); err != nil {
+				os.Stderr.WriteString("telemetry dump: " + err.Error() + "\n")
+			}
+		}
+	}()
+}

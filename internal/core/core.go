@@ -26,6 +26,7 @@ import (
 	"rain/internal/rudp"
 	"rain/internal/sim"
 	"rain/internal/storage"
+	"rain/internal/telemetry"
 )
 
 // Sweep cadence for orphaned daemon transfer state (put assemblies and get
@@ -113,6 +114,14 @@ type Platform struct {
 	Daemons    map[string]*dstore.Daemon
 	Clients    map[string]*dstore.Client
 
+	// Telemetry is the platform's private metric registry: every layer
+	// (rudp, storage backends, daemons, clients) reports into it, labeled by
+	// node, so a scenario can snapshot cluster-wide state mid-run without
+	// cross-test pollution through the process default. Tracer records
+	// per-operation span traces on the same platform scope.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+
 	servers map[string]*storage.Server
 	opts    Options
 }
@@ -141,20 +150,23 @@ func New(nodes []string, opts Options) (*Platform, error) {
 			}
 		}
 	}
-	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: opts.Paths})
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: opts.Paths, Telemetry: reg})
 	if err != nil {
 		return nil, err
 	}
 	servers := make([]*storage.Server, len(nodes))
 	backends := make([]*storage.Backend, len(nodes))
 	for i, n := range nodes {
+		scope := reg.Node(n)
 		if opts.StorageDir != "" {
-			backends[i], err = storage.NewFileBackend(filepath.Join(opts.StorageDir, n))
+			backends[i], err = storage.NewFileBackend(filepath.Join(opts.StorageDir, n), scope)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			backends[i] = storage.NewBackend()
+			backends[i] = storage.NewBackend(scope)
 		}
 		servers[i] = storage.NewServerWithBackend(n, i, backends[i])
 	}
@@ -178,6 +190,8 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		Backends:   make(map[string]*storage.Backend),
 		Daemons:    make(map[string]*dstore.Daemon),
 		Clients:    make(map[string]*dstore.Client),
+		Telemetry:  reg,
+		Tracer:     tracer,
 		servers:    make(map[string]*storage.Server),
 		opts:       opts,
 	}
@@ -185,7 +199,7 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	for i, n := range nodes {
 		p.Backends[n] = backends[i]
 		p.servers[n] = servers[i]
-		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0, dstore.WithDaemonClock(simClock))
+		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0, dstore.WithDaemonClock(simClock), dstore.WithDaemonTelemetry(reg))
 		self := n
 		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
 			Code: opts.Code,
@@ -195,6 +209,8 @@ func New(nodes []string, opts Options) (*Platform, error) {
 			Policy:        opts.Policy,
 			BlockSize:     opts.BlockSize,
 			RebuildBudget: opts.RebuildBudget,
+			Telemetry:     reg,
+			Tracer:        tracer,
 			// Liveness is the membership protocol's view from this node; the
 			// client's hedging covers the detection gap after a crash.
 			Alive: func(peer string) bool {

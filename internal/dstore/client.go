@@ -11,6 +11,7 @@ import (
 	"rain/internal/placement"
 	"rain/internal/sim"
 	"rain/internal/storage"
+	"rain/internal/telemetry"
 )
 
 // Defaults for the client session layer.
@@ -91,6 +92,11 @@ type Config struct {
 	RebuildBudget int64
 	// ReqTimeout and OpTimeout are the stall and operation deadlines.
 	ReqTimeout, OpTimeout time.Duration
+	// Telemetry routes the client's metrics into a specific registry (the
+	// platform's, under the simulator). nil means the process default.
+	Telemetry *telemetry.Registry
+	// Tracer records per-operation span traces. nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +161,9 @@ type Client struct {
 	// taskHighWater is the peak budgeted cost admitted by concurrent
 	// rebuild/rebalance pipelines — the enforced memory bound, for tests.
 	taskHighWater int64
+
+	met    *clientMetrics
+	tracer *telemetry.Tracer
 }
 
 // NewClient registers a client session on the mesh node.
@@ -179,9 +188,24 @@ func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, e
 		pending: make(map[uint64]func(Msg)),
 		loads:   make(map[string]int),
 		sizes:   make(map[string]int),
+		tracer:  cfg.Tracer,
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	c.met = newClientMetrics(reg.Node(node))
 	mesh.Handle(node, ServiceClient, c.onMessage)
 	return c, nil
+}
+
+// nowNS is the client's clock as trace/histogram nanoseconds — virtual under
+// the simulator, wall over real sockets.
+func (c *Client) nowNS() int64 { return int64(c.s.Now()) }
+
+// trace opens a span trace for one operation (nil when tracing is off).
+func (c *Client) trace(op, id string) *telemetry.Trace {
+	return c.tracer.Start(op, c.node, id, c.nowNS())
 }
 
 // Node returns the mesh node the client runs on.
@@ -517,10 +541,13 @@ type putOp struct {
 	stored     int
 	finished   bool
 	done       func(stored int, err error)
+	began      sim.Time
+	trace      *telemetry.Trace
 }
 
 func (c *Client) newPutOp(id string, dataLen int64, done func(int, error)) *putOp {
-	return &putOp{c: c, id: id, peers: c.peersFor(id), dataLen: dataLen, done: done}
+	return &putOp{c: c, id: id, peers: c.peersFor(id), dataLen: dataLen, done: done,
+		began: c.s.Now(), trace: c.trace("put", id)}
 }
 
 func (op *putOp) finish(err error) {
@@ -536,6 +563,11 @@ func (op *putOp) finish(err error) {
 			err = fmt.Errorf("%w: stored %d of required %d", ErrNotEnoughDaemons, op.stored, k)
 		}
 	}
+	if err == nil {
+		op.c.met.putLatency.Observe(int64(op.c.s.Now() - op.began))
+		op.c.met.putBytes.Add(op.dataLen)
+	}
+	op.trace.Finish(op.c.nowNS(), err)
 	for _, t := range op.transfers {
 		if t != nil {
 			t.resolve(t.acked >= t.shardLen)
@@ -547,6 +579,10 @@ func (op *putOp) finish(err error) {
 func (op *putOp) resolveOne(ok bool) {
 	if ok {
 		op.stored++
+		if op.stored == op.c.cfg.Code.K() && !op.finished {
+			op.c.met.quorumWait.Observe(int64(op.c.s.Now() - op.began))
+			op.trace.Event(op.c.nowNS(), "quorum", "", int64(op.stored))
+		}
 	}
 	op.unresolved--
 	if op.unresolved == 0 && !op.finished {
@@ -566,6 +602,7 @@ func (op *putOp) start(shardLen, blockLen int64) {
 			op.resolveOne(false)
 			continue
 		}
+		op.trace.Event(op.c.nowNS(), "shard_fanout", peer, int64(i))
 		op.transfers[i] = op.c.startTransfer(peer, op.id, i, shardLen, op.dataLen, blockLen, op.resolveOne)
 	}
 	if op.unresolved > 0 {
@@ -707,6 +744,7 @@ func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func
 		for !op.finished && !encDone {
 			for _, t := range op.transfers {
 				if t != nil && !t.resolved && t.backlog() >= highWater {
+					c.met.creditStalls.Inc()
 					return // a live peer is lagging; its ack will re-feed
 				}
 			}
@@ -792,6 +830,8 @@ type shardStream struct {
 	complete  bool     // delivered and fully consumed by the decoder
 	dead      bool     // the daemon answered with an error
 	hedged    bool     // a spare was already issued on this stream's behalf
+	spare     bool     // this stream itself was issued beyond the first k
+	credited  bool     // the stream's bytes have fed a decode (hedge won)
 }
 
 // bytes returns the buffered, not-yet-consumed bytes.
@@ -861,6 +901,8 @@ type streamGetOp struct {
 	streams    []*shardStream
 	lastErr    string
 	finished   bool
+	firstK     bool
+	trace      *telemetry.Trace
 }
 
 // startStreamGet launches the state machine over the object's placement
@@ -869,7 +911,7 @@ type streamGetOp struct {
 // for a first chunk. rank, when non-nil, overrides the policy ranking of
 // candidate shard indices — the rebuild pipeline injects its survivor-load
 // spreading there.
-func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool, metaHint *objMeta, rank func() []int,
+func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool, metaHint *objMeta, rank func() []int, trace *telemetry.Trace,
 	mkSink func(objMeta, int64) (blockSink, error), ready func() bool, done func(objMeta, error)) *streamGetOp {
 	op := &streamGetOp{
 		c:       c,
@@ -879,6 +921,7 @@ func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool,
 		mkSink:  mkSink,
 		ready:   ready,
 		done:    done,
+		trace:   trace,
 	}
 	if rank != nil {
 		op.candidates = rank()
@@ -954,7 +997,9 @@ func (op *streamGetOp) issueNext() {
 	peer := op.peers[idx]
 	op.c.loads[peer]++
 	op.c.nextReq++
-	st := &shardStream{peer: peer, peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now(), buf: op.c.getStreamBuf()}
+	st := &shardStream{peer: peer, peerIdx: idx, req: op.c.nextReq, pos: op.consumed, lastAck: op.consumed, progress: op.c.s.Now(), buf: op.c.getStreamBuf(),
+		spare: len(op.streams) >= op.c.cfg.Code.K()}
+	op.trace.Event(op.c.nowNS(), "shard_fanout", peer, int64(idx))
 	op.streams = append(op.streams, st)
 	op.c.pending[st.req] = func(m Msg) { op.onChunk(st, m) }
 	op.c.send(peer, Msg{Kind: KindGetReq, Req: st.req, ID: op.id, Off: op.consumed, Win: op.winChunks()})
@@ -974,13 +1019,24 @@ func (op *streamGetOp) watch(st *shardStream) {
 			return // fully delivered; the decoder is waiting on other streams
 		}
 		if op.c.s.Now()-st.progress >= sim.Time(op.c.cfg.ReqTimeout) {
-			st.hedged = true
-			op.issueNext()
+			op.hedge(st)
 			op.failIfStuck()
 			return
 		}
 		op.watch(st)
 	})
+}
+
+// hedge issues a spare stream on st's behalf (stall, error or duplicate
+// index). The hedge only counts as fired when a spare candidate actually
+// exists to issue.
+func (op *streamGetOp) hedge(st *shardStream) {
+	st.hedged = true
+	if !op.finished && op.cursor < len(op.candidates) {
+		op.c.met.hedgesFired.Inc()
+		op.trace.Event(op.c.nowNS(), "hedge_fire", st.peer, int64(st.peerIdx))
+	}
+	op.issueNext()
 }
 
 // failIfStuck fails the op early once no outstanding stream can still
@@ -1055,8 +1111,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		// session is a no-op.
 		op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		if !st.hedged {
-			st.hedged = true
-			op.issueNext()
+			op.hedge(st)
 		}
 		op.failIfStuck()
 		return
@@ -1079,8 +1134,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		delete(op.c.pending, st.req)
 		op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		if !st.hedged {
-			st.hedged = true
-			op.issueNext()
+			op.hedge(st)
 		}
 		op.failIfStuck()
 		return
@@ -1155,28 +1209,47 @@ func (op *streamGetOp) tryDecode() {
 	}
 	code := op.c.cfg.Code
 	shards := make([][]byte, code.N())
-	for op.nextBlk < op.blocks && (op.ready == nil || op.ready()) {
+	var used []*shardStream
+	for op.nextBlk < op.blocks {
+		if op.ready != nil && !op.ready() {
+			op.c.met.creditStalls.Inc()
+			return
+		}
 		pieceLen := int64(code.ShardSize(ecc.StreamBlockLen(op.dataLen, op.meta.blockSize(), op.nextBlk)))
 		have := 0
 		for i := range shards {
 			shards[i] = nil
 		}
+		used = used[:0]
 		for _, st := range op.streams {
 			if st.dead || shards[st.peerIdx] != nil {
 				continue
 			}
 			if st.pos == op.consumed && st.size() >= pieceLen {
 				shards[st.peerIdx] = st.bytes()[:pieceLen]
+				used = append(used, st)
 				have++
 			}
 		}
 		if have < code.K() {
 			return
 		}
+		if !op.firstK {
+			op.firstK = true
+			op.trace.Event(op.c.nowNS(), "first_k", "", int64(have))
+		}
+		for _, st := range used {
+			if st.spare && !st.credited {
+				st.credited = true
+				op.c.met.hedgesWon.Inc()
+				op.trace.Event(op.c.nowNS(), "hedge_won", st.peer, int64(st.peerIdx))
+			}
+		}
 		if err := op.sink.NextBlock(shards); err != nil {
 			op.finish(err)
 			return
 		}
+		op.trace.Event(op.c.nowNS(), "decode", "", op.nextBlk)
 		op.consumed += pieceLen
 		op.nextBlk++
 		for _, st := range op.streams {
@@ -1225,7 +1298,9 @@ func (op *streamGetOp) finish(err error) {
 // single codeword decode in one piece.
 func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err error)) {
 	var dec *ecc.StreamDecoder
-	c.startStreamGet(id, c.peersFor(id), nil, nil, nil,
+	began := c.s.Now()
+	tr := c.trace("get", id)
+	c.startStreamGet(id, c.peersFor(id), nil, nil, nil, tr,
 		func(meta objMeta, dataLen int64) (blockSink, error) {
 			var err error
 			dec, err = ecc.NewStreamDecoder(c.cfg.Code, w, dataLen, meta.blockSize())
@@ -1237,6 +1312,11 @@ func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err e
 			if dec != nil {
 				n = dec.Written()
 			}
+			if err == nil {
+				c.met.getLatency.Observe(int64(c.s.Now() - began))
+				c.met.getBytes.Add(n)
+			}
+			tr.Finish(c.nowNS(), err)
 			done(n, err)
 		})
 }
@@ -1286,11 +1366,21 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, peers []string, targetId
 	transferDone := false
 	var opErr error
 	var finished bool
+	began := c.s.Now()
+	tr := c.trace("rebuild", info.ID)
+	c.met.bytesInFlight.Add(meta.shardLen)
 	finish := func(err error) {
 		if finished {
 			return
 		}
 		finished = true
+		c.met.bytesInFlight.Add(-meta.shardLen)
+		if err == nil {
+			c.met.shardsRebuilt.Inc()
+			c.met.bytesReconstructed.Add(meta.shardLen)
+			c.met.repairDuration.Observe(int64(c.s.Now() - began))
+		}
+		tr.Finish(c.nowNS(), err)
 		done(err)
 	}
 	out = c.startTransfer(peers[targetIdx], info.ID, targetIdx, meta.shardLen, meta.dataLen, meta.blockLen, func(ok bool) {
@@ -1305,7 +1395,7 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, peers []string, targetId
 		}
 	})
 	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
-	op := c.startStreamGet(info.ID, peers, exclude, &opMeta, rank,
+	op := c.startStreamGet(info.ID, peers, exclude, &opMeta, rank, tr,
 		func(m objMeta, layoutLen int64) (blockSink, error) {
 			return ecc.NewShardRebuilder(c.cfg.Code, targetIdx, writerFunc(func(p []byte) (int, error) {
 				out.offerCopy(p)

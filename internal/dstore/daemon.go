@@ -2,13 +2,16 @@ package dstore
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"rain/internal/storage"
+	"rain/internal/telemetry"
 )
 
-// DaemonStats counts a daemon's activity; all values are cumulative.
+// DaemonStats is a snapshot view of a daemon's counters; all values are
+// cumulative. The live counts are atomics (and mirrored into the telemetry
+// registry) — this struct survives as the copy Stats returns.
 type DaemonStats struct {
 	ChunksStored int // put chunks accepted
 	Commits      int // shards committed to the backend
@@ -16,6 +19,18 @@ type DaemonStats struct {
 	Lists        int // inventory requests answered
 	Errors       int // error responses sent
 	Reaped       int // orphaned assemblies and get sessions swept
+}
+
+// daemonCounters are the per-daemon live counts behind the DaemonStats view.
+// Messages arrive on one goroutine but Stats may be read from another
+// (rainnode's report ticker); atomics replace the old mutex-and-copy.
+type daemonCounters struct {
+	chunksStored atomic.Int64
+	commits      atomic.Int64
+	chunksServed atomic.Int64
+	lists        atomic.Int64
+	errors       atomic.Int64
+	reaped       atomic.Int64
 }
 
 // Daemon is the storage server loop of one node: it owns no transport state
@@ -47,11 +62,9 @@ type Daemon struct {
 	invGen uint64
 	invOK  bool
 
-	// statsMu guards stats: messages arrive on one goroutine (the simulator
-	// or a socket driver's dispatch loop) but Stats may be read from another
-	// (rainnode's report ticker).
-	statsMu sync.Mutex
-	stats   DaemonStats
+	cnt daemonCounters
+	met *daemonMetrics
+	tel *telemetry.Registry
 }
 
 // sessKey identifies one transfer: requests are client-scoped, so daemon
@@ -98,6 +111,12 @@ func WithDaemonClock(now func() time.Time) DaemonOption {
 	return func(d *Daemon) { d.now = now }
 }
 
+// WithDaemonTelemetry routes the daemon's metrics into a specific registry
+// (the platform's, under the simulator) instead of the process default.
+func WithDaemonTelemetry(r *telemetry.Registry) DaemonOption {
+	return func(d *Daemon) { d.tel = r }
+}
+
 // NewDaemon registers a storage daemon for node on the mesh. shard is the
 // index this node holds in the code's shard order; chunkSize bounds streamed
 // get chunks (0 for the default).
@@ -118,6 +137,10 @@ func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chun
 	for _, opt := range opts {
 		opt(d)
 	}
+	if d.tel == nil {
+		d.tel = telemetry.Default()
+	}
+	d.met = newDaemonMetrics(d.tel.Node(node))
 	mesh.Handle(node, ServiceDaemon, d.onMessage)
 	return d
 }
@@ -134,22 +157,28 @@ func (d *Daemon) Assemblies() int { return len(d.asm) }
 // GetSessions reports open windowed get streams (orphan-leak checks).
 func (d *Daemon) GetSessions() int { return len(d.gets) }
 
-// Stats returns a copy of the daemon's counters.
+// Stats returns a snapshot of the daemon's counters.
 func (d *Daemon) Stats() DaemonStats {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	return d.stats
+	return DaemonStats{
+		ChunksStored: int(d.cnt.chunksStored.Load()),
+		Commits:      int(d.cnt.commits.Load()),
+		ChunksServed: int(d.cnt.chunksServed.Load()),
+		Lists:        int(d.cnt.lists.Load()),
+		Errors:       int(d.cnt.errors.Load()),
+		Reaped:       int(d.cnt.reaped.Load()),
+	}
 }
 
-func (d *Daemon) bump(fn func(*DaemonStats)) {
-	d.statsMu.Lock()
-	fn(&d.stats)
-	d.statsMu.Unlock()
+// syncSessions refreshes the session-count gauges after any asm/gets change.
+func (d *Daemon) syncSessions() {
+	d.met.assemblies.Set(int64(len(d.asm)))
+	d.met.getSessions.Set(int64(len(d.gets)))
 }
 
 func (d *Daemon) reply(to string, m Msg) {
 	if m.Err != "" {
-		d.bump(func(st *DaemonStats) { st.Errors++ })
+		d.cnt.errors.Add(1)
+		d.met.errors.Inc()
 	}
 	d.mesh.SendFrame(d.node, to, ServiceClient, m.MarshalFrame())
 }
@@ -167,7 +196,8 @@ func (d *Daemon) onMessage(from string, payload []byte) {
 	case KindGetAck:
 		d.onGetAck(from, m)
 	case KindListReq:
-		d.bump(func(st *DaemonStats) { st.Lists++ })
+		d.cnt.lists.Add(1)
+		d.met.lists.Inc()
 		if gen := d.backend.Generation(); !d.invOK || gen != d.invGen {
 			d.inv, d.invGen, d.invOK = d.backend.List(), gen, true
 		}
@@ -208,12 +238,15 @@ func (d *Daemon) SweepOrphans(maxAge time.Duration) int {
 		}
 	}
 	if reaped > 0 {
-		d.bump(func(st *DaemonStats) { st.Reaped += reaped })
+		d.cnt.reaped.Add(int64(reaped))
+		d.met.reaped.Add(int64(reaped))
+		d.syncSessions()
 	}
 	return reaped
 }
 
 func (d *Daemon) onPutChunk(from string, m Msg) {
+	defer d.syncSessions()
 	key := sessKey{from: from, req: m.Req}
 	a, ok := d.asm[key]
 	if !ok {
@@ -247,14 +280,16 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 	}
 	a.touched = d.now()
 	a.sinceAck++
-	d.bump(func(st *DaemonStats) { st.ChunksStored++ })
+	d.cnt.chunksStored.Add(1)
+	d.met.chunksStored.Inc()
 	if a.stage.Len() >= a.shardLen {
 		if err := d.backend.Commit(a.stage, a.id, a.shard, int(a.dataLen), int(a.blockLen)); err != nil {
 			delete(d.asm, key)
 			d.reply(from, Msg{Kind: KindPutAck, Req: m.Req, ID: m.ID, Err: err.Error()})
 			return
 		}
-		d.bump(func(st *DaemonStats) { st.Commits++ })
+		d.cnt.commits.Add(1)
+		d.met.commits.Inc()
 		delete(d.asm, key)
 	} else if a.win > 1 && a.sinceAck < a.win/2 {
 		// Coalesce put acks: the client declared a win-chunk send window, so
@@ -268,6 +303,7 @@ func (d *Daemon) onPutChunk(from string, m Msg) {
 }
 
 func (d *Daemon) onGetReq(from string, m Msg) {
+	defer d.syncSessions()
 	info, err := d.backend.Info(m.ID)
 	if err != nil {
 		d.reply(from, Msg{Kind: KindGetChunk, Req: m.Req, ID: m.ID, Err: err.Error()})
@@ -309,6 +345,7 @@ func (d *Daemon) onGetReq(from string, m Msg) {
 }
 
 func (d *Daemon) onGetAck(from string, m Msg) {
+	defer d.syncSessions()
 	key := sessKey{from: from, req: m.Req}
 	g, ok := d.gets[key]
 	if !ok {
@@ -353,7 +390,8 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 	if g.shardLen == 0 {
 		if g.sent == 0 {
 			g.sent = 1 // marker: metadata chunk sent
-			d.bump(func(st *DaemonStats) { st.ChunksServed++ })
+			d.cnt.chunksServed.Add(1)
+			d.met.chunksServed.Inc()
 			d.reply(from, hdr(0))
 		}
 		return
@@ -372,7 +410,8 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 			d.reply(from, Msg{Kind: KindGetChunk, Req: req, ID: g.id, Err: err.Error()})
 			return
 		}
-		d.bump(func(st *DaemonStats) { st.ChunksServed++ })
+		d.cnt.chunksServed.Add(1)
+		d.met.chunksServed.Inc()
 		d.mesh.SendFrame(d.node, from, ServiceClient, f)
 		g.sent += n
 	}

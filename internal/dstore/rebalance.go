@@ -122,6 +122,11 @@ func (c *Client) listInventory(nodes []string, done func(entries map[string]*inv
 // earlier ones fail — one unreconcilable object must not strand the rest —
 // and done fires once with the first error after all have resolved.
 func (c *Client) runTasks(n int, cost func(int) int64, run func(i int, taskDone func(error)), done func(error)) {
+	// Per-pass progress gauges: the latest pass owns them, so a long
+	// rebalance is visible from a registry snapshot while it runs. They
+	// settle at done == total when the pass completes.
+	c.met.objectsTotal.Set(int64(n))
+	c.met.objectsDone.Set(0)
 	if n == 0 {
 		done(nil)
 		return
@@ -129,6 +134,7 @@ func (c *Client) runTasks(n int, cost func(int) int64, run func(i int, taskDone 
 	var (
 		next, active int
 		inflight     int64
+		completed    int64
 		firstErr     error
 		finished     bool
 	)
@@ -152,6 +158,8 @@ func (c *Client) runTasks(n int, cost func(int) int64, run func(i int, taskDone 
 				resolved = true
 				active--
 				inflight -= ci
+				completed++
+				c.met.objectsDone.Set(completed)
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -335,11 +343,17 @@ func sortedIDs(entries map[string]*invEntry) []string {
 func (c *Client) copyShard(id, src, dst string, shardIdx int, info storage.ObjectInfo, done func(error)) {
 	shardLen := int64(info.ShardLen)
 	finished := false
+	c.met.bytesInFlight.Add(shardLen)
 	finish := func(err error) {
 		if finished {
 			return
 		}
 		finished = true
+		c.met.bytesInFlight.Add(-shardLen)
+		if err == nil {
+			c.met.shardsCopied.Inc()
+			c.met.bytesCopied.Add(shardLen)
+		}
 		done(err)
 	}
 	var out *transfer
@@ -420,6 +434,7 @@ func (c *Client) deleteShard(node, id string, done func(error)) {
 			done(fmt.Errorf("dstore: delete %s on %s: %s", id, node, m.Err))
 			return
 		}
+		c.met.shardsDeleted.Inc()
 		done(nil)
 	}
 	c.send(node, Msg{Kind: KindDeleteReq, Req: req, ID: id})

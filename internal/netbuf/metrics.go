@@ -1,0 +1,33 @@
+package netbuf
+
+import (
+	"strconv"
+
+	"rain/internal/telemetry"
+)
+
+// The pools are package globals shared by every mesh and platform in the
+// process, so their metrics live in the process-wide default registry,
+// labeled by size class (payload capacity in bytes). Registered at init per
+// the DESIGN.md telemetry rule: families are visible in exports before the
+// first frame is cut.
+var (
+	classHits   [len(classSizes)]*telemetry.Counter
+	classMisses [len(classSizes)]*telemetry.Counter
+	classLive   [len(classSizes)]*telemetry.Gauge
+	oversize    *telemetry.Counter
+	framesLive  *telemetry.Gauge
+)
+
+func init() {
+	r := telemetry.Default()
+	for class, cs := range classSizes {
+		s := r.Label("class", strconv.Itoa(cs-Headroom))
+		classHits[class] = s.Counter("netbuf.pool.hits", "frames served from a pool")
+		classMisses[class] = s.Counter("netbuf.pool.misses", "frames freshly allocated")
+		classLive[class] = s.Gauge("netbuf.pool.class_live", "pooled frames currently out")
+	}
+	root := r.Root()
+	oversize = root.Counter("netbuf.pool.oversize", "unpooled frames above the largest class")
+	framesLive = root.Gauge("netbuf.frames.live", "frames out (all classes + oversize)")
+}

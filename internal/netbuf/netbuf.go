@@ -69,7 +69,12 @@ func NewFrame(size int) *Frame {
 			f, _ := pools[class].Get().(*Frame)
 			if f == nil {
 				f = &Frame{buf: make([]byte, cs), class: class}
+				classMisses[class].Inc()
+			} else {
+				classHits[class].Inc()
 			}
+			classLive[class].Inc()
+			framesLive.Inc()
 			f.start = Headroom
 			f.end = Headroom + size
 			f.refs.Store(1)
@@ -80,6 +85,8 @@ func NewFrame(size int) *Frame {
 	f.start = Headroom
 	f.end = total
 	f.refs.Store(1)
+	oversize.Inc()
+	framesLive.Inc()
 	return f
 }
 
@@ -121,7 +128,9 @@ func (f *Frame) Release() {
 	case n < 0:
 		panic("netbuf: frame over-released")
 	}
+	framesLive.Dec()
 	if f.class >= 0 {
+		classLive[f.class].Dec()
 		pools[f.class].Put(f)
 	}
 }

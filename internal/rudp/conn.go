@@ -2,10 +2,12 @@ package rudp
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rain/internal/linkstate"
 	"rain/internal/netbuf"
+	"rain/internal/telemetry"
 )
 
 // Config parameterises a Conn. Zero fields take the defaults below.
@@ -21,6 +23,10 @@ type Config struct {
 	PingInterval, PingTimeout time.Duration
 	// Slack is the link-state protocol slack N (default 2).
 	Slack int
+	// Telemetry is the metrics registry connections report into; nil means
+	// the process-wide telemetry.Default(). The simulated mesh labels series
+	// per node; standalone endpoints use the unlabeled root scope.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +75,7 @@ type pending struct {
 	lastSent int64
 	lastPath int
 	sent     bool
+	resent   bool // retransmitted at least once: its ack is no RTT sample
 }
 
 // recvSlot is one buffered out-of-order datagram; the slot holds a frame
@@ -105,14 +112,42 @@ type Conn struct {
 	ackPath int
 	ackOwed bool
 
-	stats Stats
+	// pfree recycles pending records freed by acks so the steady-state send
+	// path allocates nothing.
+	pfree []*pending
+
+	stats connCounters
+	met   *connMetrics
+}
+
+// connCounters are the per-connection counts backing the Stats view. They
+// are atomics so snapshots never tear, and per-conn (unlike the shared
+// registry series) so existing callers keep per-connection semantics.
+type connCounters struct {
+	sent          atomic.Uint64
+	retransmits   atomic.Uint64
+	delivered     atomic.Uint64
+	duplicates    atomic.Uint64
+	acksSent      atomic.Uint64
+	failoverSends atomic.Uint64
+	perPathData   []atomic.Uint64
 }
 
 // NewConn builds a connection endpoint. transmit sends a wire datagram on a
 // path (unreliably); deliver receives application datagrams exactly once, in
 // order.
 func NewConn(cfg Config, transmit func(path int, w Wire), deliver func([]byte)) (*Conn, error) {
+	return newConn(cfg, nil, transmit, deliver)
+}
+
+// newConn builds a connection reporting into the given telemetry scope (nil
+// means the configured registry's root scope). The mesh passes per-node
+// scopes so one process full of simulated nodes keeps distinct series.
+func newConn(cfg Config, scope *telemetry.Scope, transmit func(path int, w Wire), deliver func([]byte)) (*Conn, error) {
 	cfg = cfg.withDefaults()
+	if scope == nil {
+		scope = cfg.registry().Root()
+	}
 	if cfg.Paths < 1 {
 		return nil, fmt.Errorf("rudp: need at least one path, got %d", cfg.Paths)
 	}
@@ -135,7 +170,8 @@ func NewConn(cfg Config, transmit func(path int, w Wire), deliver func([]byte)) 
 		c.monitors[i] = linkstate.NewMonitor(ep, cfg.PingInterval, cfg.PingTimeout)
 		c.lastPing[i] = -int64(cfg.PingInterval) // ping immediately on first tick
 	}
-	c.stats.PerPathData = make([]uint64, cfg.Paths)
+	c.stats.perPathData = make([]atomic.Uint64, cfg.Paths)
+	c.met = newConnMetrics(scope)
 	return c, nil
 }
 
@@ -153,10 +189,22 @@ func (c *Conn) UpPaths() int {
 	return n
 }
 
-// Stats returns a copy of the connection counters.
+// Stats returns a snapshot view of the connection counters. The counts are
+// atomics (and mirrored into the telemetry registry), so the snapshot is
+// safe to take from any goroutine.
 func (c *Conn) Stats() Stats {
-	s := c.stats
-	s.PerPathData = append([]uint64(nil), c.stats.PerPathData...)
+	s := Stats{
+		Sent:          c.stats.sent.Load(),
+		Retransmits:   c.stats.retransmits.Load(),
+		Delivered:     c.stats.delivered.Load(),
+		Duplicates:    c.stats.duplicates.Load(),
+		AcksSent:      c.stats.acksSent.Load(),
+		FailoverSends: c.stats.failoverSends.Load(),
+		PerPathData:   make([]uint64, len(c.stats.perPathData)),
+	}
+	for i := range c.stats.perPathData {
+		s.PerPathData[i] = c.stats.perPathData[i].Load()
+	}
 	return s
 }
 
@@ -182,7 +230,15 @@ func (c *Conn) Send(payload []byte, now int64) {
 // re-marshaling, and byte-oriented drivers write the frame directly.
 func (c *Conn) SendFrame(f *netbuf.Frame, now int64) {
 	payload := f.Datagram()
-	p := &pending{seq: c.nextSeq, payload: payload, frame: f}
+	var p *pending
+	if n := len(c.pfree); n > 0 {
+		p = c.pfree[n-1]
+		c.pfree[n-1] = nil
+		c.pfree = c.pfree[:n-1]
+		*p = pending{seq: c.nextSeq, payload: payload, frame: f}
+	} else {
+		p = &pending{seq: c.nextSeq, payload: payload, frame: f}
+	}
 	c.nextSeq++
 	Wire{Kind: KindData, Seq: p.seq, Payload: payload}.PushHeader(f)
 	c.queue = append(c.queue, p)
@@ -220,8 +276,9 @@ func (c *Conn) pump(now int64) {
 		p.sent = true
 		p.lastSent = now
 		p.lastPath = path
-		c.stats.Sent++
-		c.stats.PerPathData[path]++
+		c.stats.sent.Add(1)
+		c.stats.perPathData[path].Add(1)
+		c.met.sent.Inc()
 		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload, Frame: p.frame})
 	}
 }
@@ -246,12 +303,15 @@ func (c *Conn) Tick(now int64) {
 			continue
 		}
 		if path != p.lastPath {
-			c.stats.FailoverSends++
+			c.stats.failoverSends.Add(1)
+			c.met.failovers.Inc()
 		}
 		p.lastSent = now
 		p.lastPath = path
-		c.stats.Retransmits++
-		c.stats.PerPathData[path]++
+		p.resent = true
+		c.stats.retransmits.Add(1)
+		c.stats.perPathData[path].Add(1)
+		c.met.retransmits.Inc()
 		c.transmit(path, Wire{Kind: KindData, Seq: p.seq, Payload: p.payload, Frame: p.frame})
 	}
 	if c.ackOwed {
@@ -265,7 +325,8 @@ func (c *Conn) Tick(now int64) {
 func (c *Conn) flushAck(path int) {
 	c.unacked = 0
 	c.ackOwed = false
-	c.stats.AcksSent++
+	c.stats.acksSent.Add(1)
+	c.met.acksSent.Inc()
 	c.transmit(path, Wire{Kind: KindAck, Ack: c.recvNext - 1})
 }
 
@@ -283,9 +344,11 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 	case KindData:
 		fresh := false
 		if w.Seq < c.recvNext {
-			c.stats.Duplicates++
+			c.stats.duplicates.Add(1)
+			c.met.duplicates.Inc()
 		} else if _, dup := c.recvBuf[w.Seq]; dup {
-			c.stats.Duplicates++
+			c.stats.duplicates.Add(1)
+			c.met.duplicates.Inc()
 		} else {
 			fresh = true
 			if w.Frame != nil {
@@ -299,7 +362,8 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 				}
 				delete(c.recvBuf, c.recvNext)
 				c.recvNext++
-				c.stats.Delivered++
+				c.stats.delivered.Add(1)
+				c.met.delivered.Inc()
 				if c.deliver != nil {
 					c.deliver(slot.payload)
 				}
@@ -318,6 +382,7 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 			c.flushAck(path)
 		} else {
 			c.ackOwed = true
+			c.met.acksCoalesced.Inc()
 		}
 	case KindAck:
 		if w.Ack+1 <= c.sendBase {
@@ -330,12 +395,19 @@ func (c *Conn) OnWire(path int, w Wire, now int64) {
 				keep = append(keep, p)
 				continue
 			}
+			// A clean (never-retransmitted) ack is an unambiguous RTT
+			// sample; retransmitted datagrams are skipped, per Karn.
+			if p.sent && !p.resent {
+				c.met.rtt.Observe(now - p.lastSent)
+			}
 			// Acknowledged: drop the queue's frame reference so the pooled
-			// buffer can be reused once any in-flight copies drain.
+			// buffer can be reused once any in-flight copies drain, and
+			// recycle the pending record for future sends.
 			if p.frame != nil {
 				p.frame.Release()
-				p.frame = nil
 			}
+			*p = pending{}
+			c.pfree = append(c.pfree, p)
 		}
 		// Zero the tail so released datagrams can be collected.
 		for i := len(keep); i < len(c.queue); i++ {

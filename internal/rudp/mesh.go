@@ -66,14 +66,18 @@ func NewMesh(s *sim.Scheduler, net *sim.Network, nodes []string, cfg Config) (*M
 		}
 		m.addrs[a] = nics
 	}
+	reg := cfg.registry()
 	for _, a := range nodes {
 		m.conns[a] = make(map[string]*Conn)
+		// All of one node's conns share the node's telemetry series —
+		// per-conn series would be N² cardinality for no insight.
+		scope := reg.Node(a)
 		for _, b := range nodes {
 			if a == b {
 				continue
 			}
 			a, b := a, b
-			conn, err := NewConn(cfg,
+			conn, err := newConn(cfg, scope,
 				func(path int, w Wire) { m.transmit(a, b, path, w) },
 				func(payload []byte) { m.dispatch(a, b, payload) })
 			if err != nil {

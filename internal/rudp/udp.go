@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rain/internal/netbuf"
+	"rain/internal/telemetry"
 )
 
 // maxDatagram bounds one received UDP datagram (64 KiB, the protocol
@@ -44,6 +45,8 @@ type UDPNode struct {
 	deliver func([]byte)
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	batchSize *telemetry.Histogram // datagrams coalesced per socket batch
 }
 
 // outPkt is one staged outgoing datagram: marshaled bytes plus the frame
@@ -64,6 +67,8 @@ func NewUDPNode(locals []string, cfg Config, deliver func([]byte)) (*UDPNode, er
 	}
 	cfg.Paths = len(locals)
 	n := &UDPNode{cfg: cfg.withDefaults(), deliver: deliver, done: make(chan struct{}), start: time.Now()}
+	n.batchSize = n.cfg.registry().Root().Histogram(
+		"rudp.udp.batch_datagrams", "datagrams per coalesced same-path socket batch (sendmmsg)")
 	for _, addr := range locals {
 		ua, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
@@ -171,6 +176,7 @@ func (n *UDPNode) writeBatch(q []outPkt) {
 			bufs = append(bufs, p.buf)
 		}
 		sendBatch(n.socks[q[i].path], n.remotes[q[i].path], bufs)
+		n.batchSize.Observe(int64(j - i))
 		i = j
 	}
 	for i := range q {

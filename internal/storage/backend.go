@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"rain/internal/telemetry"
 )
 
 // UnknownSize marks an object whose original length was not recorded at
@@ -51,6 +54,7 @@ type Backend struct {
 	writes   int
 	stageSeq int
 	spare    [][]byte // retired shard buffers, recycled into new stages
+	met      *backendMetrics
 }
 
 // takeSpare pops a retired shard buffer for reuse, or returns nil.
@@ -81,19 +85,28 @@ type backendEntry struct {
 	blockLen int
 }
 
-// NewBackend returns an empty memory-backed backend.
-func NewBackend() *Backend {
-	return &Backend{shards: make(map[string]backendEntry)}
+// NewBackend returns an empty memory-backed backend. The optional telemetry
+// scope labels the backend's metric series (a platform passes per-node
+// scopes); omitted, metrics aggregate into the default registry's root.
+func NewBackend(scope ...*telemetry.Scope) *Backend {
+	return &Backend{shards: make(map[string]backendEntry), met: newBackendMetrics(first(scope))}
 }
 
 // NewFileBackend returns an empty backend storing shard bytes as one file
 // per object under dir (created if missing). Metadata stays in memory; shard
 // bytes live on disk, so stored objects do not occupy heap.
-func NewFileBackend(dir string) (*Backend, error) {
+func NewFileBackend(dir string, scope ...*telemetry.Scope) (*Backend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: file backend: %w", err)
 	}
-	return &Backend{dir: dir, shards: make(map[string]backendEntry)}, nil
+	return &Backend{dir: dir, shards: make(map[string]backendEntry), met: newBackendMetrics(first(scope))}, nil
+}
+
+func first(scopes []*telemetry.Scope) *telemetry.Scope {
+	if len(scopes) > 0 {
+		return scopes[0]
+	}
+	return nil
 }
 
 // shardPath maps an object id to its shard file. Hex encoding keeps any id
@@ -126,7 +139,12 @@ func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) 
 	}
 	if old, ok := b.shards[id]; ok {
 		b.keepSpare(old.shard)
+		b.met.bytes.Add(-old.shardLen)
+	} else {
+		b.met.objects.Inc()
 	}
+	b.met.bytes.Add(e.shardLen)
+	b.met.writes.Inc()
 	b.shards[id] = e
 	b.gen++
 	b.writes++
@@ -153,6 +171,7 @@ func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
 		return nil, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}
 	b.reads++
+	b.met.reads.Inc()
 	if b.dir == "" {
 		return append([]byte(nil), e.shard...), e.dataLen, nil
 	}
@@ -175,6 +194,7 @@ func (b *Backend) ReadAt(id string, p []byte, off int64) error {
 	e, ok := b.shards[id]
 	if ok && off == 0 {
 		b.reads++
+		b.met.reads.Inc()
 	}
 	b.mu.Unlock()
 	if !ok {
@@ -236,6 +256,9 @@ func (b *Backend) Delete(id string) {
 	b.keepSpare(e.shard)
 	delete(b.shards, id)
 	b.gen++
+	b.met.deletes.Inc()
+	b.met.objects.Dec()
+	b.met.bytes.Add(-e.shardLen)
 }
 
 // List returns info for every held shard, sorted by object id.
@@ -272,7 +295,9 @@ func (b *Backend) Wipe() {
 		if e.path != "" {
 			os.Remove(e.path)
 		}
+		b.met.bytes.Add(-e.shardLen)
 	}
+	b.met.objects.Add(-int64(len(b.shards)))
 	b.shards = make(map[string]backendEntry)
 	b.gen++
 }
@@ -282,11 +307,12 @@ func (b *Backend) Wipe() {
 // In a file-backed backend the bytes accumulate in a temporary file, so an
 // assembling daemon holds no more heap than one chunk.
 type Stage struct {
-	b   *Backend
-	buf []byte   // memory mode
-	f   *os.File // file mode
-	n   int64
-	err error
+	b        *Backend
+	buf      []byte   // memory mode
+	f        *os.File // file mode
+	n        int64
+	err      error
+	finished bool // staged-bytes gauge settled (committed or aborted)
 }
 
 // NewStage opens a streaming write. The caller must finish it with Commit or
@@ -324,6 +350,7 @@ func (s *Stage) Append(p []byte) error {
 		s.buf = append(s.buf, p...)
 	}
 	s.n += int64(len(p))
+	s.b.met.stagedBytes.Add(int64(len(p)))
 	return nil
 }
 
@@ -344,6 +371,11 @@ func (s *Stage) Len() int64 { return s.n }
 
 // Abort discards the stage and any bytes written.
 func (s *Stage) Abort() {
+	if !s.finished {
+		s.finished = true
+		s.b.met.stagedBytes.Add(-s.n)
+		s.b.met.stageAborts.Inc()
+	}
 	if s.f != nil {
 		name := s.f.Name()
 		s.f.Close()
@@ -366,6 +398,7 @@ func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) e
 	if s.err != nil {
 		return s.err
 	}
+	commitStart := time.Now()
 	e := backendEntry{shardLen: s.n, shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
 	if s.f != nil {
 		name := s.f.Name()
@@ -386,11 +419,20 @@ func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) e
 	b.mu.Lock()
 	if old, ok := b.shards[id]; ok {
 		b.keepSpare(old.shard)
+		b.met.bytes.Add(-old.shardLen)
+	} else {
+		b.met.objects.Inc()
 	}
 	b.shards[id] = e
 	b.gen++
 	b.writes++
 	b.mu.Unlock()
+	b.met.bytes.Add(e.shardLen)
+	b.met.writes.Inc()
+	b.met.commits.Inc()
+	s.finished = true
+	b.met.stagedBytes.Add(-s.n)
+	b.met.commitLatency.Observe(int64(time.Since(commitStart)))
 	s.err = fmt.Errorf("storage: stage already committed")
 	return nil
 }

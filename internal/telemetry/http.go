@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the debug surface for a registry and tracer:
+//
+//	/debug/metrics       Prometheus text exposition
+//	/debug/metrics.json  full registry snapshot as JSON
+//	/debug/traces?n=     most recent n traces as JSON (default 32)
+//
+// tr may be nil, in which case /debug/traces serves an empty array.
+func Handler(r *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		n := 32
+		if q := req.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if tr == nil {
+			w.Write([]byte("[]\n"))
+			return
+		}
+		tr.WriteJSON(w, n)
+	})
+	return mux
+}

@@ -1,0 +1,462 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exported family.
+const promPrefix = "rain_"
+
+// promName mangles a dotted registry name into a valid Prometheus metric
+// name: the rain_ prefix, then every byte outside [a-zA-Z0-9_] replaced
+// with '_'. Counters additionally get the conventional _total suffix.
+func promName(name string, kind Kind) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name) + 6)
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	n := b.String()
+	if kind == KindCounter && !strings.HasSuffix(n, "_total") {
+		n += "_total"
+	}
+	return n
+}
+
+// promLabelKey mangles a label key like promName (no prefix, no suffix) and
+// guards against a leading digit or empty key.
+func promLabelKey(key string) string {
+	var b strings.Builder
+	b.Grow(len(key) + 1)
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (c >= '0' && c <= '9' && i > 0) {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes a HELP string (backslash and newline only, per the
+// format).
+func promHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func writeLabels(w *bufio.Writer, pairs ...[2]string) {
+	open := false
+	for _, p := range pairs {
+		if p[0] == "" {
+			continue
+		}
+		if !open {
+			w.WriteByte('{')
+			open = true
+		} else {
+			w.WriteByte(',')
+		}
+		w.WriteString(promLabelKey(p[0]))
+		w.WriteString(`="`)
+		w.WriteString(promEscape(p[1]))
+		w.WriteByte('"')
+	}
+	if open {
+		w.WriteByte('}')
+	}
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Registry names are mangled via promName; families
+// whose mangled names collide are merged under first-wins typing, which the
+// naming scheme (DESIGN.md "Telemetry") avoids in practice.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool, len(snap.Families))
+	for _, f := range snap.Families {
+		name := promName(f.Name, kindFromString(f.Kind))
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, promHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "counter":
+				bw.WriteString(name)
+				writeLabels(bw, [2]string{s.LabelKey, s.LabelValue})
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(s.Counter, 10))
+				bw.WriteByte('\n')
+			case "gauge":
+				bw.WriteString(name)
+				writeLabels(bw, [2]string{s.LabelKey, s.LabelValue})
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(s.Gauge, 10))
+				bw.WriteByte('\n')
+			case "histogram":
+				h := s.Histogram
+				for _, b := range h.Buckets {
+					le := "+Inf"
+					if b.LE >= 0 {
+						le = strconv.FormatInt(b.LE, 10)
+					}
+					bw.WriteString(name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, [2]string{s.LabelKey, s.LabelValue}, [2]string{"le", le})
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(b.Count, 10))
+					bw.WriteByte('\n')
+				}
+				// The format requires the +Inf bucket even when empty.
+				if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].LE != -1 {
+					bw.WriteString(name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, [2]string{s.LabelKey, s.LabelValue}, [2]string{"le", "+Inf"})
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(h.Count, 10))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(name)
+				bw.WriteString("_sum")
+				writeLabels(bw, [2]string{s.LabelKey, s.LabelValue})
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(h.Sum, 10))
+				bw.WriteByte('\n')
+				bw.WriteString(name)
+				bw.WriteString("_count")
+				writeLabels(bw, [2]string{s.LabelKey, s.LabelValue})
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(h.Count, 10))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func kindFromString(s string) Kind {
+	switch s {
+	case "gauge":
+		return KindGauge
+	case "histogram":
+		return KindHistogram
+	}
+	return KindCounter
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples map[string]float64 // "<sample name>{sorted labels}" -> value
+}
+
+// ParsePromText parses and validates Prometheus text exposition output as
+// produced by WritePrometheus: every sample must belong to a declared TYPE,
+// samples must not repeat, histogram buckets must be cumulative and end at
+// +Inf matching _count. It exists so the CI smoke job and the round-trip
+// fuzzer can assert exported metrics are well-formed without a Prometheus
+// dependency.
+func ParsePromText(data []byte) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	// histogram bucket tracking: family -> labelset -> le -> count
+	buckets := make(map[string]map[string]map[float64]float64)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			if rest == line {
+				continue // bare comment
+			}
+			kind, rest, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			name, text, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "HELP":
+				_ = text
+			case "TYPE":
+				switch text {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: bad type %q", ln+1, text)
+				}
+				if fams[name] != nil {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+				}
+				fams[name] = &PromFamily{Name: name, Type: text, Samples: make(map[string]float64)}
+			default:
+				return nil, fmt.Errorf("line %d: unknown comment kind %q", ln+1, kind)
+			}
+			continue
+		}
+		sample, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		fam, base, le, isBucket := resolveFamily(fams, sample)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE", ln+1, sample)
+		}
+		key := sample + "{" + canonLabels(labels, "") + "}"
+		if _, dup := fam.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", ln+1, key)
+		}
+		fam.Samples[key] = value
+		if isBucket {
+			leStr, ok := labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("line %d: bucket without le label", ln+1)
+			}
+			leV, err := strconv.ParseFloat(leStr, 64)
+			if leStr == "+Inf" {
+				leV, err = float64(1<<63-1)*2, nil // sentinel above every finite bound
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad le %q", ln+1, leStr)
+			}
+			set := canonLabels(labels, "le")
+			if buckets[base] == nil {
+				buckets[base] = make(map[string]map[float64]float64)
+			}
+			if buckets[base][set] == nil {
+				buckets[base][set] = make(map[float64]float64)
+			}
+			buckets[base][set][leV] = value
+		}
+		_ = le
+	}
+	// Validate histogram bucket shape per label set.
+	for base, sets := range buckets {
+		for set, byLE := range sets {
+			les := make([]float64, 0, len(byLE))
+			for le := range byLE {
+				les = append(les, le)
+			}
+			sort.Float64s(les)
+			prev := -1.0
+			for _, le := range les {
+				if byLE[le] < prev {
+					return nil, fmt.Errorf("%s{%s}: bucket counts not cumulative", base, set)
+				}
+				prev = byLE[le]
+			}
+			inf, ok := byLE[float64(1<<63-1)*2]
+			if !ok {
+				return nil, fmt.Errorf("%s{%s}: missing +Inf bucket", base, set)
+			}
+			fam := fams[base]
+			countKey := base + "_count{" + set + "}"
+			if count, ok := fam.Samples[countKey]; ok && count != inf {
+				return nil, fmt.Errorf("%s{%s}: +Inf bucket %v != _count %v", base, set, inf, count)
+			}
+		}
+	}
+	return fams, nil
+}
+
+// resolveFamily maps a sample name to its declared family, handling the
+// histogram _bucket/_sum/_count suffixes.
+func resolveFamily(fams map[string]*PromFamily, sample string) (fam *PromFamily, base string, le float64, isBucket bool) {
+	if f := fams[sample]; f != nil && f.Type != "histogram" {
+		return f, sample, 0, false
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(sample, suf); ok {
+			if f := fams[b]; f != nil && f.Type == "histogram" {
+				return f, b, 0, suf == "_bucket"
+			}
+		}
+	}
+	if f := fams[sample]; f != nil {
+		return f, sample, 0, false
+	}
+	return nil, "", 0, false
+}
+
+// parsePromSample splits `name{k="v",...} value` into parts, unescaping
+// label values.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			k := rest[:eq]
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var b strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[1] {
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					case 'n':
+						b.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[1], line)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					closed = true
+					break
+				}
+				b.WriteByte(c)
+				rest = rest[1:]
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			if _, dup := labels[k]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", k, line)
+			}
+			if !validPromLabelKey(k) {
+				return "", nil, 0, fmt.Errorf("invalid label key %q in %q", k, line)
+			}
+			labels[k] = b.String()
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+				continue
+			}
+			if len(rest) > 0 && rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, 0, fmt.Errorf("malformed label list in %q", line)
+		}
+	} else {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp may follow the value; WritePrometheus never emits one.
+	valStr, _, _ := strings.Cut(rest, " ")
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", valStr, line)
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, labels, value, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' || (c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validPromLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonLabels renders labels (minus one excluded key) in sorted order for
+// use as a map key.
+func canonLabels(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}

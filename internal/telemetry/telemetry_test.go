@@ -1,0 +1,508 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Node("n1").Counter("layer.sub.events", "events")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same scope + name resolves to the same series; a different label is a
+	// distinct series of the same family.
+	if again := r.Node("n1").Counter("layer.sub.events", "events"); again != c {
+		t.Fatal("re-registration returned a different series")
+	}
+	r.Node("n2").Counter("layer.sub.events", "events").Add(7)
+
+	g := r.Root().Gauge("layer.sub.level", "level")
+	g.Add(10)
+	g.Dec()
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap.Families))
+	}
+	ev := snap.Families[0]
+	if ev.Name != "layer.sub.events" || ev.Kind != "counter" || len(ev.Series) != 2 {
+		t.Fatalf("unexpected family: %+v", ev)
+	}
+	if ev.Series[0].LabelValue != "n1" || ev.Series[0].Counter != 42 ||
+		ev.Series[1].LabelValue != "n2" || ev.Series[1].Counter != 7 {
+		t.Fatalf("unexpected series: %+v", ev.Series)
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Inc()
+	g.Dec()
+	g.Set(9)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+	var tracer *Tracer
+	tr := tracer.Start("op", "n", "o", 0)
+	tr.Event(1, "e", "", 0)
+	tr.Finish(2, nil)
+	if got := tracer.Snapshot(10); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Root().Counter("x.y", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Root().Gauge("x.y", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Root().Histogram("lat", "")
+	// Boundary samples: <=0 and 1 share the first bucket (le=1); powers of
+	// two land on their own bound; 2^40+1 overflows to +Inf.
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 5, 1 << 40, 1<<40 + 1} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+	hs := h.snapshot()
+	want := map[int64]uint64{ // le -> cumulative
+		1:       3, // -5, 0, 1
+		2:       4,
+		4:       6, // 3, 4
+		8:       7, // 5
+		1 << 40: 8,
+		-1:      9,
+	}
+	for _, b := range hs.Buckets {
+		if w, ok := want[b.LE]; ok && b.Count != w {
+			t.Fatalf("bucket le=%d count=%d, want %d (%+v)", b.LE, b.Count, w, hs.Buckets)
+		}
+	}
+	if hs.Buckets[len(hs.Buckets)-1].LE != -1 || hs.Buckets[len(hs.Buckets)-1].Count != 9 {
+		t.Fatalf("final bucket %+v, want +Inf cumulative 9", hs.Buckets[len(hs.Buckets)-1])
+	}
+	var wantSum int64
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 5, 1 << 40, 1<<40 + 1} {
+		wantSum += v
+	}
+	if hs.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", hs.Sum, wantSum)
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 1 || BucketBound(10) != 1024 || BucketBound(HistBuckets-2) != 1<<40 {
+		t.Fatal("unexpected finite bounds")
+	}
+	if BucketBound(HistBuckets-1) != -1 {
+		t.Fatal("final bound should be +Inf")
+	}
+}
+
+// TestHammerRace pounds one shared histogram and counter from GOMAXPROCS
+// writers while other goroutines take registry snapshots; run under -race
+// this is the data-race proof, and the final counts prove no update was
+// lost.
+func TestHammerRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Node("shared").Histogram("hammer.lat", "")
+	c := r.Node("shared").Counter("hammer.ops", "")
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ { // concurrent snapshotters
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap.Families) != 2 {
+					t.Errorf("families = %d", len(snap.Families))
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			for i := int64(0); i < perWriter; i++ {
+				h.Observe(seed + i)
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != uint64(writers*perWriter) {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := c.Value(); got != uint64(writers*perWriter) {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestSnapshotMonotone asserts counters and histogram buckets never move
+// backwards between snapshots taken while writers are running.
+func TestSnapshotMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Root().Histogram("mono.lat", "")
+	c := r.Root().Counter("mono.ops", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(i % 5000)
+				c.Inc()
+			}
+		}()
+	}
+	var lastCount, lastCtr uint64
+	lastBuckets := map[int64]uint64{}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		for _, f := range snap.Families {
+			switch f.Name {
+			case "mono.ops":
+				if v := f.Series[0].Counter; v < lastCtr {
+					t.Fatalf("counter went backwards: %d -> %d", lastCtr, v)
+				} else {
+					lastCtr = v
+				}
+			case "mono.lat":
+				hs := f.Series[0].Histogram
+				if hs.Count < lastCount {
+					t.Fatalf("histogram count went backwards: %d -> %d", lastCount, hs.Count)
+				}
+				lastCount = hs.Count
+				for _, b := range hs.Buckets {
+					if b.Count < lastBuckets[b.LE] {
+						t.Fatalf("bucket le=%d went backwards: %d -> %d", b.LE, lastBuckets[b.LE], b.Count)
+					}
+					lastBuckets[b.LE] = b.Count
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUpdateAllocs pins the hot-path contract: metric updates allocate
+// nothing.
+func TestUpdateAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Node("n").Counter("a.ops", "")
+	g := r.Node("n").Gauge("a.level", "")
+	h := r.Node("n").Histogram("a.lat", "")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(2)
+		g.Dec()
+		h.Observe(12345)
+	}); n != 0 {
+		t.Fatalf("metric updates allocated %.1f/op, want 0", n)
+	}
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Node("n1").Counter("rudp.conn.sent", "datagrams first transmitted").Add(100)
+	r.Node("n2").Counter("rudp.conn.sent", "datagrams first transmitted").Add(7)
+	r.Label("class", "512").Gauge("netbuf.pool.live", "frames out").Set(-2)
+	h := r.Node("n1").Histogram("dstore.client.put_latency_ns", "put latency")
+	h.Observe(900)
+	h.Observe(70_000)
+	r.Root().Counter("proc.zero", "registered but never bumped")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	fams, err := ParsePromText([]byte(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	want := map[string]string{
+		"rain_rudp_conn_sent_total":         "counter",
+		"rain_netbuf_pool_live":             "gauge",
+		"rain_dstore_client_put_latency_ns": "histogram",
+		"rain_proc_zero_total":              "counter", // zero-valued families still export
+	}
+	for name, typ := range want {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %s missing\n%s", name, text)
+		}
+		if f.Type != typ {
+			t.Fatalf("family %s type %s, want %s", name, f.Type, typ)
+		}
+	}
+	if v := fams["rain_rudp_conn_sent_total"].Samples[`rain_rudp_conn_sent_total{node="n1"}`]; v != 100 {
+		t.Fatalf("n1 sent = %v, want 100", v)
+	}
+	if v := fams["rain_dstore_client_put_latency_ns"].Samples[`rain_dstore_client_put_latency_ns_count{node="n1"}`]; v != 2 {
+		t.Fatalf("histogram count = %v, want 2", v)
+	}
+	if v := fams["rain_dstore_client_put_latency_ns"].Samples[`rain_dstore_client_put_latency_ns_sum{node="n1"}`]; v != 70_900 {
+		t.Fatalf("histogram sum = %v, want 70900", v)
+	}
+	if v := fams["rain_netbuf_pool_live"].Samples[`rain_netbuf_pool_live{class="512"}`]; v != -2 {
+		t.Fatalf("gauge = %v, want -2", v)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Label("node", "we\"ird\\name\nhere").Counter("esc.ops", "").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	f := fams["rain_esc_ops_total"]
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("family missing or wrong samples: %+v\n%s", f, b.String())
+	}
+	for k := range f.Samples {
+		if !strings.Contains(k, `\"ird\\name\nhere`) {
+			t.Fatalf("escaped label not round-tripped: %q", k)
+		}
+	}
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"rain_x_total 1\n", // sample without TYPE
+		"# TYPE rain_x counter\nrain_x 1\nrain_x 1\n", // duplicate sample
+		"# TYPE rain_h histogram\nrain_h_bucket{le=\"1\"} 2\nrain_h_bucket{le=\"+Inf\"} 1\nrain_h_count 1\nrain_h_sum 3\n", // non-cumulative
+		"# TYPE rain_h histogram\nrain_h_bucket{le=\"1\"} 1\nrain_h_count 1\nrain_h_sum 1\n",                               // missing +Inf
+		"# TYPE rain_x counter\nrain_x{node=\"a} 1\n",                                                                      // unterminated label
+		"# TYPE rain_x bogus\n", // bad type
+	}
+	for _, c := range cases {
+		if _, err := ParsePromText([]byte(c)); err == nil {
+			t.Fatalf("expected parse error for %q", c)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		h := tr.Start("put", "n1", fmt.Sprintf("obj-%d", i), int64(i*100))
+		h.Event(int64(i*100+10), "fanout", "n2", 3)
+		h.Finish(int64(i*100+50), nil)
+	}
+	snaps := tr.Snapshot(0)
+	if len(snaps) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(snaps))
+	}
+	if snaps[0].Object != "obj-5" || snaps[3].Object != "obj-2" {
+		t.Fatalf("wrong order/windows: %q ... %q", snaps[0].Object, snaps[3].Object)
+	}
+	if snaps[0].Seq != 6 || !snaps[0].Done || snaps[0].End != 550 {
+		t.Fatalf("unexpected head trace: %+v", snaps[0])
+	}
+	if len(snaps[0].Events) != 1 || snaps[0].Events[0].Name != "fanout" || snaps[0].Events[0].Peer != "n2" {
+		t.Fatalf("unexpected events: %+v", snaps[0].Events)
+	}
+	if got := tr.Snapshot(2); len(got) != 2 {
+		t.Fatalf("Snapshot(2) returned %d", len(got))
+	}
+
+	// Event cap: overflow counts as dropped.
+	h := tr.Start("get", "n1", "big", 0)
+	for i := 0; i < maxTraceEvents+5; i++ {
+		h.Event(int64(i), "block", "", int64(i))
+	}
+	h.Finish(999, nil)
+	head := tr.Snapshot(1)[0]
+	if len(head.Events) != maxTraceEvents || head.Dropped != 5 {
+		t.Fatalf("events=%d dropped=%d, want %d/5", len(head.Events), head.Dropped, maxTraceEvents)
+	}
+
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []TraceSnapshot
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("JSON traces = %d, want 3", len(decoded))
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Node("n1").Counter("h.ops", "").Add(5)
+	tr := NewTracer(8)
+	tr.Start("put", "n1", "o", 1).Finish(2, nil)
+	srv := httptest.NewServer(Handler(r, tr))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		return b.String()
+	}
+
+	if text := get("/debug/metrics"); !strings.Contains(text, `rain_h_ops_total{node="n1"} 5`) {
+		t.Fatalf("metrics text missing sample:\n%s", text)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/debug/metrics.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 1 || snap.Families[0].Series[0].Counter != 5 {
+		t.Fatalf("unexpected JSON snapshot: %+v", snap)
+	}
+	var traces []TraceSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/traces?n=1")), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Op != "put" {
+		t.Fatalf("unexpected traces: %+v", traces)
+	}
+}
+
+// FuzzPromText fuzzes the encoder→parser round trip: any registry contents,
+// including hostile label values and metric names, must encode to text the
+// validating parser accepts with matching values.
+func FuzzPromText(f *testing.F) {
+	f.Add("rudp.conn.sent", "node", "n1", uint64(100), int64(-3), int64(900), int64(1<<41))
+	f.Add("", "", "", uint64(0), int64(0), int64(0), int64(0))
+	f.Add("weird name\n", "0bad key", "va\"l\\ue\n", uint64(1<<63), int64(1<<62), int64(-1), int64(5))
+	f.Fuzz(func(t *testing.T, name, key, val string, c uint64, g int64, o1, o2 int64) {
+		r := NewRegistry()
+		s := r.Label(key, val)
+		// Distinct prefixes keep the three mangled names from colliding.
+		ctr := s.Counter("c."+name, "help\ntext\\")
+		for i := uint64(0); i < c%8; i++ {
+			ctr.Inc()
+		}
+		s.Gauge("g."+name, "").Set(g)
+		h := s.Histogram("h."+name, "")
+		h.Observe(o1)
+		h.Observe(o2)
+
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParsePromText([]byte(b.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, b.String())
+		}
+		if len(fams) != 3 {
+			t.Fatalf("parsed %d families, want 3\n%s", len(fams), b.String())
+		}
+		for _, fam := range fams {
+			var total float64
+			var found bool
+			for k, v := range fam.Samples {
+				switch {
+				case fam.Type == "counter":
+					total, found = v, true
+					_ = k
+				case fam.Type == "gauge":
+					total, found = v, true
+				case fam.Type == "histogram" && strings.Contains(k, "_count{"):
+					total, found = v, true
+				}
+			}
+			if !found {
+				t.Fatalf("family %s has no value sample", fam.Name)
+			}
+			switch fam.Type {
+			case "counter":
+				if total != float64(c%8) {
+					t.Fatalf("counter = %v, want %d", total, c%8)
+				}
+			case "gauge":
+				if total != float64(g) {
+					t.Fatalf("gauge = %v, want %d", total, g)
+				}
+			case "histogram":
+				if total != 2 {
+					t.Fatalf("histogram count = %v, want 2", total)
+				}
+			}
+		}
+		_ = math.MaxInt64
+	})
+}

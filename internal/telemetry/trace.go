@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// maxTraceEvents caps the events one trace retains; later events are
+// counted as dropped rather than grown without bound (a streaming get of a
+// huge object would otherwise record a span per block).
+const maxTraceEvents = 64
+
+// Tracer keeps the most recent traces in a fixed ring. Start is cheap (one
+// small allocation per traced op — client ops allocate session state anyway)
+// and nil-safe: a nil *Tracer yields nil *Trace handles whose methods are
+// no-ops, so call sites need no guards.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	pos  int
+	seq  uint64
+}
+
+// NewTracer builds a tracer retaining the last n traces (n <= 0 means 256).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = 256
+	}
+	return &Tracer{ring: make([]*Trace, n)}
+}
+
+var defaultTracer = NewTracer(0)
+
+// DefaultTracer returns the process-wide tracer used by standalone
+// binaries.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Start opens a trace for one operation. now is the caller's clock —
+// virtual nanoseconds in the sim, wall nanoseconds in a real process; all
+// event times in one trace share it.
+func (t *Tracer) Start(op, node, object string, now int64) *Trace {
+	if t == nil {
+		return nil
+	}
+	tr := &Trace{op: op, node: node, object: object, start: now}
+	t.mu.Lock()
+	t.seq++
+	tr.seq = t.seq
+	t.ring[t.pos] = tr
+	t.pos = (t.pos + 1) % len(t.ring)
+	t.mu.Unlock()
+	return tr
+}
+
+// Trace records timestamped span events for one operation.
+type Trace struct {
+	mu               sync.Mutex
+	seq              uint64
+	op, node, object string
+	start, end       int64
+	done             bool
+	err              string
+	events           []SpanEvent
+	dropped          int
+}
+
+// SpanEvent is one timestamped point within a trace.
+type SpanEvent struct {
+	T    int64  `json:"t_ns"` // same clock as the trace start
+	Name string `json:"name"`
+	Peer string `json:"peer,omitempty"` // remote node, when the event names one
+	Arg  int64  `json:"arg,omitempty"`  // event-specific scalar (bytes, index...)
+}
+
+// Event appends a span event. Nil-safe; events beyond maxTraceEvents are
+// counted, not stored.
+func (tr *Trace) Event(now int64, name, peer string, arg int64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if len(tr.events) >= maxTraceEvents {
+		tr.dropped++
+	} else {
+		tr.events = append(tr.events, SpanEvent{T: now, Name: name, Peer: peer, Arg: arg})
+	}
+	tr.mu.Unlock()
+}
+
+// Finish closes the trace. Nil-safe; the first call wins.
+func (tr *Trace) Finish(now int64, err error) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if !tr.done {
+		tr.done = true
+		tr.end = now
+		if err != nil {
+			tr.err = err.Error()
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// TraceSnapshot is the JSON form of one trace.
+type TraceSnapshot struct {
+	Seq     uint64      `json:"seq"`
+	Op      string      `json:"op"`
+	Node    string      `json:"node,omitempty"`
+	Object  string      `json:"object,omitempty"`
+	Start   int64       `json:"start_ns"`
+	End     int64       `json:"end_ns,omitempty"`
+	Done    bool        `json:"done"`
+	Err     string      `json:"err,omitempty"`
+	Dropped int         `json:"dropped_events,omitempty"`
+	Events  []SpanEvent `json:"events"`
+}
+
+// Snapshot returns up to n traces, newest first (n <= 0 means all
+// retained).
+func (t *Tracer) Snapshot(n int) []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	size := len(t.ring)
+	trs := make([]*Trace, 0, size)
+	for i := 1; i <= size; i++ {
+		if tr := t.ring[(t.pos-i+size)%size]; tr != nil {
+			trs = append(trs, tr)
+		}
+	}
+	t.mu.Unlock()
+	if n > 0 && len(trs) > n {
+		trs = trs[:n]
+	}
+	out := make([]TraceSnapshot, 0, len(trs))
+	for _, tr := range trs {
+		tr.mu.Lock()
+		snap := TraceSnapshot{
+			Seq: tr.seq, Op: tr.op, Node: tr.node, Object: tr.object,
+			Start: tr.start, End: tr.end, Done: tr.done, Err: tr.err,
+			Dropped: tr.dropped,
+			Events:  append([]SpanEvent(nil), tr.events...),
+		}
+		tr.mu.Unlock()
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WriteJSON writes up to n traces (newest first) as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot(n))
+}
