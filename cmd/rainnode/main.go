@@ -32,6 +32,15 @@
 //
 //	rainnode -local ... -remote ... -putobj movie -file movie.mp4
 //	rainnode -local ... -remote ... -getobj movie > copy.mp4
+//
+// With -elect, each end runs the leader-election engine over the channel and
+// logs leader transitions: the smaller -name leads while both ends hear each
+// other, the survivor takes over when the paths die, and leadership returns
+// at a higher epoch on heal — the signal the self-healing control loop keys
+// repairs off:
+//
+//	rainnode -local ... -remote ... -elect -name a -peer b
+//	rainnode -local ... -remote ... -elect -name b -peer a
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"rain/internal/dstore"
+	"rain/internal/election"
 	"rain/internal/netbuf"
 	"rain/internal/rudp"
 	"rain/internal/storage"
@@ -67,6 +77,9 @@ func main() {
 	file := flag.String("file", "", "input file for -putshard / -putobj")
 	out := flag.String("out", "", "output file for -getshard / -getobj (default: shard summary / stdout)")
 	debug := flag.String("debug", "", "listen address for the /debug telemetry surface (e.g. :6060)")
+	elect := flag.Bool("elect", false, "run a leader-election node over the channel, logging leader transitions")
+	name := flag.String("name", "", "this node's election identity (-elect)")
+	peer := flag.String("peer", "", "the remote end's election identity (-elect)")
 	flag.Parse()
 
 	if *local == "" || *remote == "" {
@@ -113,6 +126,10 @@ func main() {
 	go ch.dispatchLoop()
 	fmt.Println("rainnode up on", node.LocalAddrs(), "->", remotes)
 
+	if *elect {
+		runElection(ch, *name, *peer, *interval)
+		return
+	}
 	if *store {
 		runDaemon(ch, node, *shard, *interval)
 		return
@@ -240,6 +257,60 @@ func (c *udpChannel) dispatchLoop() {
 		c.mu.Unlock()
 		if h != nil {
 			h("remote", payload)
+		}
+	}
+}
+
+// electBacklogCap mirrors the simulated mesh's heartbeat backlog cap: the
+// channel is reliable, so heartbeats queued toward a dead peer would grow
+// without bound — skip beats while the queue is deep.
+const electBacklogCap = 8
+
+// runElection drives one election engine over the real-UDP channel: the
+// same heartbeat wire format and smallest-identity rule as the simulated
+// mesh, logging every leader transition as it happens — the mechanism a
+// deployed pair uses to decide which end coordinates repairs. Pull the
+// cables and the survivor takes over; heal them and the smaller identity
+// wins leadership back at a higher epoch.
+func runElection(ch *udpChannel, name, peer string, interval time.Duration) {
+	if name == "" || peer == "" {
+		fmt.Fprintln(os.Stderr, "-elect requires -name and -peer")
+		os.Exit(2)
+	}
+	var mu sync.Mutex
+	n := election.NewNode(name, []string{peer}, election.Config{})
+	n.OnLeaderChange(func(leader string, epoch uint64) {
+		fmt.Printf("%s leader transition: %s leads at epoch %d\n",
+			time.Now().Format(time.RFC3339Nano), leader, epoch)
+	})
+	// Heartbeats arrive on the dispatch goroutine while the tick loop runs
+	// here, so the engine is driven under one lock.
+	ch.Handle("local", election.Service, func(from string, payload []byte) {
+		if hb, ok := election.UnmarshalHeartbeat(payload); ok {
+			mu.Lock()
+			n.OnHeartbeat(hb, time.Now().UnixNano())
+			mu.Unlock()
+		}
+	})
+	fmt.Printf("election node %q up against %q\n", name, peer)
+	tick := time.NewTicker(20 * time.Millisecond)
+	report := time.NewTicker(interval)
+	defer tick.Stop()
+	defer report.Stop()
+	for {
+		select {
+		case <-tick.C:
+			mu.Lock()
+			hb := n.Tick(time.Now().UnixNano())
+			mu.Unlock()
+			if ch.node.Backlog() < electBacklogCap {
+				ch.SendService("local", "remote", election.Service, election.MarshalHeartbeat(hb))
+			}
+		case <-report.C:
+			mu.Lock()
+			leader, epoch := n.Leader(), n.Epoch()
+			mu.Unlock()
+			fmt.Printf("leader=%s epoch=%d backlog=%d\n", leader, epoch, ch.node.Backlog())
 		}
 	}
 }

@@ -71,6 +71,26 @@ type Options struct {
 	// in bytes (block × n per in-flight object); 0 takes the dstore
 	// default.
 	RebuildBudget int64
+	// Domains maps node -> failure-domain label (a rack): placement then
+	// keeps an object's shards in distinct domains when enough domains
+	// exist, so a correlated rack loss costs at most one shard per object.
+	Domains map[string]string
+	// Weights maps node -> relative capacity weight for placement (missing
+	// means 1): bigger nodes hold proportionally more shards.
+	Weights map[string]float64
+	// Standby names nodes (each must appear in the node list) provisioned
+	// powered-off: mesh endpoint stopped, no membership ring entry, absent
+	// from every client's placement universe. Platform.Join powers one up
+	// and admits it through the 911 mechanism.
+	Standby []string
+	// SelfHeal starts the autonomic control loop on every node: membership
+	// view changes refresh the local client's placement universe, and the
+	// elected leader — only the leader — drives a debounced rebalance that
+	// resigns cleanly on leadership loss. See selfheal.go.
+	SelfHeal bool
+	// RebalanceDebounce is how long the membership view must stay
+	// unchanged before the leader's self-heal pass fires (default 1s).
+	RebalanceDebounce time.Duration
 }
 
 func (o Options) withDefaults(nodes int) (Options, error) {
@@ -92,6 +112,9 @@ func (o Options) withDefaults(nodes int) (Options, error) {
 	if o.Code.N() > nodes {
 		return o, fmt.Errorf("core: code n=%d but cluster has only %d nodes", o.Code.N(), nodes)
 	}
+	if o.RebalanceDebounce == 0 {
+		o.RebalanceDebounce = time.Second
+	}
 	return o, nil
 }
 
@@ -107,8 +130,8 @@ type Platform struct {
 	Nodes     []string
 
 	Mesh       *rudp.Mesh
-	Membership *membership.Cluster
-	Election   *election.Cluster
+	Membership *membership.MeshCluster
+	Election   *election.MeshCluster
 	Store      *storage.Store
 	Backends   map[string]*storage.Backend
 	Daemons    map[string]*dstore.Daemon
@@ -123,6 +146,7 @@ type Platform struct {
 	Tracer    *telemetry.Tracer
 
 	servers map[string]*storage.Server
+	healers map[string]*selfHealer
 	opts    Options
 }
 
@@ -133,7 +157,29 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	if len(nodes) < 2 {
 		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", len(nodes))
 	}
-	opts, err := opts.withDefaults(len(nodes))
+	standby := make(map[string]bool, len(opts.Standby))
+	for _, sb := range opts.Standby {
+		known := false
+		for _, n := range nodes {
+			known = known || n == sb
+		}
+		if !known {
+			return nil, fmt.Errorf("core: standby node %q not in the node list", sb)
+		}
+		standby[sb] = true
+	}
+	active := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if !standby[n] {
+			active = append(active, n)
+		}
+	}
+	if len(active) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 active nodes, got %d", len(active))
+	}
+	// Code width and placement universes are sized to the nodes that start
+	// powered on; standbys enter the universe only when admitted.
+	opts, err := opts.withDefaults(len(active))
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +198,17 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	}
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(0)
-	mesh, err := rudp.NewMesh(s, net, nodes, rudp.Config{Paths: opts.Paths, Telemetry: reg})
+	// The default RUDP timers assume LAN latency. On slower links the ping
+	// round-trip alone would exceed PingTimeout and declare every path
+	// dead, stalling all traffic — scale the monitors and RTO with the
+	// configured delay (RTT plus jitter headroom).
+	rcfg := rudp.Config{Paths: opts.Paths, Telemetry: reg}
+	if rtt := 3 * opts.LinkDelay; rtt > 35*time.Millisecond {
+		rcfg.RTO = 2 * rtt
+		rcfg.PingInterval = rtt
+		rcfg.PingTimeout = 2 * rtt
+	}
+	mesh, err := rudp.NewMesh(s, net, nodes, rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -173,19 +229,52 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	// The positional direct-call frontend only fits a cluster exactly as
 	// wide as the code; wider clusters are placement-only.
 	var store *storage.Store
-	if opts.Code.N() == len(nodes) {
+	if len(opts.Standby) == 0 && opts.Code.N() == len(nodes) {
 		if store, err = storage.New(opts.Code, servers, opts.Policy, opts.Seed+1); err != nil {
 			return nil, err
 		}
 	}
-	mbr := membership.NewCluster(s, net, nodes, membership.Config{Detection: opts.Detection})
+	// Membership and election run as live services on the data mesh, not on
+	// private NICs. The stop-and-wait ack deadline must outlast the mesh's
+	// own retransmission timer, not just the round-trip: the transport is
+	// reliable, so a lost frame costs one RTO of latency, not delivery. An
+	// attempt deadline shorter than the RTO turns every single loss into a
+	// burned attempt — and three in a row into a false death vote, which
+	// the clients' view-based liveness filter then turns into unreadable
+	// objects sitting at bare quorum.
+	effRTO := rcfg.RTO
+	if effRTO == 0 {
+		effRTO = 40 * time.Millisecond // rudp's default
+	}
+	ackTimeout := 2*effRTO + 2*opts.LinkDelay + 10*time.Millisecond
+	mcfg := membership.MeshConfig{
+		Config:     membership.Config{Detection: opts.Detection},
+		AckTimeout: ackTimeout,
+	}
+	ecfg := election.Config{}
+	if opts.LinkDelay > 5*time.Millisecond {
+		// Slow links: pace the control loops with the latency so token
+		// rotation outruns the starve clock and a single retransmitted
+		// heartbeat doesn't read as a dead leader.
+		mcfg.HoldInterval = 2 * opts.LinkDelay
+		mcfg.StarveTimeout = 2 * time.Second
+		ecfg.Interval = 4 * opts.LinkDelay
+		ecfg.Timeout = 5 * ecfg.Interval
+	}
+	mbr := membership.NewMeshCluster(s, mesh, active, mcfg)
+	elect := election.NewMeshCluster(s, mesh, nodes, ecfg,
+		func(from, to string) int { return mesh.Conn(from, to).Backlog() })
+	for _, sb := range opts.Standby {
+		mbr.AddStandby(sb)
+		elect.Stop(sb)
+	}
 	p := &Platform{
 		Scheduler:  s,
 		Network:    net,
 		Nodes:      append([]string(nil), nodes...),
 		Mesh:       mesh,
 		Membership: mbr,
-		Election:   election.NewCluster(s, net, nodes, election.Config{}),
+		Election:   elect,
 		Store:      store,
 		Backends:   make(map[string]*storage.Backend),
 		Daemons:    make(map[string]*dstore.Daemon),
@@ -204,8 +293,11 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
 			Code: opts.Code,
 			// Placement mode: every object's n shard holders are chosen by
-			// rendezvous hashing over the whole cluster.
-			Nodes:         nodes,
+			// rendezvous hashing over the powered-on cluster, capacity-
+			// weighted and domain-spread when the options say so.
+			Nodes:         active,
+			Weights:       opts.Weights,
+			Domains:       opts.Domains,
 			Policy:        opts.Policy,
 			BlockSize:     opts.BlockSize,
 			RebuildBudget: opts.RebuildBudget,
@@ -229,6 +321,18 @@ func New(nodes []string, opts Options) (*Platform, error) {
 			return nil, err
 		}
 		p.Clients[n] = cl
+	}
+	// Standbys are provisioned dark: server down, mesh endpoint frozen.
+	// Platform.Join powers one up.
+	for _, sb := range opts.Standby {
+		p.servers[sb].SetDown(true)
+		mesh.StopNode(sb)
+	}
+	if opts.SelfHeal {
+		p.healers = make(map[string]*selfHealer, len(nodes))
+		for _, n := range nodes {
+			p.healers[n] = newSelfHealer(p, n)
+		}
 	}
 	// Periodic orphan sweep: transfer state abandoned by crashed clients is
 	// reclaimed on every daemon (the garbage-collection half of the put/get
@@ -352,6 +456,49 @@ func (p *Platform) Rebalance() (dstore.RebalanceStats, error) {
 	return cl.Rebalance()
 }
 
+// RebalanceAsync starts a reconciliation pass from a surviving node's client
+// and returns immediately; done fires in virtual time when the pass ends.
+// Mid-pass progress is visible through the rebalance.objects_total /
+// rebalance.objects_done gauges on the driving node's telemetry scope.
+func (p *Platform) RebalanceAsync(done func(dstore.RebalanceStats, error)) error {
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	cl.RebalanceAsync(nil, done)
+	return nil
+}
+
+// Join powers up a standby node and admits it to the running cluster through
+// seed's 911 mechanism (§3.3.2): the storage server comes up empty, the mesh
+// endpoint thaws, and the membership engine requests a ring slot. With
+// SelfHeal on, the resulting view change pulls the node into every placement
+// universe and the leader's next debounced pass moves shards onto it; without
+// it, the caller reshapes the universe by hand (SetNodes + Rebalance).
+func (p *Platform) Join(node, seed string) error {
+	srv := p.serverOf(node)
+	if srv == nil {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	srv.SetDown(false)
+	p.Mesh.StartNode(node)
+	p.Election.Restart(node)
+	p.Membership.Join(node, seed)
+	if h := p.healers[node]; h != nil {
+		h.arm()
+	}
+	return nil
+}
+
+// SelfHealStats reports a node's self-heal controller counters; zero when
+// the platform runs without SelfHeal.
+func (p *Platform) SelfHealStats(node string) SelfHealStats {
+	if h := p.healers[node]; h != nil {
+		return h.stats
+	}
+	return SelfHealStats{}
+}
+
 // Send queues a reliable datagram between two nodes over the bundled
 // RUDP paths.
 func (p *Platform) Send(from, to string, payload []byte) { p.Mesh.Send(from, to, payload) }
@@ -394,6 +541,13 @@ func (p *Platform) Recover(node string) error {
 	p.Membership.Restart(node)
 	p.Election.Restart(node)
 	p.Mesh.StartNode(node)
+	// A revived node may see no view change (its frozen ring can match the
+	// post-rejoin reality) and no leader transition (it always believed it
+	// led), so nudge its controller explicitly; the gate decides at fire
+	// time whether it really leads.
+	if h := p.healers[node]; h != nil {
+		h.arm()
+	}
 	return nil
 }
 

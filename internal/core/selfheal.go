@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/sim"
+	"rain/internal/telemetry"
+)
+
+// SelfHealStats counts what one node's self-heal controller has done.
+type SelfHealStats struct {
+	ViewChanges int // membership view changes observed
+	Passes      int // rebalance passes this node started as leader
+	Completed   int // passes that ran to the end
+	Yields      int // passes abandoned on leadership loss or crash
+	Failures    int // passes that died on a store error
+	Moves       dstore.RebalanceStats
+}
+
+// selfHealer is the per-node autonomic control loop of the tentpole: the
+// membership ring is the sensor, the elected leader is the actuator. Every
+// node reshapes its own client's placement universe on view changes; only
+// the node that currently holds leadership drives a rebalance, debounced so
+// a flapping link costs one pass per stable view, not one per flap. A
+// deposed leader's in-flight pass yields at the next task boundary via the
+// client's rebalance gate, and the new leader re-drives from scratch —
+// reconciliation is delta-exact, so completed moves are no-ops.
+type selfHealer struct {
+	p        *Platform
+	node     string
+	debounce time.Duration
+
+	timer   sim.Timer
+	running bool // a pass this node drives is in flight
+	rearm   bool // view moved (or leadership arrived) during that pass
+
+	stats SelfHealStats
+
+	viewChanges       *telemetry.Counter
+	leaderTransitions *telemetry.Counter
+	yields            *telemetry.Counter
+}
+
+func newSelfHealer(p *Platform, node string) *selfHealer {
+	scope := p.Telemetry.Node(node)
+	h := &selfHealer{
+		p:                 p,
+		node:              node,
+		debounce:          p.opts.RebalanceDebounce,
+		viewChanges:       scope.Counter("selfheal.view_changes", "membership view changes seen by the controller"),
+		leaderTransitions: scope.Counter("selfheal.leader_transitions", "leadership handovers seen by the controller"),
+		yields:            scope.Counter("selfheal.yields", "rebalance passes abandoned on leadership loss"),
+	}
+	p.Membership.Members[node].OnMembershipChange(h.onView)
+	p.Election.Members[node].OnLeaderChange(h.onLeader)
+	p.Clients[node].SetRebalanceGate(h.gate)
+	return h
+}
+
+// onView tracks the ring: the local client's placement universe follows the
+// consensus view (never shrinking below code width — losing quorum must not
+// wedge reads that could still succeed on the old universe), and the
+// debounce re-arms so the pass fires only once the view holds still.
+func (h *selfHealer) onView(view []string) {
+	h.stats.ViewChanges++
+	h.viewChanges.Inc()
+	if len(view) >= h.p.opts.Code.N() {
+		h.p.Clients[h.node].SetNodes(view)
+	}
+	h.arm()
+}
+
+// onLeader arms a pass whenever leadership lands here. A freshly elected
+// coordinator cannot know whether its predecessor's pass finished, so it
+// always re-drives; delta-exact reconciliation makes the overlap idempotent.
+func (h *selfHealer) onLeader(leader string, epoch uint64) {
+	h.leaderTransitions.Inc()
+	if leader == h.node {
+		h.arm()
+	}
+}
+
+// arm (re)starts the debounce clock, or defers to the running pass's done
+// callback, which re-arms when the ring moved under it.
+func (h *selfHealer) arm() {
+	if h.running {
+		h.rearm = true
+		return
+	}
+	h.timer.Stop()
+	h.timer = h.p.Scheduler.After(h.debounce, h.fire)
+}
+
+// gate is the client's per-task rebalance gate: a pass keeps driving moves
+// only while this node is up, still the leader, and the view can host a full
+// placement. Installed at construction, it also yields manual Rebalance
+// calls on a deposed node — the leader owns reconciliation, full stop.
+func (h *selfHealer) gate() bool {
+	if h.p.Mesh.Stopped(h.node) {
+		return false
+	}
+	if !h.p.Election.Members[h.node].IsLeader() {
+		return false
+	}
+	return len(h.p.Membership.Members[h.node].View()) >= h.p.opts.Code.N()
+}
+
+func (h *selfHealer) fire() {
+	if h.running || !h.gate() {
+		return // not the leader (or not serviceable): someone else's job
+	}
+	h.running = true
+	h.rearm = false
+	h.stats.Passes++
+	h.p.Clients[h.node].RebalanceAsync(nil, func(stats dstore.RebalanceStats, err error) {
+		h.running = false
+		h.stats.Moves.Objects += stats.Objects
+		h.stats.Moves.Moved += stats.Moved
+		h.stats.Moves.Rebuilt += stats.Rebuilt
+		h.stats.Moves.Deleted += stats.Deleted
+		again := h.rearm
+		switch {
+		case err == nil:
+			h.stats.Completed++
+		case errors.Is(err, dstore.ErrYielded):
+			h.stats.Yields++
+			h.yields.Inc()
+			// Deposed mid-pass: the new leader drives. If leadership comes
+			// back, onLeader re-arms us.
+		default:
+			h.stats.Failures++
+			again = true // transient store errors: retry after a debounce
+		}
+		h.rearm = false
+		if again {
+			h.arm()
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"rain/internal/ecc"
+)
+
+// selfHealPayload is a deterministic object body.
+func selfHealPayload(i, size int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(i*31 + j)
+	}
+	return b
+}
+
+// TestSelfHealFlappingDebounce flaps one node through three crash/recover
+// cycles on slow, lossy links (WAN envelope) and proves the debounce holds:
+// no rebalance pass fires while the membership view is churning, exactly one
+// fires once the view is stable again, and nothing fires after that. The
+// judge is the rebalance.passes counter in the registry — every pass any
+// client starts lands there.
+func TestSelfHealFlappingDebounce(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(nodes, Options{
+		Seed:      42,
+		Code:      code,
+		LinkDelay: 20 * time.Millisecond, // WAN-class latency
+		LinkLoss:  0.02,                  // lossy
+		SelfHeal:  true,
+		// Longer than any gap between flap-induced view changes (removal
+		// detection runs ~1.5s, rejoin up to ~4.5s on these links), shorter
+		// than the post-flap settle window.
+		RebalanceDebounce: 6 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects, size = 6, 8 << 10
+	for i := 0; i < objects; i++ {
+		if err := p.Put(fmt.Sprintf("obj-%d", i), selfHealPayload(i, size)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// A stable startup has no view or leadership changes, so the controller
+	// has nothing to arm: no pass fires.
+	p.Run(4 * time.Second)
+	passes0 := telemetryCounterTotal(p.Telemetry.Snapshot(), "rebalance.passes")
+	if passes0 != 0 {
+		t.Fatalf("baseline passes = %d, want 0 on a stable cluster", passes0)
+	}
+
+	// Flap n7: each crash and each recovery changes the view on every
+	// member. Advance until the change is actually observed so every gap
+	// between consecutive view changes stays inside the debounce window.
+	waitVC := func(want int) {
+		t.Helper()
+		for i := 0; i < 55; i++ {
+			if p.SelfHealStats("n1").ViewChanges >= want {
+				return
+			}
+			p.Run(100 * time.Millisecond)
+		}
+		t.Fatalf("view change %d never observed on n1", want)
+	}
+	vc := p.SelfHealStats("n1").ViewChanges
+	for i := 0; i < 3; i++ {
+		if err := p.Crash("n7"); err != nil {
+			t.Fatal(err)
+		}
+		vc++
+		waitVC(vc) // removal lands
+		if err := p.Recover("n7"); err != nil {
+			t.Fatal(err)
+		}
+		vc++
+		waitVC(vc) // rejoin lands
+	}
+	passesMid := telemetryCounterTotal(p.Telemetry.Snapshot(), "rebalance.passes")
+	if passesMid != passes0 {
+		t.Fatalf("passes went %d -> %d during flapping: debounce did not hold", passes0, passesMid)
+	}
+
+	// View stable again: exactly one pass per stable view.
+	p.Run(8 * time.Second)
+	passesEnd := telemetryCounterTotal(p.Telemetry.Snapshot(), "rebalance.passes")
+	if passesEnd != passesMid+1 {
+		t.Fatalf("passes went %d -> %d after settling, want exactly one more", passesMid, passesEnd)
+	}
+	// And only one: a long quiet stretch adds none.
+	p.Run(10 * time.Second)
+	if got := telemetryCounterTotal(p.Telemetry.Snapshot(), "rebalance.passes"); got != passesEnd {
+		t.Fatalf("passes went %d -> %d while idle", passesEnd, got)
+	}
+
+	if st := p.SelfHealStats("n1"); st.ViewChanges < 6 {
+		t.Fatalf("leader saw %d view changes across 3 flap cycles, want >= 6", st.ViewChanges)
+	}
+	for i := 0; i < objects; i++ {
+		got, err := p.Get(fmt.Sprintf("obj-%d", i))
+		if err != nil {
+			t.Fatalf("get %d after flapping: %v", i, err)
+		}
+		if !bytes.Equal(got, selfHealPayload(i, size)) {
+			t.Fatalf("object %d corrupted", i)
+		}
+	}
+}
+
+// TestSelfHealLeaderAssassinationSingleDriver kills a storage node to create
+// repair work, lets the elected leader start the rebalance, then kills the
+// leader mid-pass: the next identity must take over and be the only client
+// that ever drives a pass to completion, and the cluster must end fully
+// repaired with every object intact. Per-leader move counters make the
+// single-driver claim checkable.
+func TestSelfHealLeaderAssassinationSingleDriver(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+	code, err := ecc.NewBCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(nodes, Options{
+		Seed:     7,
+		Code:     code,
+		SelfHeal: true,
+		// Keep few objects in flight so the pass spans many scheduler
+		// steps and the mid-pass kill lands inside it.
+		RebuildBudget: 2 * 16 << 10 * 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objects, size = 40, 16 << 10
+	for i := 0; i < objects; i++ {
+		if err := p.Put(fmt.Sprintf("obj-%d", i), selfHealPayload(i, size)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	p.Run(time.Second)
+
+	// Kill a storage node: the view change arms the leader's debounced
+	// pass.
+	if err := p.Crash("n8"); err != nil {
+		t.Fatal(err)
+	}
+	started := false
+	for i := 0; i < 1000; i++ {
+		p.Run(5 * time.Millisecond)
+		if p.SelfHealStats("n1").Passes >= 1 {
+			started = true
+			break
+		}
+	}
+	if !started {
+		t.Fatal("leader n1 never started a rebalance pass")
+	}
+	if st := p.SelfHealStats("n1"); st.Completed != 0 {
+		t.Fatalf("pass completed within one 5ms step (Completed=%d); cannot test a mid-pass kill", st.Completed)
+	}
+	// Mid-pass progress is visible through the existing rebalance gauges on
+	// the driving node's scope.
+	snap := p.Telemetry.Snapshot()
+	if total := telemetrySeriesGauge(snap, "rebalance.objects_total", "n1"); total == 0 {
+		t.Fatal("rebalance.objects_total not visible mid-pass on the driving node")
+	}
+
+	// Assassinate the coordinator mid-pass.
+	if err := p.Crash("n1"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(10 * time.Second)
+
+	if st := p.SelfHealStats("n2"); st.Completed < 1 {
+		t.Fatalf("successor n2 never completed a pass: %+v", st)
+	} else if st.Moves.Moved+st.Moves.Rebuilt == 0 {
+		t.Fatalf("successor completed a pass without moving anything: %+v", st)
+	}
+	// Exactly one client ever drove a pass to completion.
+	for _, n := range nodes {
+		if n == "n2" {
+			continue
+		}
+		if st := p.SelfHealStats(n); st.Completed != 0 {
+			t.Fatalf("%s also completed %d passes: two drivers", n, st.Completed)
+		}
+	}
+
+	// Redundancy restored: a fresh reconciliation from the live leader
+	// finds zero objects needing work, and every object reads bit-exact.
+	leader := p.Leader("n2")
+	if leader != "n2" {
+		t.Fatalf("leader after assassination = %s, want n2", leader)
+	}
+	stats, err := p.Clients[leader].Rebalance()
+	if err != nil {
+		t.Fatalf("verification rebalance: %v", err)
+	}
+	if stats.Objects != 0 {
+		t.Fatalf("verification rebalance still found %d objects needing work", stats.Objects)
+	}
+	for i := 0; i < objects; i++ {
+		got, err := p.Get(fmt.Sprintf("obj-%d", i))
+		if err != nil {
+			t.Fatalf("get %d after repair: %v", i, err)
+		}
+		if !bytes.Equal(got, selfHealPayload(i, size)) {
+			t.Fatalf("object %d corrupted", i)
+		}
+	}
+}

@@ -52,6 +52,12 @@ var (
 	// ErrLongSource reports a streaming put whose reader kept delivering
 	// past the declared object length.
 	ErrLongSource = errors.New("dstore: source longer than declared length")
+	// ErrYielded reports a reconciliation pass that stopped early because
+	// the rebalance gate closed — the driving node resigned its coordinator
+	// role mid-pass. Completed moves stand (they are delta-exact); the new
+	// coordinator's pass re-derives the remaining work and re-driving done
+	// moves is a no-op.
+	ErrYielded = errors.New("dstore: rebalance pass yielded")
 )
 
 // Config parameterises a Client. Zero fields take the defaults above.
@@ -69,6 +75,15 @@ type Config struct {
 	// an arbitrarily wide cluster. SetNodes updates the view on membership
 	// change; Rebalance streams the shards whose target holder moved.
 	Nodes []string
+	// Weights maps node -> relative capacity weight for placement (missing
+	// or non-positive means 1). Only meaningful with Nodes; see
+	// placement.AssignSpec.
+	Weights map[string]float64
+	// Domains maps node -> failure-domain label (a rack). With enough
+	// domains in the universe, no two shards of an object land in one
+	// domain, so a correlated rack loss costs at most one shard per object.
+	// Only meaningful with Nodes.
+	Domains map[string]string
 	// Policy ranks daemons for retrieves (§4.2 selection freedom).
 	Policy storage.Policy
 	// Alive reports whether a peer is currently believed reachable —
@@ -137,8 +152,18 @@ type Client struct {
 	cfg  Config
 
 	// nodes is the current placement universe (nil in fixed-Peers mode);
-	// SetNodes swaps it on membership change.
+	// SetNodes swaps it on membership change. specs mirrors nodes with the
+	// configured weights and domains attached; it is non-nil only when the
+	// config actually sets either, so unconfigured clusters keep the exact
+	// unweighted Assign path.
 	nodes []string
+	specs []placement.Spec
+
+	// rebalGate, when set, is consulted before each reconciliation task: a
+	// false return yields the pass with ErrYielded. The self-healing
+	// controller points it at "still leader, view still serviceable" so a
+	// deposed coordinator stops driving moves mid-pass.
+	rebalGate func() bool
 
 	nextReq uint64
 	pending map[uint64]func(m Msg)
@@ -194,9 +219,26 @@ func NewClient(s *sim.Scheduler, mesh Mesh, node string, cfg Config) (*Client, e
 	if reg == nil {
 		reg = telemetry.Default()
 	}
+	c.rebuildSpecs()
 	c.met = newClientMetrics(reg.Node(node))
 	mesh.Handle(node, ServiceClient, c.onMessage)
 	return c, nil
+}
+
+// rebuildSpecs refreshes the weighted placement specs from the current node
+// universe; a no-op unless the config sets weights or domains.
+func (c *Client) rebuildSpecs() {
+	if len(c.cfg.Weights) == 0 && len(c.cfg.Domains) == 0 {
+		return
+	}
+	c.specs = c.specs[:0]
+	for _, node := range c.nodes {
+		c.specs = append(c.specs, placement.Spec{
+			Node:   node,
+			Weight: c.cfg.Weights[node],
+			Domain: c.cfg.Domains[node],
+		})
+	}
 }
 
 // nowNS is the client's clock as trace/histogram nanoseconds — virtual under
@@ -231,13 +273,26 @@ func (c *Client) SetNodes(nodes []string) error {
 	if len(nodes) < c.cfg.Code.N() {
 		return fmt.Errorf("dstore: %d nodes for an n=%d code", len(nodes), c.cfg.Code.N())
 	}
-	c.nodes = append([]string(nil), nodes...)
+	c.nodes = append(c.nodes[:0], nodes...)
+	c.rebuildSpecs()
 	return nil
 }
 
+// SetRebalanceGate installs the predicate RebalanceAsync consults before
+// each reconciliation task; nil (the default) keeps the gate always open.
+// See ErrYielded.
+func (c *Client) SetRebalanceGate(gate func() bool) { c.rebalGate = gate }
+
+// gateOpen reports whether reconciliation may keep driving moves.
+func (c *Client) gateOpen() bool { return c.rebalGate == nil || c.rebalGate() }
+
 // peersFor returns the object's shard holders in shard order: the rendezvous
-// placement over the node universe, or the fixed Peers list.
+// placement over the node universe (weighted and domain-constrained when the
+// config says so), or the fixed Peers list.
 func (c *Client) peersFor(id string) []string {
+	if len(c.specs) > 0 {
+		return placement.AssignSpec(id, c.specs, c.cfg.Code.N())
+	}
 	if len(c.nodes) > 0 {
 		return placement.Assign(id, c.nodes, c.cfg.Code.N())
 	}

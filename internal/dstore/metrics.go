@@ -44,6 +44,7 @@ type clientMetrics struct {
 	hedgesWon    *telemetry.Counter
 	creditStalls *telemetry.Counter
 
+	passes             *telemetry.Counter
 	repairDuration     *telemetry.Histogram
 	objectsTotal       *telemetry.Gauge
 	objectsDone        *telemetry.Gauge
@@ -66,6 +67,7 @@ func newClientMetrics(s *telemetry.Scope) *clientMetrics {
 		hedgesWon:    s.Counter("dstore.client.hedges_won", "hedged streams whose data fed a decode"),
 		creditStalls: s.Counter("dstore.client.credit_stalls", "stream pauses waiting for flow-control credit"),
 
+		passes:             s.Counter("rebalance.passes", "reconciliation passes started"),
 		repairDuration:     s.Histogram("rebalance.repair_duration_ns", "per-object shard repair duration (the MTTDL numerator)"),
 		objectsTotal:       s.Gauge("rebalance.objects_total", "objects in the current reconciliation pass"),
 		objectsDone:        s.Gauge("rebalance.objects_done", "objects reconciled so far in the current pass"),

@@ -471,8 +471,17 @@ type RebalanceStats struct {
 // graceful decommission. Their inventories are consulted, their shards
 // serve as copy sources (repair bandwidth 1 instead of k), and they are
 // emptied as their shards land on the new holders.
+// A pass is coordinator work: when a rebalance gate is installed
+// (SetRebalanceGate), it is consulted before each object and a closed gate
+// yields the rest of the pass with ErrYielded — committed moves stand, and
+// whoever drives next re-derives exactly the remaining delta.
 func (c *Client) RebalanceAsync(drain []string, done func(RebalanceStats, error)) {
 	var stats RebalanceStats
+	c.met.passes.Inc()
+	if !c.gateOpen() {
+		done(stats, ErrYielded)
+		return
+	}
 	universe := c.Universe()
 	sources := universe
 	for _, node := range drain {
@@ -499,6 +508,10 @@ func (c *Client) RebalanceAsync(drain []string, done func(RebalanceStats, error)
 		c.runTasks(len(jobs),
 			func(i int) int64 { return c.taskCost(jobs[i].e) },
 			func(i int, taskDone func(error)) {
+				if !c.gateOpen() {
+					taskDone(ErrYielded)
+					return
+				}
 				stats.Objects++
 				c.reconcileObject(jobs[i].id, jobs[i].e, &stats, taskDone)
 			},

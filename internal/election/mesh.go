@@ -1,0 +1,158 @@
+package election
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"rain/internal/sim"
+)
+
+// Service is the election protocol's name on the RUDP mesh service demux.
+const Service = "elect"
+
+// MeshTransport is the slice of the mesh the election driver needs. Both
+// *rudp.Mesh and the real-UDP channel in cmd/rainnode satisfy it.
+type MeshTransport interface {
+	Handle(node, service string, fn func(from string, payload []byte))
+	SendService(from, to, service string, payload []byte)
+}
+
+// MarshalHeartbeat encodes a heartbeat for a byte transport. Exposed so the
+// real-socket driver in cmd/rainnode speaks the same wire format as the
+// simulated mesh.
+func MarshalHeartbeat(hb Heartbeat) []byte {
+	b := binary.AppendUvarint(nil, hb.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(hb.From)))
+	b = append(b, hb.From...)
+	b = binary.AppendUvarint(b, uint64(len(hb.Leader)))
+	return append(b, hb.Leader...)
+}
+
+// UnmarshalHeartbeat decodes MarshalHeartbeat's format; ok is false for
+// malformed datagrams.
+func UnmarshalHeartbeat(p []byte) (hb Heartbeat, ok bool) {
+	next := func() (string, bool) {
+		n, used := binary.Uvarint(p)
+		if used <= 0 || uint64(len(p)-used) < n {
+			return "", false
+		}
+		s := string(p[used : used+int(n)])
+		p = p[used+int(n):]
+		return s, true
+	}
+	epoch, used := binary.Uvarint(p)
+	if used <= 0 {
+		return hb, false
+	}
+	p = p[used:]
+	hb.Epoch = epoch
+	if hb.From, ok = next(); !ok {
+		return hb, false
+	}
+	if hb.Leader, ok = next(); !ok {
+		return hb, false
+	}
+	return hb, true
+}
+
+// meshHeartbeatBacklog caps the per-peer conn backlog the driver will keep
+// heartbeating into. The mesh is reliable — datagrams to a dead peer queue
+// forever awaiting retransmission — so without a cap a long-dead peer would
+// accumulate one heartbeat per interval unboundedly, then be flooded with
+// stale epochs on revival. Skipped heartbeats cost nothing: a peer whose
+// queue is this deep has been unreachable for many intervals and has long
+// been voted out of the alive set.
+const meshHeartbeatBacklog = 8
+
+// MeshCluster drives election nodes over the RUDP mesh service demux: the
+// heartbeats ride the same reliable bundled connections as everything else,
+// with the backlog cap above standing in for the sim Cluster's fire-and-
+// forget datagrams.
+type MeshCluster struct {
+	S *sim.Scheduler
+
+	Members map[string]*Node
+
+	mesh    MeshTransport
+	stopped map[string]bool
+	cfg     Config
+	// Backlog reports queued-but-unacked datagrams from one node to
+	// another, used to stop heartbeating unreachable peers. nil disables
+	// the cap (a transport that drops instead of queueing doesn't need it).
+	backlog func(from, to string) int
+}
+
+// NewMeshCluster builds one election node per name on the mesh. backlog
+// (optional) reports the transport's queued datagrams toward a peer; see
+// meshHeartbeatBacklog.
+func NewMeshCluster(s *sim.Scheduler, mesh MeshTransport, names []string, cfg Config, backlog func(from, to string) int) *MeshCluster {
+	cfg = cfg.withDefaults()
+	c := &MeshCluster{
+		S:       s,
+		Members: make(map[string]*Node),
+		mesh:    mesh,
+		stopped: make(map[string]bool),
+		cfg:     cfg,
+		backlog: backlog,
+	}
+	for _, name := range names {
+		peers := make([]string, 0, len(names)-1)
+		for _, p := range names {
+			if p != name {
+				peers = append(peers, p)
+			}
+		}
+		name := name
+		n := NewNode(name, peers, cfg)
+		c.Members[name] = n
+		mesh.Handle(name, Service, func(from string, payload []byte) {
+			if c.stopped[name] {
+				return
+			}
+			if hb, ok := UnmarshalHeartbeat(payload); ok {
+				n.OnHeartbeat(hb, int64(s.Now()))
+			}
+		})
+		var loop func()
+		loop = func() {
+			if !c.stopped[name] {
+				hb := n.Tick(int64(s.Now()))
+				payload := MarshalHeartbeat(hb)
+				for _, p := range n.peers {
+					if c.backlog != nil && c.backlog(name, p) >= meshHeartbeatBacklog {
+						continue
+					}
+					mesh.SendService(name, p, Service, payload)
+				}
+			}
+			s.After(cfg.Interval, loop)
+		}
+		s.After(0, loop)
+	}
+	return c
+}
+
+// Stop freezes a node's engine: no heartbeats out, none processed. The
+// caller crashes the underlying mesh endpoint separately.
+func (c *MeshCluster) Stop(name string) { c.stopped[name] = true }
+
+// Restart unfreezes a stopped node; it rejoins the election as heartbeats
+// flow again.
+func (c *MeshCluster) Restart(name string) { c.stopped[name] = false }
+
+// Leaders returns the distinct leaders currently claimed by the given live
+// nodes, sorted.
+func (c *MeshCluster) Leaders(names []string) []string {
+	set := map[string]bool{}
+	for _, n := range names {
+		if !c.stopped[n] {
+			set[c.Members[n].Leader()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

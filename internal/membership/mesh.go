@@ -1,0 +1,259 @@
+package membership
+
+import (
+	"sort"
+	"time"
+
+	"rain/internal/sim"
+)
+
+// Service is the membership protocol's name on the RUDP mesh service demux:
+// tokens, 911s and probes share the nodes' bundled data connections instead
+// of a private NIC, which is how a deployed RAIN node runs (§2's "software
+// modules running in conjunction" — one transport, many services).
+const Service = "mbr"
+
+// MeshTransport is the slice of the mesh the membership driver needs. Both
+// *rudp.Mesh and the real-UDP channel in cmd/rainnode satisfy it.
+type MeshTransport interface {
+	Handle(node, service string, fn func(from string, payload []byte))
+	SendService(from, to, service string, payload []byte)
+}
+
+// MeshConfig parameterises a mesh-driven membership cluster.
+type MeshConfig struct {
+	Config
+	// AckTimeout is the per-attempt deadline of the stop-and-wait ack
+	// handshake layered on the mesh (default 25ms). The mesh retransmits on
+	// its own, but delivery to a dead or partitioned peer stalls forever —
+	// this timeout turns the stall into the protocol's failure-detection
+	// signal. Scale it with link latency: attempts slower than the RTT read
+	// as failures.
+	AckTimeout time.Duration
+	// Retries is how many times an unacked attempt is re-sent before the
+	// transport reports failure (default 2: three attempts in all).
+	Retries int
+}
+
+func (c MeshConfig) withDefaults() MeshConfig {
+	c.Config = c.Config.withDefaults()
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 25 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	return c
+}
+
+// meshTransport implements Transport for one node over the mesh service:
+// encode, send, and resend until the receiver's ack arrives or the retry
+// budget runs out.
+type meshTransport struct {
+	c      *MeshCluster
+	name   string
+	nextID uint64
+}
+
+func (t *meshTransport) Send(to string, msg any, done func(ok bool)) {
+	t.nextID++
+	id := t.nextID
+	payload := encodeMessage(id, msg)
+	key := t.name + "/" + itoa(id)
+	attempts := 0
+	finished := false
+	var attempt func()
+	attempt = func() {
+		if finished {
+			return
+		}
+		if attempts > t.c.cfg.Retries {
+			finished = true
+			delete(t.c.acks, key)
+			done(false)
+			return
+		}
+		attempts++
+		t.c.mesh.SendService(t.name, to, Service, payload)
+		t.c.S.After(t.c.cfg.AckTimeout, attempt)
+	}
+	t.c.acks[key] = func() {
+		if !finished {
+			finished = true
+			done(true)
+		}
+	}
+	attempt()
+}
+
+// MeshCluster drives membership nodes over the RUDP mesh service demux —
+// the live-service counterpart of the NIC-per-protocol Cluster. Stop and
+// Restart only freeze the engines; cutting the node's links is the mesh
+// owner's business (core.Platform crashes a node by stopping the whole mesh
+// endpoint).
+type MeshCluster struct {
+	S *sim.Scheduler
+
+	Members map[string]*Node
+
+	mesh       MeshTransport
+	cfg        MeshConfig
+	transports map[string]*meshTransport
+	stopped    map[string]bool
+	acks       map[string]func()
+	processed  map[string]map[string]bool // receiver -> sender#id dedup
+}
+
+// NewMeshCluster builds nodes for every name (in initial ring order) on the
+// mesh, wires transports and tick loops, and hands the initial token to
+// names[0].
+func NewMeshCluster(s *sim.Scheduler, mesh MeshTransport, names []string, cfg MeshConfig) *MeshCluster {
+	c := &MeshCluster{
+		S:          s,
+		Members:    make(map[string]*Node),
+		mesh:       mesh,
+		cfg:        cfg.withDefaults(),
+		transports: make(map[string]*meshTransport),
+		stopped:    make(map[string]bool),
+		acks:       make(map[string]func()),
+		processed:  make(map[string]map[string]bool),
+	}
+	for _, name := range names {
+		c.addNode(name, names)
+	}
+	c.Members[names[0]].StartWithToken(int64(s.Now()))
+	return c
+}
+
+func (c *MeshCluster) addNode(name string, ring []string) *Node {
+	tr := &meshTransport{c: c, name: name}
+	n := NewNode(name, ring, c.cfg.Config, tr)
+	c.Members[name] = n
+	c.transports[name] = tr
+	c.processed[name] = make(map[string]bool)
+	c.mesh.Handle(name, Service, func(from string, payload []byte) { c.onFrame(name, from, payload) })
+	var loop func()
+	loop = func() {
+		if !c.stopped[name] {
+			n.Tick(int64(c.S.Now()))
+		}
+		c.S.After(c.cfg.HoldInterval/2, loop)
+	}
+	c.S.After(0, loop)
+	return n
+}
+
+func (c *MeshCluster) onFrame(name, from string, payload []byte) {
+	if c.stopped[name] {
+		return
+	}
+	id, ack, msg, ok := decodeMessage(payload)
+	if !ok {
+		return
+	}
+	if ack {
+		key := name + "/" + itoa(id)
+		if fn, ok := c.acks[key]; ok {
+			delete(c.acks, key)
+			fn()
+		}
+		return
+	}
+	// Acknowledge every arrival (the sender may be retrying because our
+	// previous ack was lost), but process each (sender, id) only once.
+	c.mesh.SendService(name, from, Service, encodeAck(id))
+	seen := c.processed[name]
+	dedupKey := from + "#" + itoa(id)
+	if seen[dedupKey] {
+		return
+	}
+	seen[dedupKey] = true
+	c.Members[name].HandleMessage(from, msg, int64(c.S.Now()))
+}
+
+// AddStandby provisions a powered-off node: its engine and mesh handler
+// exist (ring of one, no token, frozen) so it can later Join a running
+// cluster without rebuilding the mesh.
+func (c *MeshCluster) AddStandby(name string) *Node {
+	n := c.addNode(name, []string{name})
+	c.stopped[name] = true
+	return n
+}
+
+// Join powers a node up (a standby, or a brand-new addNode) and requests
+// membership through seed (§3.3.2), retrying while not yet admitted.
+func (c *MeshCluster) Join(name, seed string) *Node {
+	n := c.Members[name]
+	if n == nil {
+		n = c.addNode(name, []string{name})
+	}
+	c.stopped[name] = false
+	n.Join(seed, int64(c.S.Now()))
+	var retry func()
+	retry = func() {
+		if !c.stopped[name] && n.LocalSeq() == 0 {
+			n.Join(seed, int64(c.S.Now()))
+		}
+		if n.LocalSeq() == 0 {
+			c.S.After(c.cfg.StarveTimeout, retry)
+		}
+	}
+	c.S.After(c.cfg.StarveTimeout, retry)
+	return n
+}
+
+// Stop freezes a node's engine: no ticks, no reception. The caller crashes
+// the underlying mesh endpoint separately.
+func (c *MeshCluster) Stop(name string) { c.stopped[name] = true }
+
+// Restart unfreezes a stopped node; its stale protocol state is reconciled
+// by the 911 rejoin path.
+func (c *MeshCluster) Restart(name string) { c.stopped[name] = false }
+
+// Alive lists nodes not currently stopped, sorted.
+func (c *MeshCluster) Alive() []string {
+	var out []string
+	for n := range c.Members {
+		if !c.stopped[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConsensusView returns the membership set every live node agrees on, or
+// ok=false if live nodes disagree.
+func (c *MeshCluster) ConsensusView() (view []string, ok bool) {
+	var ref []string
+	for _, name := range c.Alive() {
+		v := c.Members[name].View()
+		sort.Strings(v)
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if len(v) != len(ref) {
+			return nil, false
+		}
+		for i := range v {
+			if v[i] != ref[i] {
+				return nil, false
+			}
+		}
+	}
+	return ref, true
+}
+
+// TokenHolders returns the live nodes currently holding a token (at most
+// one in a connected cluster).
+func (c *MeshCluster) TokenHolders() []string {
+	var out []string
+	for _, name := range c.Alive() {
+		if c.Members[name].HasToken() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rain/internal/rudp"
+	"rain/internal/sim"
+)
+
+func meshFixture(t *testing.T, names []string, cfg MeshConfig) (*sim.Scheduler, *rudp.Mesh, *MeshCluster) {
+	t.Helper()
+	s := sim.New(11)
+	net := sim.NewNetwork(s)
+	sim.ApplyProfile(net, names, 2, sim.ProfileLAN)
+	mesh, err := rudp.NewMesh(s, net, names, rudp.Config{Paths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mesh, NewMeshCluster(s, mesh, names, cfg)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []any{
+		&Token{Seq: 42, Ring: []string{"a", "b", "c"}, Failures: map[string]int{"b": 1}, Payload: []byte("state")},
+		&Token{Seq: 1, Ring: []string{"solo"}},
+		&Nine11{Requester: "x", ReqSeq: 7, Visited: []string{"x", "y"}, Failed: []string{"z"}},
+		&Approve911{ReqSeq: 7, Failed: []string{"z"}},
+		&Probe{From: "p", Seq: 9},
+	}
+	for _, msg := range msgs {
+		id, ack, got, ok := decodeMessage(encodeMessage(77, msg))
+		if !ok || ack || id != 77 {
+			t.Fatalf("%T: decode id=%d ack=%v ok=%v", msg, id, ack, ok)
+		}
+		if tok, isTok := msg.(*Token); isTok && tok.Failures == nil {
+			// nil and empty Failures encode identically; normalise.
+			got.(*Token).Failures = nil
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("%T round trip: sent %+v got %+v", msg, msg, got)
+		}
+	}
+	id, ack, _, ok := decodeMessage(encodeAck(5))
+	if !ok || !ack || id != 5 {
+		t.Fatalf("ack round trip: id=%d ack=%v ok=%v", id, ack, ok)
+	}
+	for _, junk := range [][]byte{nil, {99}, {wireToken}, {wireNine11, 0x80}} {
+		if _, _, _, ok := decodeMessage(junk); ok {
+			t.Fatalf("decoded junk %v", junk)
+		}
+	}
+}
+
+// TestMeshClusterConsensus runs the ring as a live mesh service: all nodes
+// converge on one view with a single circulating token.
+func TestMeshClusterConsensus(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	s, _, c := meshFixture(t, names, MeshConfig{})
+	s.RunFor(2 * time.Second)
+	view, ok := c.ConsensusView()
+	if !ok || len(view) != len(names) {
+		t.Fatalf("no consensus on full ring: %v ok=%v", view, ok)
+	}
+	if h := c.TokenHolders(); len(h) > 1 {
+		t.Fatalf("multiple token holders: %v", h)
+	}
+}
+
+// TestMeshClusterCrashAndRejoin crashes a node at the mesh level (endpoint
+// stopped, links cut), expects the survivors to excise it, then revives it
+// and expects the 911 rejoin to readmit it.
+func TestMeshClusterCrashAndRejoin(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	s, mesh, c := meshFixture(t, names, MeshConfig{})
+	s.RunFor(time.Second)
+
+	c.Stop("d")
+	mesh.StopNode("d")
+	s.RunFor(3 * time.Second)
+	view, ok := c.ConsensusView()
+	if !ok || len(view) != 4 {
+		t.Fatalf("survivors did not converge on 4 nodes: %v ok=%v", view, ok)
+	}
+	for _, v := range view {
+		if v == "d" {
+			t.Fatalf("dead node still in view %v", view)
+		}
+	}
+
+	mesh.StartNode("d")
+	c.Restart("d")
+	s.RunFor(5 * time.Second)
+	view, ok = c.ConsensusView()
+	if !ok || len(view) != 5 {
+		t.Fatalf("revived node did not rejoin: %v ok=%v", view, ok)
+	}
+}
+
+// TestMeshClusterStandbyJoin provisions a powered-off node, joins it through
+// a seed member, and expects the whole ring to admit it.
+func TestMeshClusterStandbyJoin(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "standby"}
+	s := sim.New(12)
+	net := sim.NewNetwork(s)
+	sim.ApplyProfile(net, names, 2, sim.ProfileLAN)
+	mesh, err := rudp.NewMesh(s, net, names, rudp.Config{Paths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewMeshCluster(s, mesh, names[:4], MeshConfig{})
+	c.AddStandby("standby")
+	mesh.StopNode("standby")
+	s.RunFor(time.Second)
+	if view, ok := c.ConsensusView(); !ok || len(view) != 4 {
+		t.Fatalf("pre-join consensus: %v ok=%v", view, ok)
+	}
+
+	mesh.StartNode("standby")
+	c.Join("standby", "b")
+	s.RunFor(5 * time.Second)
+	view, ok := c.ConsensusView()
+	if !ok || len(view) != 5 {
+		t.Fatalf("standby did not join: %v ok=%v", view, ok)
+	}
+}

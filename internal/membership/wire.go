@@ -1,0 +1,182 @@
+package membership
+
+import "encoding/binary"
+
+// Wire codec for running the membership protocol over a byte transport (the
+// RUDP mesh service demux, real UDP sockets). The simulator's Cluster passes
+// Go values directly; everything else speaks this hand-rolled binary format:
+// a one-byte message kind, the uvarint envelope id of the stop-and-wait ack
+// handshake, then the body fields as uvarints and length-prefixed strings.
+
+// Message kinds on the wire.
+const (
+	wireAck = iota
+	wireToken
+	wireNine11
+	wireApprove
+	wireProbe
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// wireReader consumes the encoded fields; any malformation sets bad and
+// every later read returns zero values, so decoders need a single check.
+type wireReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *wireReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) string() string {
+	n := r.uvarint()
+	if r.bad || uint64(len(r.b)) < n {
+		r.bad = true
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *wireReader) strings() []string {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.b)) { // each string costs >= 1 byte
+		r.bad = true
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n && !r.bad; i++ {
+		out = append(out, r.string())
+	}
+	return out
+}
+
+func (r *wireReader) bytes() []byte {
+	n := r.uvarint()
+	if r.bad || uint64(len(r.b)) < n {
+		r.bad = true
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return out
+}
+
+// encodeAck encodes the acknowledgement for envelope id.
+func encodeAck(id uint64) []byte {
+	return binary.AppendUvarint([]byte{wireAck}, id)
+}
+
+// encodeMessage encodes a protocol message under envelope id.
+func encodeMessage(id uint64, msg any) []byte {
+	switch m := msg.(type) {
+	case *Token:
+		b := binary.AppendUvarint([]byte{wireToken}, id)
+		b = binary.AppendUvarint(b, m.Seq)
+		b = appendStrings(b, m.Ring)
+		b = binary.AppendUvarint(b, uint64(len(m.Failures)))
+		for _, node := range sortedKeys(m.Failures) {
+			b = appendString(b, node)
+			b = binary.AppendUvarint(b, uint64(m.Failures[node]))
+		}
+		return appendBytes(b, m.Payload)
+	case *Nine11:
+		b := binary.AppendUvarint([]byte{wireNine11}, id)
+		b = appendString(b, m.Requester)
+		b = binary.AppendUvarint(b, m.ReqSeq)
+		b = appendStrings(b, m.Visited)
+		return appendStrings(b, m.Failed)
+	case *Approve911:
+		b := binary.AppendUvarint([]byte{wireApprove}, id)
+		b = binary.AppendUvarint(b, m.ReqSeq)
+		return appendStrings(b, m.Failed)
+	case *Probe:
+		b := binary.AppendUvarint([]byte{wireProbe}, id)
+		b = appendString(b, m.From)
+		return binary.AppendUvarint(b, m.Seq)
+	}
+	panic("membership: unknown wire message")
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: maps are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// decodeMessage decodes an envelope. ack is true for acknowledgements (msg
+// is nil); ok is false for malformed datagrams.
+func decodeMessage(b []byte) (id uint64, ack bool, msg any, ok bool) {
+	if len(b) < 1 {
+		return 0, false, nil, false
+	}
+	kind := b[0]
+	r := &wireReader{b: b[1:]}
+	id = r.uvarint()
+	switch kind {
+	case wireAck:
+		return id, true, nil, !r.bad
+	case wireToken:
+		t := &Token{Seq: r.uvarint(), Ring: r.strings()}
+		if n := r.uvarint(); n > 0 && !r.bad {
+			t.Failures = make(map[string]int, n)
+			for i := uint64(0); i < n && !r.bad; i++ {
+				node := r.string()
+				t.Failures[node] = int(r.uvarint())
+			}
+		}
+		t.Payload = r.bytes()
+		return id, false, t, !r.bad
+	case wireNine11:
+		m := &Nine11{Requester: r.string(), ReqSeq: r.uvarint()}
+		m.Visited = r.strings()
+		m.Failed = r.strings()
+		return id, false, m, !r.bad
+	case wireApprove:
+		m := &Approve911{ReqSeq: r.uvarint()}
+		m.Failed = r.strings()
+		return id, false, m, !r.bad
+	case wireProbe:
+		m := &Probe{From: r.string(), Seq: r.uvarint()}
+		return id, false, m, !r.bad
+	}
+	return 0, false, nil, false
+}

@@ -17,6 +17,8 @@
 // bounds.
 package placement
 
+import "math"
+
 // fnv1a64 is the 64-bit FNV-1a hash of the concatenated byte strings. It is
 // the placement hash: stable across processes and architectures (unlike
 // hash/maphash), cheap, and well-mixed enough for load spreading once
@@ -94,7 +96,121 @@ func Assign(id string, nodes []string, n int) []string {
 	return out
 }
 
-// ShardOf returns the shard index node holds for the object under the given
+// Spec describes one node of the placement universe for AssignSpec: its
+// relative capacity weight and its failure-domain label.
+type Spec struct {
+	Node string
+	// Weight is the node's relative capacity; placements land on a node in
+	// proportion to it. Zero or negative means 1 (the unweighted default).
+	Weight float64
+	// Domain is the node's failure-domain label (a rack, a chassis, a
+	// site). Empty means the node is a domain of its own.
+	Domain string
+}
+
+// domain returns the spec's effective failure-domain key.
+func (s Spec) domain() string {
+	if s.Domain != "" {
+		return s.Domain
+	}
+	return s.Node
+}
+
+// straw converts a rendezvous score into a CRUSH-style straw2 draw: the
+// score becomes a uniform u in (0,1] and the straw is ln(u)/weight, so a
+// node wins each draw with probability proportional to its weight and — the
+// property straw2 exists for — changing one node's weight only moves
+// placements between that node and the rest, never between two bystanders.
+// Straws are negative; the largest (closest to zero) wins.
+func straw(score uint64, weight float64) float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	u := (float64(score) + 1) / (1 << 63) / 2 // (0,1], avoids ln(0)
+	return math.Log(u) / weight
+}
+
+// AssignSpec is Assign over a weighted universe with failure domains:
+// AssignSpec(id, specs, n)[i] is the node that holds shard i. Nodes win
+// shards by straw2 draws (capacity-proportional), and no failure domain
+// holds more than ceil(n/domains) shards of one object — with enough
+// domains, no two shards of an object share a rack, so a correlated rack
+// loss costs at most ceil(n/domains) shards per object. Ties (straw, then
+// raw score, then name) make the result deterministic in the spec *set*,
+// and a universe of all-default specs reproduces Assign exactly: with equal
+// weights the straw order is the score order, and one-node-per-domain caps
+// every domain at one shard, which is Assign's distinct-holder rule.
+//
+// When the cap is infeasible for some shard (a domain has fewer nodes than
+// its cap allows, leaving only capped domains), the constraint is relaxed
+// deterministically: the shard goes to the best-straw node among those in
+// the least-loaded domains, so the object is still fully placed and the
+// overflow is spread as evenly as the universe permits.
+func AssignSpec(id string, specs []Spec, n int) []string {
+	if n <= 0 || len(specs) < n {
+		return nil
+	}
+	domains := make(map[string]int, len(specs)) // domain -> shards placed
+	for _, s := range specs {
+		domains[s.domain()] = 0
+	}
+	capPer := (n + len(domains) - 1) / len(domains)
+	taken := make([]bool, len(specs))
+	out := make([]string, n)
+	for shard := 0; shard < n; shard++ {
+		pick := func(capped bool) int {
+			best := -1
+			var bestStraw float64
+			var bestScore uint64
+			for j, s := range specs {
+				if taken[j] {
+					continue
+				}
+				if capped && domains[s.domain()] >= capPer {
+					continue
+				}
+				w := Score(id, shard, s.Node)
+				st := straw(w, s.Weight)
+				if best < 0 || st > bestStraw ||
+					(st == bestStraw && (w > bestScore || (w == bestScore && s.Node < specs[best].Node))) {
+					best, bestStraw, bestScore = j, st, w
+				}
+			}
+			return best
+		}
+		best := pick(true)
+		if best < 0 {
+			// Every un-taken node sits in a capped domain: relax to the
+			// least-loaded domains and draw among their nodes.
+			minLoad := n + 1
+			for j, s := range specs {
+				if !taken[j] && domains[s.domain()] < minLoad {
+					minLoad = domains[s.domain()]
+				}
+			}
+			best = -1
+			var bestStraw float64
+			var bestScore uint64
+			for j, s := range specs {
+				if taken[j] || domains[s.domain()] != minLoad {
+					continue
+				}
+				w := Score(id, shard, s.Node)
+				st := straw(w, s.Weight)
+				if best < 0 || st > bestStraw ||
+					(st == bestStraw && (w > bestScore || (w == bestScore && s.Node < specs[best].Node))) {
+					best, bestStraw, bestScore = j, st, w
+				}
+			}
+		}
+		taken[best] = true
+		domains[specs[best].domain()]++
+		out[shard] = specs[best].Node
+	}
+	return out
+}
+
+// ShardOf returns the shard index node holds for the given
 // placement, or -1 when the node is not in it.
 func ShardOf(place []string, node string) int {
 	for i, p := range place {

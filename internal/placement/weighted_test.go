@@ -1,0 +1,201 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+// specSet builds m default specs (weight 1, own domain) over nodeSet(m).
+func specSet(m int) []Spec {
+	nodes := nodeSet(m)
+	specs := make([]Spec, m)
+	for i, n := range nodes {
+		specs[i] = Spec{Node: n}
+	}
+	return specs
+}
+
+// TestAssignSpecDefaultMatchesAssign pins the backward-compatibility
+// contract: an all-default spec universe must reproduce Assign exactly,
+// shard for shard, so switching a cluster to the weighted path is a no-op
+// until someone actually sets a weight or a domain.
+func TestAssignSpecDefaultMatchesAssign(t *testing.T) {
+	for _, m := range []int{6, 8, 13, 24} {
+		nodes, specs := nodeSet(m), specSet(m)
+		for obj := 0; obj < 400; obj++ {
+			id := fmt.Sprintf("obj%d", obj)
+			for _, n := range []int{4, 6} {
+				plain := Assign(id, nodes, n)
+				spec := AssignSpec(id, specs, n)
+				if len(plain) != len(spec) {
+					t.Fatalf("m=%d %s n=%d: lengths differ", m, id, n)
+				}
+				for i := range plain {
+					if plain[i] != spec[i] {
+						t.Fatalf("m=%d %s n=%d shard %d: Assign %s vs AssignSpec %s",
+							m, id, n, i, plain[i], spec[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignSpecWeightedDistribution checks that shard load tracks capacity:
+// a node with weight w should hold a share of all placements proportional
+// to w within tolerance, and the per-node ordering must be monotone in
+// weight.
+func TestAssignSpecWeightedDistribution(t *testing.T) {
+	const n, objects = 3, 6000
+	weights := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	specs := make([]Spec, len(weights))
+	var totalW float64
+	for i, w := range weights {
+		specs[i] = Spec{Node: fmt.Sprintf("node%02d", i), Weight: w}
+		totalW += w
+	}
+	counts := map[string]int{}
+	for obj := 0; obj < objects; obj++ {
+		for _, node := range AssignSpec(fmt.Sprintf("obj%d", obj), specs, n) {
+			counts[node]++
+		}
+	}
+	for i, s := range specs {
+		expected := float64(objects*n) * weights[i] / totalW
+		got := float64(counts[s.Node])
+		if got < 0.75*expected || got > 1.25*expected {
+			t.Errorf("%s (w=%.0f): %d placements, expected ~%.0f ±25%%",
+				s.Node, weights[i], counts[s.Node], expected)
+		}
+	}
+	// Monotonicity across weight classes: every weight-4 node must beat
+	// every weight-1 node.
+	for i := 0; i < 2; i++ {
+		for j := 6; j < 8; j++ {
+			if counts[specs[j].Node] <= counts[specs[i].Node] {
+				t.Errorf("weight-4 %s (%d) did not out-place weight-1 %s (%d)",
+					specs[j].Node, counts[specs[j].Node], specs[i].Node, counts[specs[i].Node])
+			}
+		}
+	}
+}
+
+// TestAssignSpecDomainConstraint checks the failure-domain invariant for
+// every (object, domain) pair: with d domains no domain holds more than
+// ceil(n/d) shards of one object, and with d >= n no two shards of an
+// object ever share a domain — a whole-rack loss costs at most one shard.
+func TestAssignSpecDomainConstraint(t *testing.T) {
+	build := func(racks [][]string) []Spec {
+		var specs []Spec
+		for r, members := range racks {
+			for _, node := range members {
+				specs = append(specs, Spec{Node: node, Domain: fmt.Sprintf("rack%d", r)})
+			}
+		}
+		return specs
+	}
+	cases := []struct {
+		name  string
+		racks [][]string
+		n     int
+	}{
+		{"3x3-n6", [][]string{{"a1", "a2", "a3"}, {"b1", "b2", "b3"}, {"c1", "c2", "c3"}}, 6},
+		{"6x2-n6", [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1", "c2"}, {"d1", "d2"}, {"e1", "e2"}, {"f1", "f2"}}, 6},
+		{"4x2-n4", [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1", "c2"}, {"d1", "d2"}}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			specs := build(tc.racks)
+			d := len(tc.racks)
+			capPer := (tc.n + d - 1) / d
+			domainOf := map[string]string{}
+			for _, s := range specs {
+				domainOf[s.Node] = s.Domain
+			}
+			for obj := 0; obj < 1000; obj++ {
+				id := fmt.Sprintf("obj%d", obj)
+				perDomain := map[string]int{}
+				for _, node := range AssignSpec(id, specs, tc.n) {
+					perDomain[domainOf[node]]++
+				}
+				for dom, c := range perDomain {
+					if c > capPer {
+						t.Fatalf("%s: domain %s holds %d shards, cap %d", id, dom, c, capPer)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAssignSpecInfeasibleDomainsStillPlaces covers the relaxation path: a
+// universe whose domain caps cannot absorb all n shards (one rack has a
+// single node) must still return a full, distinct placement that spreads
+// the overflow over the least-loaded domains.
+func TestAssignSpecInfeasibleDomainsStillPlaces(t *testing.T) {
+	specs := []Spec{
+		{Node: "a1", Domain: "rackA"},
+		{Node: "b1", Domain: "rackB"}, {Node: "b2", Domain: "rackB"}, {Node: "b3", Domain: "rackB"},
+		{Node: "c1", Domain: "rackC"}, {Node: "c2", Domain: "rackC"}, {Node: "c3", Domain: "rackC"},
+	}
+	for obj := 0; obj < 300; obj++ {
+		id := fmt.Sprintf("obj%d", obj)
+		place := AssignSpec(id, specs, 6) // cap ceil(6/3)=2, capacity 1+2+2=5 < 6
+		if len(place) != 6 {
+			t.Fatalf("%s: got %d holders", id, len(place))
+		}
+		seen := map[string]bool{}
+		for _, node := range place {
+			if seen[node] {
+				t.Fatalf("%s: node %s holds two shards", id, node)
+			}
+			seen[node] = true
+		}
+	}
+}
+
+// TestAssignSpecMinimalDisruption extends the PR 4 minimality assertion to
+// the weighted path: a single join or leave on a weighted, domain-labeled
+// universe still moves ~1/(m-n) of all shard placements.
+func TestAssignSpecMinimalDisruption(t *testing.T) {
+	const m, n, objects = 12, 6, 1500
+	build := func(count int) []Spec {
+		specs := make([]Spec, count)
+		for i := range specs {
+			specs[i] = Spec{
+				Node:   fmt.Sprintf("node%02d", i),
+				Weight: 1 + float64(i%3),
+				Domain: fmt.Sprintf("rack%d", i%4),
+			}
+		}
+		return specs
+	}
+	before := build(m)
+	for _, tc := range []struct {
+		name  string
+		after []Spec
+	}{
+		{"leave", build(m)[:m-1]},
+		{"join", append(build(m), Spec{Node: "node99", Weight: 2, Domain: "rack3"})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			moved, total := 0, 0
+			for obj := 0; obj < objects; obj++ {
+				id := fmt.Sprintf("obj%d", obj)
+				moved += Moves(AssignSpec(id, before, n), AssignSpec(id, tc.after, n))
+				total += n
+			}
+			frac := float64(moved) / float64(total)
+			// The domain cap couples shards a little tighter than the plain
+			// collision-skip chain, so allow 1.8x the 1/(m-n) expectation
+			// (the unweighted test allows 1.4x).
+			bound := 1.8 / float64(m-n)
+			if frac > bound {
+				t.Fatalf("%s moved %.1f%% of placements, bound %.1f%%", tc.name, 100*frac, 100*bound)
+			}
+			if frac == 0 {
+				t.Fatalf("%s moved nothing; placement is ignoring membership", tc.name)
+			}
+		})
+	}
+}
