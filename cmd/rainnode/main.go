@@ -1,46 +1,39 @@
-// Command rainnode runs one end of a RAIN communication channel over real
-// UDP sockets: the RUDP reliable datagram protocol with bundled interfaces
-// and consistent-history path monitoring, entirely in user space (§2.5).
+// Command rainnode is one RAIN cluster process and its tooling, behind
+// subcommands:
 //
-// Start a receiver, then a sender (addresses are comma-separated, one per
-// bundled path):
+//	rainnode serve   run one cluster node: the dial-by-address UDP mesh,
+//	                 storage daemon, membership, election, self-heal and the
+//	                 HTTP object gateway, all from a single config
+//	rainnode put     store stdin or a file through a gateway
+//	rainnode get     fetch an object (optionally a byte range) from a gateway
+//	rainnode elect   the two-node leader-election demo over a UDP channel
+//	rainnode bench   measure gateway PUT/GET throughput
+//
+// A three-node cluster on loopback (each node bundles two paths):
+//
+//	rainnode serve -name a -ring a,b,c -local 127.0.0.1:7000,127.0.0.1:7001 -http :8080
+//	rainnode serve -name b -ring a,b,c -local 127.0.0.1:7010,127.0.0.1:7011 \
+//	               -peers a=127.0.0.1:7000|127.0.0.1:7001 -http :8081
+//	rainnode serve -name c -ring a,b,c -local 127.0.0.1:7020,127.0.0.1:7021 \
+//	               -peers a=127.0.0.1:7000|127.0.0.1:7001 -http :8082
+//	rainnode put -gw http://127.0.0.1:8080 -key movie -file movie.mp4
+//	rainnode get -gw http://127.0.0.1:8081 -key movie -range bytes=0-1048575
+//
+// The original flag-style invocation (no subcommand) still runs the
+// point-to-point RUDP channel tool — reliable datagrams over bundled
+// interfaces with consistent-history path monitoring (§2.5), a single
+// storage daemon, shard/object transfer, and the channel election demo:
 //
 //	rainnode -local 127.0.0.1:7000,127.0.0.1:7001 \
 //	         -remote 127.0.0.1:7100,127.0.0.1:7101
-//	rainnode -local 127.0.0.1:7100,127.0.0.1:7101 \
-//	         -remote 127.0.0.1:7000,127.0.0.1:7001 -send 100
-//
-// While the sender runs, drop one of the two paths with a firewall rule (or
-// by unplugging the interface) and watch the traffic fail over; drop both
-// and it stalls until one heals — the behaviour the paper demonstrated by
-// pulling Myrinet cables.
-//
-// The channel can also carry the dstore storage protocol. Run a storage
-// daemon on one end and push/pull shards from the other:
-//
-//	rainnode -local ... -remote ... -store -shard 0
-//	rainnode -local ... -remote ... -putshard obj -file shard.bin
-//	rainnode -local ... -remote ... -getshard obj -out shard.bin
-//
-// Whole objects stream with bounded memory in both directions: -putobj
-// reads the file chunk by chunk under the put window, and -getobj is a
-// credit-windowed streaming fetch written straight to stdout (or -out),
-// acking each chunk as it is consumed — the same flow control the cluster's
-// GetStream path uses, over real UDP. The daemon stores the object as a
-// replica shard (the k=1 layout, whose shard stream is the object itself);
-// erasure-coded k-of-n streaming lives in the library (rain.Cluster):
-//
+//	rainnode -local ... -remote ... -send 100
+//	rainnode -local ... -remote ... -store -debug :6060
 //	rainnode -local ... -remote ... -putobj movie -file movie.mp4
 //	rainnode -local ... -remote ... -getobj movie > copy.mp4
 //
-// With -elect, each end runs the leader-election engine over the channel and
-// logs leader transitions: the smaller -name leads while both ends hear each
-// other, the survivor takes over when the paths die, and leadership returns
-// at a higher epoch on heal — the signal the self-healing control loop keys
-// repairs off:
-//
-//	rainnode -local ... -remote ... -elect -name a -peer b
-//	rainnode -local ... -remote ... -elect -name b -peer a
+// While a sender runs, drop one of the two paths with a firewall rule and
+// watch the traffic fail over; drop both and it stalls until one heals — the
+// behaviour the paper demonstrated by pulling Myrinet cables.
 package main
 
 import (
@@ -62,25 +55,85 @@ import (
 )
 
 func main() {
-	local := flag.String("local", "", "comma-separated local addresses, one per path")
-	remote := flag.String("remote", "", "comma-separated remote addresses, one per path")
-	send := flag.Int("send", 0, "number of datagrams to send (0 = receive only)")
-	size := flag.Int("size", 1024, "payload size in bytes")
-	interval := flag.Duration("report", time.Second, "status report interval")
-	store := flag.Bool("store", false, "run a dstore storage daemon on this end")
-	shard := flag.Int("shard", 0, "shard index this daemon holds (-store)")
-	putShard := flag.String("putshard", "", "store the -file bytes as this object's shard on the remote daemon")
-	getShard := flag.String("getshard", "", "fetch this object's shard from the remote daemon")
-	putObj := flag.String("putobj", "", "stream the -file bytes to the remote daemon as a whole object (bounded memory)")
-	getObj := flag.String("getobj", "", "stream this object from the remote daemon to stdout (bounded memory)")
-	block := flag.Int("block", dstore.DefaultBlockSize, "block-codeword size recorded for -putobj")
-	file := flag.String("file", "", "input file for -putshard / -putobj")
-	out := flag.String("out", "", "output file for -getshard / -getobj (default: shard summary / stdout)")
-	debug := flag.String("debug", "", "listen address for the /debug telemetry surface (e.g. :6060)")
-	elect := flag.Bool("elect", false, "run a leader-election node over the channel, logging leader transitions")
-	name := flag.String("name", "", "this node's election identity (-elect)")
-	peer := flag.String("peer", "", "the remote end's election identity (-elect)")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, rest := args[0], args[1:]
+		switch cmd {
+		case "serve":
+			runServe(rest)
+		case "put":
+			runPutCmd(rest)
+		case "get":
+			runGetCmd(rest)
+		case "elect":
+			runElectCmd(rest)
+		case "bench":
+			runBenchCmd(rest)
+		case "help":
+			usage(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "rainnode: unknown command %q\n\n", cmd)
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		return
+	}
+	if len(args) > 0 {
+		fmt.Fprintln(os.Stderr,
+			"rainnode: flag-style invocation is deprecated; see `rainnode help` for the serve/put/get/elect/bench subcommands")
+	}
+	runLegacy(args)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `rainnode — one RAIN cluster process and its tooling
+
+Usage:
+
+  rainnode serve -name a -ring a,b,c -local addr[,addr] [flags]
+      run one cluster node: UDP mesh, storage daemon, membership, election,
+      self-heal and the HTTP object gateway, from a single config
+  rainnode put -gw http://host:8080 -key k [-file path]
+      store stdin or a file through a gateway
+  rainnode get -gw http://host:8080 -key k [-out path] [-range bytes=a-b]
+      fetch an object (optionally a byte range) through a gateway
+  rainnode elect -local addr[,addr] -remote addr[,addr] -name a -peer b
+      run the two-node leader-election demo over a real UDP channel
+  rainnode bench -gw http://host:8080 [-size n] [-n iters]
+      measure gateway PUT/GET throughput
+  rainnode help
+      print this text
+
+Running with bare flags and no subcommand is deprecated but still drives the
+original point-to-point channel tool (rainnode -h lists its flags).
+`)
+}
+
+// runLegacy is the original rainnode: a point-to-point RUDP channel with the
+// optional single-daemon store, shard/object transfer and election demo. It
+// keeps the historical flag surface so existing invocations and the smoke
+// tests stay valid.
+func runLegacy(args []string) {
+	fs := flag.NewFlagSet("rainnode", flag.ExitOnError)
+	local := fs.String("local", "", "comma-separated local addresses, one per path")
+	remote := fs.String("remote", "", "comma-separated remote addresses, one per path")
+	send := fs.Int("send", 0, "number of datagrams to send (0 = receive only)")
+	size := fs.Int("size", 1024, "payload size in bytes")
+	interval := fs.Duration("report", time.Second, "status report interval")
+	store := fs.Bool("store", false, "run a dstore storage daemon on this end")
+	shard := fs.Int("shard", 0, "shard index this daemon holds (-store)")
+	putShard := fs.String("putshard", "", "store the -file bytes as this object's shard on the remote daemon")
+	getShard := fs.String("getshard", "", "fetch this object's shard from the remote daemon")
+	putObj := fs.String("putobj", "", "stream the -file bytes to the remote daemon as a whole object (bounded memory)")
+	getObj := fs.String("getobj", "", "stream this object from the remote daemon to stdout (bounded memory)")
+	block := fs.Int("block", dstore.DefaultBlockSize, "block-codeword size recorded for -putobj")
+	file := fs.String("file", "", "input file for -putshard / -putobj")
+	out := fs.String("out", "", "output file for -getshard / -getobj (default: shard summary / stdout)")
+	debug := fs.String("debug", "", "listen address for the /debug telemetry surface (e.g. :6060)")
+	elect := fs.Bool("elect", false, "run a leader-election node over the channel, logging leader transitions")
+	name := fs.String("name", "", "this node's election identity (-elect)")
+	peer := fs.String("peer", "", "the remote end's election identity (-elect)")
+	fs.Parse(args)
 
 	if *local == "" || *remote == "" {
 		fmt.Fprintln(os.Stderr, "both -local and -remote are required")
@@ -188,6 +241,35 @@ func main() {
 			return
 		}
 	}
+}
+
+// runElectCmd is the subcommand spelling of the channel election demo.
+func runElectCmd(args []string) {
+	fs := flag.NewFlagSet("rainnode elect", flag.ExitOnError)
+	local := fs.String("local", "", "comma-separated local addresses, one per path")
+	remote := fs.String("remote", "", "comma-separated remote addresses, one per path")
+	name := fs.String("name", "", "this node's election identity")
+	peer := fs.String("peer", "", "the remote end's election identity")
+	interval := fs.Duration("report", time.Second, "status report interval")
+	fs.Parse(args)
+	if *local == "" || *remote == "" {
+		fmt.Fprintln(os.Stderr, "rainnode elect: both -local and -remote are required")
+		os.Exit(2)
+	}
+	ch := newUDPChannel()
+	node, err := rudp.NewUDPNode(strings.Split(*local, ","), rudp.Config{}, ch.deliver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bind:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	if err := node.Connect(strings.Split(*remote, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	ch.node = node
+	go ch.dispatchLoop()
+	runElection(ch, *name, *peer, *interval)
 }
 
 // udpChannel adapts the point-to-point UDP channel to the dstore.Mesh

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"rain/internal/dstore"
+)
+
+// Context-aware variants of the Platform store operations. They are the
+// facade the object gateway and other request-scoped callers use: the same
+// mesh operations as Put/Get/PutStream/GetStream/Rebalance, but a cancelled
+// context aborts the shard fan-out — put stages are poisoned and get
+// sessions cancelled on every daemon — instead of leaking sessions until
+// the orphan sweep. Like their plain counterparts they block in virtual
+// time and must run outside scheduler callbacks.
+
+// PutCtx stores an object across the cluster, aborting on ctx cancellation.
+func (p *Platform) PutCtx(ctx context.Context, id string, data []byte) error {
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	_, err = cl.PutCtx(ctx, id, data)
+	return err
+}
+
+// GetCtx retrieves an object, aborting on ctx cancellation.
+func (p *Platform) GetCtx(ctx context.Context, id string) ([]byte, error) {
+	cl, err := p.client()
+	if err != nil {
+		return nil, err
+	}
+	return cl.GetCtx(ctx, id)
+}
+
+// PutStreamCtx stores an object from a reader through the block-codeword
+// streaming layout, aborting mid-stream on ctx cancellation.
+func (p *Platform) PutStreamCtx(ctx context.Context, id string, r io.Reader, size int64) error {
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	_, err = cl.PutStreamCtx(ctx, id, r, size)
+	return err
+}
+
+// GetStreamCtx retrieves an object into w block by block, aborting
+// mid-transfer on ctx cancellation.
+func (p *Platform) GetStreamCtx(ctx context.Context, id string, w io.Writer) (int64, error) {
+	cl, err := p.client()
+	if err != nil {
+		return 0, err
+	}
+	return cl.GetStreamCtx(ctx, id, w)
+}
+
+// GetRangeCtx retrieves a byte range of an object into w — the gateway's
+// Range-GET substrate — aborting mid-transfer on ctx cancellation.
+func (p *Platform) GetRangeCtx(ctx context.Context, id string, w io.Writer, opts dstore.GetOptions) (int64, error) {
+	cl, err := p.client()
+	if err != nil {
+		return 0, err
+	}
+	return cl.GetRangeCtx(ctx, id, w, opts)
+}
+
+// ListCtx walks the cluster inventory from a live node's client.
+func (p *Platform) ListCtx(ctx context.Context) ([]dstore.ObjectStat, error) {
+	cl, err := p.client()
+	if err != nil {
+		return nil, err
+	}
+	return cl.ListCtx(ctx)
+}
+
+// DeleteCtx removes an object's shards cluster-wide.
+func (p *Platform) DeleteCtx(ctx context.Context, id string) error {
+	cl, err := p.client()
+	if err != nil {
+		return err
+	}
+	return cl.DeleteCtx(ctx, id)
+}
+
+// RebalanceCtx reconciles placements like Rebalance, additionally yielding
+// the pass (ErrYielded) as soon as ctx is cancelled.
+func (p *Platform) RebalanceCtx(ctx context.Context) (dstore.RebalanceStats, error) {
+	cl, err := p.client()
+	if err != nil {
+		return dstore.RebalanceStats{}, err
+	}
+	return cl.RebalanceCtx(ctx)
+}

@@ -1,0 +1,197 @@
+package dstore_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/sim"
+)
+
+// TestGetRange exercises ranged retrieves at block boundaries ±1, suffix
+// ranges and past-the-end clamping — both un-hinted (decode from the front,
+// trim) and hinted (streams start at the range's first block).
+func TestGetRange(t *testing.T) {
+	c := newCluster(t, 21, 6, 4, sim.ProfileLAN, nil)
+	const size = 200 << 10
+	const bs = 64 << 10 // the client's default block size
+	data := randBytes(99, size)
+	if _, err := c.clients["a"].PutStream("obj", bytes.NewReader(data), size); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, length int64 }{
+		{0, 10},
+		{bs - 1, 2}, // straddles the first block boundary
+		{bs, 1},
+		{bs + 1, 100},
+		{2*bs - 1, bs + 2},    // spans three blocks
+		{3 * bs, size - 3*bs}, // exactly the short final block
+		{size - 5, -1},        // suffix
+		{size - 5, 100},       // length clamped at the end
+		{0, -1},               // everything
+		{0, 0},                // nothing
+	}
+	for _, hint := range []*dstore.RangeMeta{nil, {DataLen: size, BlockLen: bs}} {
+		for _, tc := range cases {
+			var buf bytes.Buffer
+			n, err := c.clients["b"].GetRangeCtx(context.Background(), "obj", &buf,
+				dstore.GetOptions{Off: tc.off, Length: tc.length, Meta: hint})
+			if err != nil {
+				t.Fatalf("range off=%d len=%d hint=%v: %v", tc.off, tc.length, hint != nil, err)
+			}
+			end := int64(size)
+			if tc.length >= 0 && tc.off+tc.length < end {
+				end = tc.off + tc.length
+			}
+			want := data[tc.off:end]
+			if n != int64(len(want)) || !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("range off=%d len=%d hint=%v: got %d bytes, want %d (equal=%v)",
+					tc.off, tc.length, hint != nil, n, len(want), bytes.Equal(buf.Bytes(), want))
+			}
+		}
+		if got := c.clients["b"].PendingRequests(); got != 0 {
+			t.Fatalf("hint=%v: %d request handlers leaked", hint != nil, got)
+		}
+	}
+}
+
+// TestPutFeed stores an object through the push-mode feed in odd-sized
+// pieces, riding the Offer/OnRoom backpressure, and reads it back through
+// another node.
+func TestPutFeed(t *testing.T) {
+	c := newCluster(t, 22, 6, 4, sim.ProfileLAN, nil)
+	const size = 150 << 10
+	data := randBytes(123, size)
+	var stored int
+	var ferr error
+	finished := false
+	f, err := c.clients["a"].NewPutFeed("fed", size, func(s int, e error) { stored, ferr, finished = s, e, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < size && !finished; {
+		n := 7001 // deliberately misaligned with chunk and block sizes
+		if off+n > size {
+			n = size - off
+		}
+		room := f.Offer(data[off : off+n])
+		off += n
+		if !room {
+			c.s.RunFor(2 * time.Millisecond) // let acks drain the window
+		}
+	}
+	f.Close()
+	for !finished && c.s.Step() {
+	}
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if stored != 6 {
+		t.Fatalf("stored %d of 6 shards", stored)
+	}
+	got, err := c.clients["b"].Get("fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fed object corrupted")
+	}
+}
+
+// TestPutFeedLengthMismatch checks the feed surfaces over- and under-long
+// producers as the typed source errors.
+func TestPutFeedLengthMismatch(t *testing.T) {
+	c := newCluster(t, 23, 6, 4, sim.ProfileLAN, nil)
+	var errLong, errShort error
+	long := false
+	f, err := c.clients["a"].NewPutFeed("long", 10, func(_ int, e error) { errLong, long = e, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(make([]byte, 11))
+	for !long && c.s.Step() {
+	}
+	if !errors.Is(errLong, dstore.ErrLongSource) {
+		t.Fatalf("over-long feed: err=%v, want ErrLongSource", errLong)
+	}
+	short := false
+	f, err = c.clients["a"].NewPutFeed("short", 10, func(_ int, e error) { errShort, short = e, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(make([]byte, 5))
+	f.Close()
+	for !short && c.s.Step() {
+	}
+	if !errors.Is(errShort, dstore.ErrShortSource) {
+		t.Fatalf("short feed: err=%v, want ErrShortSource", errShort)
+	}
+}
+
+// TestDeleteAndList stores three objects, lists them, deletes one and
+// checks it is gone from both reads (ErrNotFound) and the listing.
+func TestDeleteAndList(t *testing.T) {
+	c := newCluster(t, 24, 6, 4, sim.ProfileLAN, nil)
+	for _, id := range []string{"x1", "x2", "x3"} {
+		if _, err := c.clients["a"].Put(id, randBytes(1, 9<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs, err := c.clients["b"].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 || objs[0].ID != "x1" || objs[2].ID != "x3" {
+		t.Fatalf("listing = %+v, want x1..x3 sorted", objs)
+	}
+	if objs[1].Shards != 6 || objs[1].DataLen != 9<<10 {
+		t.Fatalf("x2 stat = %+v", objs[1])
+	}
+	if err := c.clients["b"].Delete("x2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.clients["c"].Get("x2"); !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("get after delete: err=%v, want ErrNotFound", err)
+	}
+	objs, err = c.clients["c"].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].ID != "x1" || objs[1].ID != "x3" {
+		t.Fatalf("listing after delete = %+v", objs)
+	}
+}
+
+// TestCtxCancellation checks a cancelled context aborts operations with
+// ErrCanceled and leaks no request handlers.
+func TestCtxCancellation(t *testing.T) {
+	c := newCluster(t, 25, 6, 4, sim.ProfileLAN, nil)
+	data := randBytes(7, 100<<10)
+	if _, err := c.clients["a"].Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.clients["b"].GetCtx(ctx, "obj"); !errors.Is(err, dstore.ErrCanceled) {
+		t.Fatalf("cancelled get: err=%v, want ErrCanceled", err)
+	}
+	if _, err := c.clients["b"].PutCtx(ctx, "obj2", data); !errors.Is(err, dstore.ErrCanceled) {
+		t.Fatalf("cancelled put: err=%v, want ErrCanceled", err)
+	}
+	c.s.RunFor(2 * time.Second) // cancels and abort poisons settle
+	if got := c.clients["b"].PendingRequests(); got != 0 {
+		t.Fatalf("%d request handlers leaked after cancellation", got)
+	}
+	// The cancelled put must not have committed anywhere.
+	if _, err := c.clients["c"].Get("obj2"); !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("get of cancelled put: err=%v, want ErrNotFound", err)
+	}
+	// And the object untouched by all this still reads back.
+	got, err := c.clients["c"].Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after cancellations: err=%v, equal=%v", err, bytes.Equal(got, data))
+	}
+}

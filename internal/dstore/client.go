@@ -253,6 +253,14 @@ func (c *Client) trace(op, id string) *telemetry.Trace {
 // Node returns the mesh node the client runs on.
 func (c *Client) Node() string { return c.node }
 
+// BlockSize returns the streaming block-codeword size in effect — what the
+// gateway records in object metadata so later ranged reads can aim their
+// shard streams at the right block.
+func (c *Client) BlockSize() int { return c.cfg.BlockSize }
+
+// Code returns the erasure code in effect.
+func (c *Client) Code() ecc.Code { return c.cfg.Code }
+
 // Universe returns the node set placements are computed over: the mutable
 // Nodes view in placement mode, or the fixed Peers list.
 func (c *Client) Universe() []string {
@@ -669,12 +677,13 @@ func (op *putOp) start(shardLen, blockLen int64) {
 // daemons in parallel, each transfer windowed and independently timed out.
 // done fires once with the number of shards stored; err is nil when at least
 // k daemons committed. The whole object is held in memory — use
-// PutStreamAsync for objects that should stream.
-func (c *Client) PutAsync(id string, data []byte, done func(stored int, err error)) {
+// PutStreamAsync for objects that should stream. The returned handle
+// cancels the fan-out (staged daemon writes are poisoned, not leaked).
+func (c *Client) PutAsync(id string, data []byte, done func(stored int, err error)) *Handle {
 	shards, err := c.encodeForPut(data)
 	if err != nil {
 		done(0, err)
-		return
+		return &Handle{}
 	}
 	op := c.newPutOp(id, int64(len(data)), done)
 	op.start(int64(len(shards[0])), 0)
@@ -683,6 +692,7 @@ func (c *Client) PutAsync(id string, data []byte, done func(stored int, err erro
 			t.offer(shards[i])
 		}
 	}
+	return &Handle{cancel: func() { op.finish(ErrCanceled) }}
 }
 
 // encodeForPut produces the n outbound shards for a whole-object put with
@@ -760,21 +770,23 @@ func (c *Client) encodeScratch(dataLen int) [][]byte {
 // fans the n shard streams out in parallel. dataLen must be the exact number
 // of bytes r will deliver. The encoder only reads another block once every
 // live transfer's backlog has drained below the window, so client memory is
-// bounded by O(BlockSize × n) no matter how large the object is.
-func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func(stored int, err error)) {
+// bounded by O(BlockSize × n) no matter how large the object is. The
+// returned handle cancels the fan-out mid-stream.
+func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func(stored int, err error)) *Handle {
 	if dataLen < 0 {
 		done(0, fmt.Errorf("dstore: negative object length %d", dataLen))
-		return
+		return &Handle{}
 	}
 	code := c.cfg.Code
 	blockSize := c.cfg.BlockSize
 	shardLen := ecc.StreamShardLen(code, dataLen, blockSize)
 	op := c.newPutOp(id, dataLen, done)
 	op.start(shardLen, int64(blockSize))
+	h := &Handle{cancel: func() { op.finish(ErrCanceled) }}
 	enc, err := ecc.NewStreamEncoder(code, io.LimitReader(r, dataLen), blockSize)
 	if err != nil {
 		op.finish(err)
-		return
+		return h
 	}
 	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
 	var encoded int64
@@ -838,6 +850,7 @@ func (c *Client) PutStreamAsync(id string, r io.Reader, dataLen int64, done func
 		}
 	}
 	feed()
+	return h
 }
 
 // ---- retrieve / rebuild: windowed shard streams into a block sink ----
@@ -951,22 +964,43 @@ type streamGetOp struct {
 	nextBlk  int64
 	consumed int64 // stream offset of the decode frontier
 
+	// Ranged retrieves decode only blocks [startBlk, limitBlk): with a
+	// layout hint the shard streams are requested from startBlk's offset
+	// (never touching the prefix), and the op finishes — cancelling daemon
+	// sessions — once limitBlk is decoded. Without a range, limitBlk is the
+	// block count.
+	rng      *getRange
+	startBlk int64
+	limitBlk int64
+
 	candidates []int
 	cursor     int
 	streams    []*shardStream
 	lastErr    string
+	notFound   int // dead streams whose daemon answered "object not found"
+	deadOther  int // dead streams with any other error
 	finished   bool
 	firstK     bool
 	trace      *telemetry.Trace
 }
 
+// getRange is the byte range a retrieve is asked for: [off, end), with
+// end < 0 meaning through the end of the object. nil means everything.
+type getRange struct {
+	off int64
+	end int64
+}
+
 // startStreamGet launches the state machine over the object's placement
 // (peers[i] holds shard i). If metaHint is non-nil the layout is known up
-// front (rebuild, from the inventory) and decoding can begin without waiting
-// for a first chunk. rank, when non-nil, overrides the policy ranking of
-// candidate shard indices — the rebuild pipeline injects its survivor-load
-// spreading there.
-func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool, metaHint *objMeta, rank func() []int, trace *telemetry.Trace,
+// front (rebuild, from the inventory; ranged gets, from the caller's
+// metadata record) and decoding can begin without waiting for a first
+// chunk. rank, when non-nil, overrides the policy ranking of candidate
+// shard indices — the rebuild pipeline injects its survivor-load spreading
+// there. rng, when non-nil, bounds decoding to the blocks covering that
+// byte range; combined with a metaHint the shard streams start at the
+// range's first block, so the prefix never crosses the wire.
+func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool, metaHint *objMeta, rank func() []int, trace *telemetry.Trace, rng *getRange,
 	mkSink func(objMeta, int64) (blockSink, error), ready func() bool, done func(objMeta, error)) *streamGetOp {
 	op := &streamGetOp{
 		c:       c,
@@ -976,6 +1010,7 @@ func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool,
 		mkSink:  mkSink,
 		ready:   ready,
 		done:    done,
+		rng:     rng,
 		trace:   trace,
 	}
 	if rank != nil {
@@ -986,6 +1021,10 @@ func (c *Client) startStreamGet(id string, peers []string, exclude map[int]bool,
 	if metaHint != nil {
 		if err := op.setMeta(*metaHint); err != nil {
 			op.finish(err)
+			return op
+		}
+		if op.nextBlk >= op.limitBlk {
+			op.finish(nil) // empty or past-the-end range: nothing to fetch
 			return op
 		}
 	}
@@ -1033,6 +1072,33 @@ func (op *streamGetOp) setMeta(meta objMeta) error {
 		op.dataLen = int64(cached)
 	}
 	op.blocks = ecc.StreamBlocks(op.dataLen, op.meta.blockSize())
+	op.limitBlk = op.blocks
+	if op.rng != nil {
+		bs := int64(op.meta.blockSize())
+		if len(op.streams) == 0 && op.rng.off > 0 {
+			// Layout known before any stream was issued: start the streams
+			// (and the decode frontier) at the range's first block. Once
+			// streams are in flight at offset 0 skipping is no longer safe —
+			// the un-hinted path decodes from the front and trims instead.
+			op.startBlk = op.rng.off / bs
+			if op.startBlk > op.blocks {
+				op.startBlk = op.blocks
+			}
+			op.nextBlk = op.startBlk
+			op.consumed = ecc.StreamShardOff(op.c.cfg.Code, int(bs), op.startBlk)
+		}
+		end := op.dataLen
+		if op.rng.end >= 0 && op.rng.end < end {
+			end = op.rng.end
+		}
+		op.limitBlk = (end + bs - 1) / bs
+		if op.limitBlk > op.blocks {
+			op.limitBlk = op.blocks
+		}
+		if op.limitBlk < op.nextBlk {
+			op.limitBlk = op.nextBlk
+		}
+	}
 	sink, err := op.mkSink(op.meta, op.dataLen)
 	if err != nil {
 		return err
@@ -1114,6 +1180,13 @@ func (op *streamGetOp) failIfStuck() {
 		// Fully delivered but unconsumed: this stream can make no further
 		// progress on its own.
 	}
+	if op.notFound > 0 && op.deadOther == 0 && !op.firstK {
+		// Every daemon that answered said it has no shard, nothing was ever
+		// decoded: the object does not exist (vs. a quorum problem, where
+		// holders are down or erroring and a retry later could succeed).
+		op.finish(fmt.Errorf("%w: %s", ErrNotFound, op.id))
+		return
+	}
 	detail := op.lastErr
 	if detail == "" {
 		detail = fmt.Sprintf("no reachable daemons (%d of %d blocks)", op.nextBlk, op.blocks)
@@ -1158,6 +1231,11 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 	if m.Err != "" {
 		st.dead = true
 		op.lastErr = m.Err
+		if isNotFoundText(m.Err) {
+			op.notFound++
+		} else {
+			op.deadOther++
+		}
 		delete(op.c.pending, st.req)
 		// Cancel the daemon session: for locally-synthesized errors (index
 		// conflicts) the daemon is healthy and mid-stream, and even a
@@ -1186,6 +1264,7 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		// nor hedge, silently starving the decoder of a spare that has a
 		// piece it actually needs.
 		st.dead = true
+		op.deadOther++
 		delete(op.c.pending, st.req)
 		op.c.send(st.peer, Msg{Kind: KindGetAck, Req: st.req, ID: op.id, Off: -1})
 		if !st.hedged {
@@ -1265,7 +1344,7 @@ func (op *streamGetOp) tryDecode() {
 	code := op.c.cfg.Code
 	shards := make([][]byte, code.N())
 	var used []*shardStream
-	for op.nextBlk < op.blocks {
+	for op.nextBlk < op.limitBlk {
 		if op.ready != nil && !op.ready() {
 			op.c.met.creditStalls.Inc()
 			return
@@ -1312,7 +1391,7 @@ func (op *streamGetOp) tryDecode() {
 		}
 		op.ackStreams(false)
 	}
-	if op.nextBlk >= op.blocks {
+	if op.nextBlk >= op.limitBlk {
 		op.finish(nil)
 	}
 }
@@ -1346,34 +1425,149 @@ func (op *streamGetOp) finish(err error) {
 
 // ---- retrieve frontends ----
 
+// RangeMeta is the stored layout a ranged retrieve's caller already knows —
+// typically from a metadata record written alongside the object. With it,
+// GetRangeAsync starts the shard streams at the range's first block instead
+// of decoding (and shipping) the whole prefix.
+type RangeMeta struct {
+	DataLen  int64 // exact object length in bytes
+	BlockLen int64 // block-codeword size it was stored with; 0 = one codeword
+}
+
+// GetOptions parameterises GetRangeAsync.
+type GetOptions struct {
+	// Off is the first byte wanted; Length the number of bytes, with a
+	// negative Length meaning through the end of the object. (A Length of 0
+	// retrieves nothing — callers wanting everything must pass -1.)
+	Off    int64
+	Length int64
+	// Meta, when non-nil, lets the retrieve skip to the range's first block
+	// on the wire. Without it the range is still honored, but the prefix
+	// blocks are fetched, decoded and discarded.
+	Meta *RangeMeta
+	// Ready, when non-nil, gates decoding on downstream backpressure; a
+	// false return pauses the decode until the handle's Resume.
+	Ready func() bool
+}
+
+// trimWriter adapts the decoder's block-granular output to a byte range: it
+// discards the first skip bytes, forwards at most limit bytes (<0 = all) to
+// w, and counts what it forwarded. Overshoot past the limit is swallowed —
+// the decoder always emits whole blocks — while an error from w (the HTTP
+// client hung up) aborts the decode.
+type trimWriter struct {
+	w     io.Writer
+	skip  int64
+	limit int64
+	n     int64
+}
+
+func (t *trimWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	if t.skip > 0 {
+		if int64(total) <= t.skip {
+			t.skip -= int64(total)
+			return total, nil
+		}
+		p = p[t.skip:]
+		t.skip = 0
+	}
+	if t.limit >= 0 {
+		rem := t.limit - t.n
+		if rem <= 0 {
+			return total, nil
+		}
+		if int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	}
+	m, err := t.w.Write(p)
+	t.n += int64(m)
+	if err != nil {
+		return m, err
+	}
+	return total, nil
+}
+
+// GetRangeAsync retrieves a byte range of an object from any k reachable
+// daemons, writing the decoded range to w as the shard streams arrive. done
+// fires once with the number of range bytes written. With opts.Meta the
+// transfer touches only the blocks covering the range; the operation
+// finishes — cancelling the daemon sessions — as soon as the range's last
+// block is decoded either way. The returned handle cancels the retrieve
+// (Cancel) and re-drives a decode paused by opts.Ready (Resume).
+func (c *Client) GetRangeAsync(id string, w io.Writer, opts GetOptions, done func(n int64, err error)) *Handle {
+	if opts.Off < 0 {
+		done(0, fmt.Errorf("dstore: negative range offset %d", opts.Off))
+		return &Handle{}
+	}
+	rng := &getRange{off: opts.Off, end: -1}
+	if opts.Length >= 0 {
+		rng.end = opts.Off + opts.Length
+	}
+	var hint *objMeta
+	if m := opts.Meta; m != nil && m.DataLen >= 0 {
+		bs := int(m.BlockLen)
+		if bs <= 0 {
+			// Single-codeword layout: the whole object is one block.
+			bs = int(m.DataLen)
+			if bs <= 0 {
+				bs = 1
+			}
+		}
+		hint = &objMeta{
+			shardLen: ecc.StreamShardLen(c.cfg.Code, m.DataLen, bs),
+			dataLen:  m.DataLen,
+			blockLen: m.BlockLen,
+		}
+	}
+	tw := &trimWriter{w: w, limit: opts.Length}
+	if opts.Length < 0 {
+		tw.limit = -1
+	}
+	began := c.s.Now()
+	tr := c.trace("get", id)
+	op := c.startStreamGet(id, c.peersFor(id), nil, hint, nil, tr, rng,
+		func(meta objMeta, dataLen int64) (blockSink, error) {
+			bs := meta.blockSize()
+			startBlk := int64(0)
+			if hint != nil {
+				// Mirrors setMeta's skip: streams start at the range's first
+				// block, so the decoder must too.
+				startBlk = opts.Off / int64(bs)
+				if max := ecc.StreamBlocks(dataLen, bs); startBlk > max {
+					startBlk = max
+				}
+			}
+			tw.skip = opts.Off - startBlk*int64(bs)
+			dec, err := ecc.NewStreamDecoder(c.cfg.Code, tw, dataLen, bs)
+			if err == nil && startBlk > 0 {
+				err = dec.SeekBlock(startBlk)
+			}
+			return dec, err
+		},
+		opts.Ready,
+		func(meta objMeta, err error) {
+			if err == nil {
+				c.met.getLatency.Observe(int64(c.s.Now() - began))
+				c.met.getBytes.Add(tw.n)
+			}
+			tr.Finish(c.nowNS(), err)
+			done(tw.n, err)
+		})
+	return &Handle{
+		cancel: func() { op.finish(ErrCanceled) },
+		resume: op.resumeDecode,
+	}
+}
+
 // GetStreamAsync retrieves an object from any k reachable daemons, writing
 // decoded data to w block by block as the shard streams arrive. done fires
 // once with the number of bytes written. Client memory stays bounded by
 // O(BlockSize × n) for objects stored with PutStream; objects stored as a
 // single codeword decode in one piece.
-func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err error)) {
-	var dec *ecc.StreamDecoder
-	began := c.s.Now()
-	tr := c.trace("get", id)
-	c.startStreamGet(id, c.peersFor(id), nil, nil, nil, tr,
-		func(meta objMeta, dataLen int64) (blockSink, error) {
-			var err error
-			dec, err = ecc.NewStreamDecoder(c.cfg.Code, w, dataLen, meta.blockSize())
-			return dec, err
-		},
-		nil,
-		func(meta objMeta, err error) {
-			var n int64
-			if dec != nil {
-				n = dec.Written()
-			}
-			if err == nil {
-				c.met.getLatency.Observe(int64(c.s.Now() - began))
-				c.met.getBytes.Add(n)
-			}
-			tr.Finish(c.nowNS(), err)
-			done(n, err)
-		})
+func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err error)) *Handle {
+	return c.GetRangeAsync(id, w, GetOptions{Length: -1}, done)
 }
 
 // GetAsync retrieves and decodes an object from any k reachable daemons into
@@ -1381,12 +1575,12 @@ func (c *Client) GetStreamAsync(id string, w io.Writer, done func(n int64, err e
 // client may have overwritten the object since this one last put it — with
 // the local cache of own puts as the fallback for objects written through
 // the direct in-process frontend, which records no size.
-func (c *Client) GetAsync(id string, done func(data []byte, err error)) {
+func (c *Client) GetAsync(id string, done func(data []byte, err error)) *Handle {
 	// Assemble in a pooled buffer and hand the caller a copy: the copy is an
 	// append, which for byte slices allocates without zeroing, so each get
 	// pays one memmove instead of clearing a fresh object-sized allocation.
 	w := &resultWriter{buf: c.getResultBuf(c.sizes[id])}
-	c.GetStreamAsync(id, w, func(n int64, err error) {
+	return c.GetStreamAsync(id, w, func(n int64, err error) {
 		defer c.putResultBuf(w.buf)
 		if err != nil {
 			done(nil, err)
@@ -1450,7 +1644,7 @@ func (c *Client) rebuildObject(info storage.ObjectInfo, peers []string, targetId
 		}
 	})
 	highWater := int64(c.cfg.Window) * int64(c.cfg.ChunkSize)
-	op := c.startStreamGet(info.ID, peers, exclude, &opMeta, rank, tr,
+	op := c.startStreamGet(info.ID, peers, exclude, &opMeta, rank, tr, nil,
 		func(m objMeta, layoutLen int64) (blockSink, error) {
 			return ecc.NewShardRebuilder(c.cfg.Code, targetIdx, writerFunc(func(p []byte) (int, error) {
 				out.offerCopy(p)

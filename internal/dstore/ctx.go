@@ -1,0 +1,115 @@
+package dstore
+
+import (
+	"context"
+	"io"
+)
+
+// Context-aware blocking wrappers. Like the plain blocking wrappers they
+// pump the scheduler and must run outside scheduler callbacks; unlike them
+// they watch ctx between events and abort the operation when it is
+// cancelled — put stages are poisoned and get sessions cancelled, so a
+// caller giving up never leaks daemon state. The operation's error reports
+// ErrCanceled in that case. (Real-socket nodes do not use these: their
+// client lives on an event loop, which bridges contexts by posting
+// Handle.Cancel — see internal/core.)
+
+// driveCtx pumps the scheduler until *done, cancelling h the moment ctx is
+// cancelled and then pumping on until the cancellation resolves the
+// operation.
+func (c *Client) driveCtx(ctx context.Context, done *bool, h *Handle) {
+	for !*done && c.s.Step() {
+		if ctx.Err() != nil {
+			h.Cancel()
+			c.drive(done)
+			return
+		}
+	}
+}
+
+// PutCtx stores an object as a single codeword, blocking until the
+// operation resolves or ctx is cancelled.
+func (c *Client) PutCtx(ctx context.Context, id string, data []byte) (stored int, err error) {
+	finished := false
+	h := c.PutAsync(id, data, func(s int, e error) { stored, err, finished = s, e, true })
+	c.driveCtx(ctx, &finished, h)
+	return stored, err
+}
+
+// PutStreamCtx stores an object from a reader through the block-codeword
+// streaming layout, blocking until the operation resolves or ctx is
+// cancelled mid-stream.
+func (c *Client) PutStreamCtx(ctx context.Context, id string, r io.Reader, dataLen int64) (stored int, err error) {
+	finished := false
+	h := c.PutStreamAsync(id, r, dataLen, func(s int, e error) { stored, err, finished = s, e, true })
+	c.driveCtx(ctx, &finished, h)
+	return stored, err
+}
+
+// GetCtx retrieves an object into memory, blocking until it resolves or ctx
+// is cancelled.
+func (c *Client) GetCtx(ctx context.Context, id string) (data []byte, err error) {
+	finished := false
+	h := c.GetAsync(id, func(d []byte, e error) { data, err, finished = d, e, true })
+	c.driveCtx(ctx, &finished, h)
+	return data, err
+}
+
+// GetStreamCtx retrieves an object into w block by block, blocking until it
+// resolves or ctx is cancelled mid-transfer.
+func (c *Client) GetStreamCtx(ctx context.Context, id string, w io.Writer) (n int64, err error) {
+	finished := false
+	h := c.GetStreamAsync(id, w, func(written int64, e error) { n, err, finished = written, e, true })
+	c.driveCtx(ctx, &finished, h)
+	return n, err
+}
+
+// GetRangeCtx retrieves a byte range into w, blocking until it resolves or
+// ctx is cancelled mid-transfer.
+func (c *Client) GetRangeCtx(ctx context.Context, id string, w io.Writer, opts GetOptions) (n int64, err error) {
+	finished := false
+	h := c.GetRangeAsync(id, w, opts, func(written int64, e error) { n, err, finished = written, e, true })
+	c.driveCtx(ctx, &finished, h)
+	return n, err
+}
+
+// RebalanceCtx reconciles placements like Rebalance, additionally yielding
+// the pass (ErrYielded) as soon as ctx is cancelled — composed with any
+// installed rebalance gate, which keeps ruling.
+func (c *Client) RebalanceCtx(ctx context.Context, drain ...string) (RebalanceStats, error) {
+	prev := c.rebalGate
+	c.rebalGate = func() bool {
+		return ctx.Err() == nil && (prev == nil || prev())
+	}
+	defer func() { c.rebalGate = prev }()
+	return c.Rebalance(drain...)
+}
+
+// ListCtx walks the cluster inventory, blocking until it resolves. The walk
+// is read-only, so cancellation simply stops the wait; the in-flight pages
+// resolve (or time out) whenever the scheduler is next pumped.
+func (c *Client) ListCtx(ctx context.Context) (objs []ObjectStat, err error) {
+	finished := false
+	c.ListAsync(func(o []ObjectStat, e error) { objs, err, finished = o, e, true })
+	for !finished && c.s.Step() {
+		if ctx.Err() != nil {
+			return nil, ErrCanceled
+		}
+	}
+	return objs, err
+}
+
+// DeleteCtx deletes an object's shards cluster-wide, blocking until enough
+// holders confirmed. Deletes are idempotent, so cancellation just stops the
+// wait; a half-applied delete is re-driven by simply deleting again.
+func (c *Client) DeleteCtx(ctx context.Context, id string) error {
+	finished := false
+	var err error
+	c.DeleteAsync(id, func(e error) { err, finished = e, true })
+	for !finished && c.s.Step() {
+		if ctx.Err() != nil {
+			return ErrCanceled
+		}
+	}
+	return err
+}

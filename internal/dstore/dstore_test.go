@@ -324,16 +324,17 @@ func TestMembershipLivenessSkipsDeadPeers(t *testing.T) {
 
 // TestGetMissingObjectFailsFast checks a read of an id nobody holds fails
 // as soon as every daemon has answered "not found" — not at the operation
-// deadline — and carries the daemon's error detail.
+// deadline — and maps to the typed ErrNotFound sentinel (the gateway's 404),
+// not the retryable quorum error.
 func TestGetMissingObjectFailsFast(t *testing.T) {
 	c := newCluster(t, 8, 5, 3, sim.ProfileLAN, nil)
 	start := c.s.Now()
 	_, err := c.clients["a"].Get("ghost")
-	if !errors.Is(err, dstore.ErrNotEnoughDaemons) {
-		t.Fatalf("err=%v, want ErrNotEnoughDaemons", err)
+	if !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
 	}
 	if !strings.Contains(err.Error(), "not found") {
-		t.Fatalf("error %q lost the daemons' not-found detail", err)
+		t.Fatalf("error %q lost the not-found detail", err)
 	}
 	if elapsed := time.Duration(c.s.Now() - start); elapsed > time.Second {
 		t.Fatalf("missing-object read took %v — waited out the deadline instead of failing fast", elapsed)

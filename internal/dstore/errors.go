@@ -1,0 +1,60 @@
+package dstore
+
+import (
+	"errors"
+	"strings"
+)
+
+// Typed sentinels at the client boundary. The wire keeps carrying error
+// strings (daemons are version-skew tolerant that way); the client folds
+// them back into these sentinels so callers — the HTTP gateway above all —
+// branch with errors.Is instead of substring matching, and the
+// error-to-status mapping lives in exactly one place (gateway.statusOf).
+var (
+	// ErrNotFound reports an object no reachable daemon has any shard of.
+	// It maps to HTTP 404.
+	ErrNotFound = errors.New("dstore: object not found")
+	// ErrQuorum is the canonical name for ErrNotEnoughDaemons: fewer than k
+	// shards could be stored or retrieved. It maps to HTTP 503 — the
+	// cluster is degraded, retrying later can succeed.
+	ErrQuorum = ErrNotEnoughDaemons
+	// ErrOverloaded reports work refused by admission control (the gateway
+	// sheds it before it reaches the store). It maps to HTTP 429.
+	ErrOverloaded = errors.New("dstore: overloaded")
+	// ErrCanceled reports an operation aborted by its caller — a gateway
+	// client that disconnected mid-transfer. The abort is active: put
+	// stages are poisoned and get sessions cancelled, not leaked.
+	ErrCanceled = errors.New("dstore: operation canceled")
+)
+
+// isNotFoundText recognises a daemon's "no such object" error string
+// (ultimately storage.ErrObjectNotFound's text) on the wire.
+func isNotFoundText(s string) bool {
+	return strings.Contains(s, "object not found")
+}
+
+// Handle cancels one in-flight asynchronous operation. Cancel is
+// idempotent and must be invoked on the client's scheduler goroutine (real
+// nodes post it through their loop); the operation's done callback fires
+// with ErrCanceled, put stages abort and daemon get sessions are
+// cancelled. Resume re-drives a retrieve whose decode paused on a
+// downstream Ready gate; it is a no-op for other operations.
+type Handle struct {
+	cancel func()
+	resume func()
+}
+
+// Cancel aborts the operation; its done callback reports ErrCanceled.
+func (h *Handle) Cancel() {
+	if h != nil && h.cancel != nil {
+		h.cancel()
+	}
+}
+
+// Resume re-checks a retrieve's downstream Ready gate and continues
+// decoding — the backpressure counterpart of GetOptions.Ready.
+func (h *Handle) Resume() {
+	if h != nil && h.resume != nil {
+		h.resume()
+	}
+}

@@ -186,6 +186,21 @@ func NewStreamDecoder(code Code, w io.Writer, dataLen int64, blockSize int) (*St
 // Written returns the number of decoded data bytes written so far.
 func (d *StreamDecoder) Written() int64 { return d.written }
 
+// SeekBlock positions the decoder at block codeword b, so the next
+// NextBlock decodes block b with the correct per-block lengths. Ranged
+// retrieves use it to start decoding at the block containing the requested
+// offset instead of block 0. Only valid before any block has been decoded.
+func (d *StreamDecoder) SeekBlock(b int64) error {
+	if d.block != 0 || d.written != 0 {
+		return fmt.Errorf("%w: SeekBlock after decoding began", ErrInvalidParams)
+	}
+	if b < 0 || b > d.blocks {
+		return fmt.Errorf("%w: block %d of %d", ErrInvalidParams, b, d.blocks)
+	}
+	d.block = b
+	return nil
+}
+
 // NextBlock decodes the next block codeword from the offered shard pieces
 // (one entry per shard index, nil for missing, at least K non-nil, each of
 // the block's piece size) and writes its data bytes to the writer.

@@ -1,0 +1,54 @@
+package election
+
+import "rain/internal/sim"
+
+// MeshNode drives one election engine over a MeshTransport — the
+// per-process counterpart of MeshCluster for real-socket deployments. Its
+// heartbeat loop fans out to the static peer set every interval, skipping
+// peers whose transport backlog says they have been unreachable for many
+// intervals (see meshHeartbeatBacklog).
+type MeshNode struct {
+	s       *sim.Scheduler
+	node    *Node
+	stopped bool
+}
+
+// NewMeshNode builds the local elector among peers (the ring minus this
+// node) and starts its heartbeat loop. backlog (optional) reports the
+// transport's queued datagrams toward a peer.
+func NewMeshNode(s *sim.Scheduler, mesh MeshTransport, name string, peers []string, cfg Config, backlog func(to string) int) *MeshNode {
+	cfg = cfg.withDefaults()
+	n := NewNode(name, peers, cfg)
+	m := &MeshNode{s: s, node: n}
+	mesh.Handle(name, Service, func(from string, payload []byte) {
+		if m.stopped {
+			return
+		}
+		if hb, ok := UnmarshalHeartbeat(payload); ok {
+			n.OnHeartbeat(hb, int64(s.Now()))
+		}
+	})
+	var loop func()
+	loop = func() {
+		if !m.stopped {
+			hb := n.Tick(int64(s.Now()))
+			payload := MarshalHeartbeat(hb)
+			for _, p := range n.peers {
+				if backlog != nil && backlog(p) >= meshHeartbeatBacklog {
+					continue
+				}
+				mesh.SendService(name, p, Service, payload)
+			}
+		}
+		s.After(cfg.Interval, loop)
+	}
+	s.After(0, loop)
+	return m
+}
+
+// Node exposes the driven engine (IsLeader, Leader, OnLeaderChange, ...).
+func (m *MeshNode) Node() *Node { return m.node }
+
+// Stop freezes the engine; Restart unfreezes it.
+func (m *MeshNode) Stop()    { m.stopped = true }
+func (m *MeshNode) Restart() { m.stopped = false }

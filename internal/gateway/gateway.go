@@ -1,0 +1,838 @@
+// Package gateway is the cluster's client surface: an S3-flavored HTTP
+// front end over a dstore client. Objects are stored and retrieved with
+// the erasure-coded streaming paths — PUT feeds the request body through
+// the push-mode put feed under the daemons' credit windows, GET serves
+// ranged reads off the streaming decode frontier through a bounded pipe —
+// so gateway memory stays O(BlockSize × n) per request however large the
+// object.
+//
+// The client lives on a single-goroutine event loop (an rt.Loop on real
+// nodes, a pumped simulator in tests); the gateway bridges each HTTP
+// request onto it with the call function and never blocks the loop: bodies
+// are read and responses written on the handler goroutine, with the loop
+// touched only in posted closures.
+//
+// Routes:
+//
+//	PUT    /o/{key}   store an object (Content-Length required)
+//	GET    /o/{key}   retrieve, honoring Range and If-Match
+//	HEAD   /o/{key}   metadata only
+//	DELETE /o/{key}   drop the object cluster-wide
+//	GET    /o/        list objects (?start= continuation, ?max= page size)
+package gateway
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/telemetry"
+)
+
+// metaPrefix keys the per-object metadata records. User keys must not start
+// with a dot, so the hidden namespace cannot collide and listings simply
+// skip it.
+const metaPrefix = ".m:"
+
+// StatusClientClosed is reported when the requesting client vanished
+// mid-transfer (nginx's 499, the conventional code for it).
+const StatusClientClosed = 499
+
+// objectMeta is the metadata record written alongside every object the
+// gateway stores: the exact length and block size aim ranged reads at the
+// right shard blocks, the content hash serves ETag / If-Match.
+type objectMeta struct {
+	Size   int64  `json:"size"`
+	Block  int64  `json:"block"`
+	SHA256 string `json:"sha256"`
+}
+
+func (m objectMeta) etag() string { return `"` + m.SHA256 + `"` }
+
+// Config parameterises a Gateway.
+type Config struct {
+	// MaxInflightBytes bounds the summed buffer footprint of in-flight
+	// requests; admission past it answers 429 + Retry-After. Default 64 MiB.
+	MaxInflightBytes int64
+	// PipeBuffer is the per-GET decode pipe size (default 1 MiB): how far
+	// the decode frontier may run ahead of a slow reader before the
+	// operation pauses on its credit windows.
+	PipeBuffer int
+	// MaxList caps one listing page (default 1000).
+	MaxList int
+	// Telemetry and Tracer default to the process-wide instances.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+}
+
+// routeMetrics is one route family's counters.
+type routeMetrics struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	bytes    *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// Gateway is an http.Handler serving the object API over one node's dstore
+// client. call must run its closure on the client's owning loop goroutine
+// and report whether it ran (false once the loop is stopped).
+type Gateway struct {
+	call   func(func()) bool
+	client *dstore.Client
+	cfg    Config
+	tracer *telemetry.Tracer
+
+	inflight atomic.Int64
+
+	mu    sync.Mutex
+	locks map[string]*keyLock
+
+	met struct {
+		put, get, head, delete, list routeMetrics
+		rejected                     *telemetry.Counter
+		inflight                     *telemetry.Gauge
+	}
+}
+
+// keyLock serializes PUTs to one key so concurrent writers commit whole
+// objects in some order instead of interleaving shard overwrites.
+type keyLock struct {
+	ch   chan struct{}
+	refs int
+}
+
+// New builds a gateway over a loop-owned client.
+func New(call func(func()) bool, client *dstore.Client, cfg Config) *Gateway {
+	if cfg.MaxInflightBytes == 0 {
+		cfg.MaxInflightBytes = 64 << 20
+	}
+	if cfg.PipeBuffer == 0 {
+		cfg.PipeBuffer = 1 << 20
+	}
+	if cfg.MaxList == 0 {
+		cfg.MaxList = 1000
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = telemetry.DefaultTracer()
+	}
+	g := &Gateway{call: call, client: client, cfg: cfg, tracer: cfg.Tracer, locks: make(map[string]*keyLock)}
+	scope := cfg.Telemetry.Label("component", "gateway")
+	mk := func(route string) routeMetrics {
+		return routeMetrics{
+			requests: scope.Counter("gateway."+route+".requests", route+" requests served"),
+			errors:   scope.Counter("gateway."+route+".errors", route+" requests that failed"),
+			bytes:    scope.Counter("gateway."+route+".bytes", "object bytes moved by "+route),
+			latency:  scope.Histogram("gateway."+route+".latency_us", route+" request latency in microseconds"),
+		}
+	}
+	g.met.put, g.met.get, g.met.head = mk("put"), mk("get"), mk("head")
+	g.met.delete, g.met.list = mk("delete"), mk("list")
+	g.met.rejected = scope.Counter("gateway.admission.rejected", "requests shed by the in-flight byte cap")
+	g.met.inflight = scope.Gauge("gateway.admission.inflight_bytes", "reserved in-flight request buffer bytes")
+	return g
+}
+
+// reserve admits cost bytes of request buffer, or refuses.
+func (g *Gateway) reserve(cost int64) bool {
+	for {
+		cur := g.inflight.Load()
+		if cur+cost > g.cfg.MaxInflightBytes {
+			g.met.rejected.Inc()
+			return false
+		}
+		if g.inflight.CompareAndSwap(cur, cur+cost) {
+			g.met.inflight.Set(cur + cost)
+			return true
+		}
+	}
+}
+
+func (g *Gateway) release(cost int64) {
+	g.met.inflight.Set(g.inflight.Add(-cost))
+}
+
+// lockKey serializes writers to one key; the returned func unlocks.
+func (g *Gateway) lockKey(key string) func() {
+	g.mu.Lock()
+	l := g.locks[key]
+	if l == nil {
+		l = &keyLock{ch: make(chan struct{}, 1)}
+		g.locks[key] = l
+	}
+	l.refs++
+	g.mu.Unlock()
+	l.ch <- struct{}{}
+	return func() {
+		<-l.ch
+		g.mu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(g.locks, key)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// statusOf maps the dstore error taxonomy to HTTP in one place.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, dstore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, dstore.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, dstore.ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosed
+	case errors.Is(err, dstore.ErrQuorum):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, dstore.ErrShortSource), errors.Is(err, dstore.ErrLongSource):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (g *Gateway) httpError(w http.ResponseWriter, err error) {
+	code := statusOf(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// ServeHTTP routes /o/... requests; anything else is 404.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key, ok := strings.CutPrefix(r.URL.Path, "/o/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if key == "" {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		g.observe(g.met.list, g.serveList(w, r))
+		return
+	}
+	if strings.HasPrefix(key, ".") {
+		http.Error(w, "keys must not start with '.'", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		g.observe(g.met.put, g.servePut(w, r, key))
+	case http.MethodGet:
+		g.observe(g.met.get, g.serveGet(w, r, key, true))
+	case http.MethodHead:
+		g.observe(g.met.head, g.serveGet(w, r, key, false))
+	case http.MethodDelete:
+		g.observe(g.met.delete, g.serveDelete(w, r, key))
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// observe records one finished request on its route family.
+func (g *Gateway) observe(m routeMetrics, res result) {
+	m.requests.Inc()
+	m.bytes.Add(res.bytes)
+	m.latency.Observe(int64(res.took / time.Microsecond))
+	if res.err != nil {
+		m.errors.Inc()
+	}
+}
+
+// result is what each route handler reports for telemetry.
+type result struct {
+	bytes int64
+	took  time.Duration
+	err   error
+}
+
+// ---- loop bridges ----
+
+// errStopped is returned when the node's loop has shut down under a request.
+var errStopped = fmt.Errorf("gateway: node stopped: %w", dstore.ErrCanceled)
+
+// getObject fetches a whole (small) object through the loop.
+func (g *Gateway) getObject(ctx context.Context, id string) ([]byte, error) {
+	type res struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan res, 1)
+	var h *dstore.Handle
+	if !g.call(func() {
+		h = g.client.GetAsync(id, func(d []byte, e error) { ch <- res{d, e} })
+	}) {
+		return nil, errStopped
+	}
+	select {
+	case r := <-ch:
+		return r.data, r.err
+	case <-ctx.Done():
+		if !g.call(func() { h.Cancel() }) {
+			return nil, errStopped
+		}
+		r := <-ch
+		return r.data, r.err
+	}
+}
+
+// putObject stores a whole (small) object through the loop.
+func (g *Gateway) putObject(ctx context.Context, id string, data []byte) error {
+	ch := make(chan error, 1)
+	var h *dstore.Handle
+	if !g.call(func() {
+		h = g.client.PutAsync(id, data, func(_ int, e error) { ch <- e })
+	}) {
+		return errStopped
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		if !g.call(func() { h.Cancel() }) {
+			return errStopped
+		}
+		return <-ch
+	}
+}
+
+// fetchMeta loads an object's metadata record; ok reports whether one
+// exists (legacy objects stored without the gateway have none).
+func (g *Gateway) fetchMeta(ctx context.Context, key string) (objectMeta, bool, error) {
+	data, err := g.getObject(ctx, metaPrefix+key)
+	if errors.Is(err, dstore.ErrNotFound) {
+		return objectMeta{}, false, nil
+	}
+	if err != nil {
+		return objectMeta{}, false, err
+	}
+	var m objectMeta
+	if json.Unmarshal(data, &m) != nil {
+		return objectMeta{}, false, nil // unreadable record: treat as absent
+	}
+	return m, true, nil
+}
+
+// ---- PUT ----
+
+func (g *Gateway) servePut(w http.ResponseWriter, r *http.Request, key string) result {
+	start := time.Now()
+	if r.ContentLength < 0 {
+		http.Error(w, "Content-Length required", http.StatusLengthRequired)
+		return result{took: time.Since(start), err: errors.New("length required")}
+	}
+	size := r.ContentLength
+	// The streaming put's real memory footprint: one block fanned into n
+	// shard queues under the credit windows, whatever the object size.
+	cost := int64(g.client.BlockSize()) * int64(g.client.Code().N())
+	if size < cost {
+		cost = size + 1
+	}
+	if !g.reserve(cost) {
+		g.httpError(w, fmt.Errorf("%w: gateway at its in-flight byte cap", dstore.ErrOverloaded))
+		return result{took: time.Since(start), err: dstore.ErrOverloaded}
+	}
+	defer g.release(cost)
+	unlock := g.lockKey(key)
+	defer unlock()
+
+	tr := g.trace("http.put", key)
+	meta, err := g.doPut(r, key, size)
+	g.finishTrace(tr, err)
+	if err != nil {
+		g.httpError(w, err)
+		return result{took: time.Since(start), err: err}
+	}
+	w.Header().Set("ETag", meta.etag())
+	w.WriteHeader(http.StatusOK)
+	return result{bytes: size, took: time.Since(start)}
+}
+
+// doPut feeds the request body through the push-mode put and, on success,
+// writes the metadata record.
+func (g *Gateway) doPut(r *http.Request, key string, size int64) (objectMeta, error) {
+	ctx := r.Context()
+	fd, err := g.newFeed(key, size)
+	if err != nil {
+		return objectMeta{}, err
+	}
+	sum := sha256.New()
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			sum.Write(buf[:n])
+			if err := fd.offer(ctx, buf[:n]); err != nil {
+				fd.abort()
+				return objectMeta{}, err
+			}
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			fd.abort()
+			return objectMeta{}, fmt.Errorf("%w: reading request body: %v", dstore.ErrCanceled, rerr)
+		}
+	}
+	if err := fd.close(ctx); err != nil {
+		return objectMeta{}, err
+	}
+	meta := objectMeta{
+		Size:   size,
+		Block:  int64(g.client.BlockSize()),
+		SHA256: hex.EncodeToString(sum.Sum(nil)),
+	}
+	mj, _ := json.Marshal(meta)
+	return meta, g.putObject(ctx, metaPrefix+key, mj)
+}
+
+// feed bridges a loop-owned dstore.PutFeed to the handler goroutine.
+type feed struct {
+	g    *Gateway
+	f    *dstore.PutFeed
+	room chan struct{}
+	done chan struct{}
+	err  error
+}
+
+func (g *Gateway) newFeed(id string, size int64) (*feed, error) {
+	fd := &feed{g: g, room: make(chan struct{}, 1), done: make(chan struct{})}
+	var err error
+	if !g.call(func() {
+		fd.f, err = g.client.NewPutFeed(id, size, func(_ int, e error) {
+			fd.err = e
+			close(fd.done)
+		})
+		if err == nil {
+			fd.f.OnRoom(func() {
+				select {
+				case fd.room <- struct{}{}:
+				default:
+				}
+			})
+		}
+	}) {
+		return nil, errStopped
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fd, nil
+}
+
+// offer delivers bytes, blocking the producer — never the loop — while the
+// credit windows are full.
+func (fd *feed) offer(ctx context.Context, p []byte) error {
+	room := false
+	if !fd.g.call(func() { room = fd.f.Offer(p) }) {
+		return errStopped
+	}
+	if room {
+		return nil
+	}
+	select {
+	case <-fd.room:
+		return nil
+	case <-fd.done:
+		return nil // outcome surfaces at close
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (fd *feed) close(ctx context.Context) error {
+	if !fd.g.call(fd.f.Close) {
+		return errStopped
+	}
+	select {
+	case <-fd.done:
+		return fd.err
+	case <-ctx.Done():
+		if !fd.g.call(fd.f.Cancel) {
+			return errStopped
+		}
+		<-fd.done
+		return fd.err
+	}
+}
+
+func (fd *feed) abort() {
+	fd.g.call(fd.f.Cancel)
+}
+
+// ---- GET / HEAD ----
+
+func (g *Gateway) serveGet(w http.ResponseWriter, r *http.Request, key string, body bool) result {
+	start := time.Now()
+	ctx := r.Context()
+	meta, hasMeta, err := g.fetchMeta(ctx, key)
+	if err != nil {
+		g.httpError(w, err)
+		return result{took: time.Since(start), err: err}
+	}
+	size := int64(-1)
+	if hasMeta {
+		size = meta.Size
+	} else {
+		// Legacy object (stored without the gateway): the merged inventory
+		// is the only size authority, and 404s surface here.
+		st, serr := g.stat(ctx, key)
+		if serr != nil {
+			g.httpError(w, serr)
+			return result{took: time.Since(start), err: serr}
+		}
+		size = st.DataLen
+	}
+	if im := r.Header.Get("If-Match"); im != "" && im != "*" {
+		if !hasMeta || !matchETag(im, meta.etag()) {
+			http.Error(w, "precondition failed", http.StatusPreconditionFailed)
+			return result{took: time.Since(start), err: errors.New("precondition failed")}
+		}
+	}
+
+	off, length := int64(0), int64(-1)
+	status := http.StatusOK
+	if rng := r.Header.Get("Range"); rng != "" && size >= 0 {
+		var ok bool
+		off, length, ok = parseRange(rng, size)
+		if !ok {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+			http.Error(w, "range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
+			return result{took: time.Since(start), err: errors.New("range not satisfiable")}
+		}
+		if off != 0 || length != size {
+			status = http.StatusPartialContent
+		} else {
+			length = -1 // the whole object: serve it as a plain 200
+		}
+	}
+
+	h := w.Header()
+	h.Set("Accept-Ranges", "bytes")
+	if hasMeta {
+		h.Set("ETag", meta.etag())
+	}
+	want := length
+	if want < 0 && size >= 0 {
+		want = size - off
+	}
+	if want >= 0 {
+		h.Set("Content-Length", strconv.FormatInt(want, 10))
+	}
+	if status == http.StatusPartialContent {
+		h.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+want-1, size))
+	}
+	if !body {
+		w.WriteHeader(status)
+		return result{took: time.Since(start)}
+	}
+	if want == 0 {
+		w.WriteHeader(status)
+		return result{took: time.Since(start)}
+	}
+
+	if !g.reserve(int64(g.cfg.PipeBuffer)) {
+		g.httpError(w, fmt.Errorf("%w: gateway at its in-flight byte cap", dstore.ErrOverloaded))
+		return result{took: time.Since(start), err: dstore.ErrOverloaded}
+	}
+	defer g.release(int64(g.cfg.PipeBuffer))
+
+	n, err := g.streamRange(w, r, key, meta, hasMeta, off, length, status)
+	return result{bytes: n, took: time.Since(start), err: err}
+}
+
+// streamRange runs the ranged retrieve on the loop, draining the decode
+// pipe to the response writer on the handler goroutine. Headers are written
+// once the first bytes (or the operation's outcome) arrive, so a retrieve
+// that fails outright still reports its real status.
+func (g *Gateway) streamRange(w http.ResponseWriter, r *http.Request, key string,
+	meta objectMeta, hasMeta bool, off, length int64, status int) (int64, error) {
+
+	ctx := r.Context()
+	pipe := newGetPipe(g.cfg.PipeBuffer)
+	opts := dstore.GetOptions{Off: off, Length: length, Ready: pipe.ready}
+	if hasMeta {
+		opts.Meta = &dstore.RangeMeta{DataLen: meta.Size, BlockLen: meta.Block}
+	}
+	tr := g.trace("http.get", key)
+	var h *dstore.Handle
+	if !g.call(func() {
+		h = g.client.GetRangeAsync(key, pipe, opts, func(n int64, err error) {
+			pipe.closeWrite(err)
+		})
+	}) {
+		return 0, errStopped
+	}
+	// A vanished client must cancel the retrieve even while the decode is
+	// paused on backpressure (nothing else would wake it).
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			pipe.kill()
+			g.call(func() { h.Cancel() })
+		case <-watch:
+		}
+	}()
+
+	var written int64
+	headerSent := false
+	buf := make([]byte, 64<<10)
+	for {
+		n, wake, rerr := pipe.read(buf)
+		if n > 0 {
+			if !headerSent {
+				w.WriteHeader(status)
+				headerSent = true
+			}
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				pipe.kill()
+				g.call(func() { h.Cancel() })
+				g.finishTrace(tr, werr)
+				return written, fmt.Errorf("%w: client went away: %v", dstore.ErrCanceled, werr)
+			}
+			written += int64(n)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		if wake {
+			g.call(func() { h.Resume() })
+		}
+		if rerr != nil {
+			err := pipe.err()
+			g.finishTrace(tr, err)
+			if err != nil {
+				if !headerSent {
+					g.httpError(w, err)
+				}
+				return written, err
+			}
+			if !headerSent {
+				w.WriteHeader(status)
+			}
+			return written, nil
+		}
+	}
+}
+
+// stat resolves one object in the merged inventory through the loop.
+func (g *Gateway) stat(ctx context.Context, key string) (dstore.ObjectStat, error) {
+	type res struct {
+		st  dstore.ObjectStat
+		err error
+	}
+	ch := make(chan res, 1)
+	if !g.call(func() {
+		g.client.StatAsync(key, func(st dstore.ObjectStat, e error) { ch <- res{st, e} })
+	}) {
+		return dstore.ObjectStat{}, errStopped
+	}
+	select {
+	case r := <-ch:
+		return r.st, r.err
+	case <-ctx.Done():
+		return dstore.ObjectStat{}, ctx.Err()
+	}
+}
+
+// ---- DELETE ----
+
+func (g *Gateway) serveDelete(w http.ResponseWriter, r *http.Request, key string) result {
+	start := time.Now()
+	ctx := r.Context()
+	if im := r.Header.Get("If-Match"); im != "" && im != "*" {
+		meta, hasMeta, err := g.fetchMeta(ctx, key)
+		if err != nil {
+			g.httpError(w, err)
+			return result{took: time.Since(start), err: err}
+		}
+		if !hasMeta || !matchETag(im, meta.etag()) {
+			http.Error(w, "precondition failed", http.StatusPreconditionFailed)
+			return result{took: time.Since(start), err: errors.New("precondition failed")}
+		}
+	}
+	tr := g.trace("http.delete", key)
+	unlock := g.lockKey(key)
+	err := g.deleteObject(ctx, key)
+	if err == nil {
+		// Metadata goes second: a half-applied delete leaves the meta
+		// record pointing at a missing object, which reads as 404 anyway.
+		g.deleteObject(ctx, metaPrefix+key)
+	}
+	unlock()
+	g.finishTrace(tr, err)
+	if err != nil && !errors.Is(err, dstore.ErrNotFound) {
+		g.httpError(w, err)
+		return result{took: time.Since(start), err: err}
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return result{took: time.Since(start)}
+}
+
+func (g *Gateway) deleteObject(ctx context.Context, id string) error {
+	ch := make(chan error, 1)
+	if !g.call(func() {
+		g.client.DeleteAsync(id, func(e error) { ch <- e })
+	}) {
+		return errStopped
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- LIST ----
+
+type listEntry struct {
+	Key    string `json:"key"`
+	Size   int64  `json:"size"`
+	Shards int    `json:"shards"`
+}
+
+type listPage struct {
+	Objects   []listEntry `json:"objects"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Next      string      `json:"next,omitempty"`
+}
+
+func (g *Gateway) serveList(w http.ResponseWriter, r *http.Request) result {
+	start := time.Now()
+	ctx := r.Context()
+	type res struct {
+		objs []dstore.ObjectStat
+		err  error
+	}
+	ch := make(chan res, 1)
+	if !g.call(func() {
+		g.client.ListAsync(func(o []dstore.ObjectStat, e error) { ch <- res{o, e} })
+	}) {
+		g.httpError(w, errStopped)
+		return result{took: time.Since(start), err: errStopped}
+	}
+	var objs []dstore.ObjectStat
+	select {
+	case rr := <-ch:
+		if rr.err != nil {
+			g.httpError(w, rr.err)
+			return result{took: time.Since(start), err: rr.err}
+		}
+		objs = rr.objs
+	case <-ctx.Done():
+		return result{took: time.Since(start), err: ctx.Err()}
+	}
+
+	max := g.cfg.MaxList
+	if s := r.URL.Query().Get("max"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 && v < max {
+			max = v
+		}
+	}
+	after := r.URL.Query().Get("start")
+	page := listPage{Objects: []listEntry{}}
+	for _, o := range objs {
+		if strings.HasPrefix(o.ID, ".") || (after != "" && o.ID <= after) {
+			continue // hidden namespace, or before the continuation token
+		}
+		if len(page.Objects) == max {
+			page.Truncated = true
+			page.Next = page.Objects[max-1].Key
+			break
+		}
+		page.Objects = append(page.Objects, listEntry{Key: o.ID, Size: o.DataLen, Shards: o.Shards})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(page)
+	w.Write(body)
+	return result{bytes: int64(len(body)), took: time.Since(start)}
+}
+
+// ---- helpers ----
+
+// trace opens a request span (nil-tolerant, mirroring the client).
+func (g *Gateway) trace(op, key string) *telemetry.Trace {
+	return g.tracer.Start(op, g.client.Node(), key, time.Now().UnixNano())
+}
+
+func (g *Gateway) finishTrace(tr *telemetry.Trace, err error) {
+	tr.Finish(time.Now().UnixNano(), err)
+}
+
+// matchETag does the strong comparison against a comma-separated If-Match
+// list.
+func matchETag(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRange interprets a single-range bytes= header against a known size.
+// ok=false means unsatisfiable; malformed or multi-range headers are
+// reported as the whole object (per RFC 9110 a server may ignore them).
+func parseRange(header string, size int64) (off, length int64, ok bool) {
+	spec, found := strings.CutPrefix(header, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, size, true
+	}
+	lo, hi, found := strings.Cut(spec, "-")
+	if !found {
+		return 0, size, true
+	}
+	lo, hi = strings.TrimSpace(lo), strings.TrimSpace(hi)
+	if lo == "" {
+		// Suffix range: the final n bytes.
+		n, err := strconv.ParseInt(hi, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, 0, false
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, true
+	}
+	start, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil || start < 0 {
+		return 0, size, true
+	}
+	if start >= size {
+		return 0, 0, size == 0 && start == 0
+	}
+	if hi == "" {
+		return start, size - start, true
+	}
+	end, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil || end < start {
+		return 0, 0, false
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end - start + 1, true
+}

@@ -1,0 +1,426 @@
+package gateway_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rain/internal/dstore"
+	"rain/internal/ecc"
+	"rain/internal/gateway"
+	"rain/internal/rt"
+	"rain/internal/rudp"
+	"rain/internal/sim"
+	"rain/internal/storage"
+)
+
+// harness is a 6-node simulated dstore cluster driven by an rt.Loop against
+// the wall clock, with the gateway serving over node a's client — the same
+// loop discipline a real node runs, minus the sockets, so the HTTP
+// semantics are exercised deterministically and fast.
+type harness struct {
+	t      *testing.T
+	loop   *rt.Loop
+	client *dstore.Client
+	gw     *gateway.Gateway
+	srv    *httptest.Server
+}
+
+func newHarness(t *testing.T, seed int64, cfg gateway.Config) *harness {
+	t.Helper()
+	code, err := ecc.NewReedSolomon(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]string, 6)
+	for i := range nodes {
+		nodes[i] = string(rune('a' + i))
+	}
+	h := &harness{t: t, loop: rt.New(seed)}
+	h.loop.Start()
+	t.Cleanup(h.loop.Stop)
+	ok := h.loop.Call(func() {
+		s := h.loop.Scheduler()
+		net := sim.NewNetwork(s)
+		sim.ApplyProfile(net, nodes, 2, sim.ProfileLAN)
+		mesh, merr := rudp.NewMesh(s, net, nodes, rudp.Config{})
+		if merr != nil {
+			err = merr
+			return
+		}
+		clock := func() time.Time { return time.Unix(0, int64(s.Now())) }
+		for i, node := range nodes {
+			backend := storage.NewBackend()
+			dstore.NewDaemon(mesh, node, i, backend, 4<<10, dstore.WithDaemonClock(clock))
+			cl, cerr := dstore.NewClient(s, mesh, node, dstore.Config{
+				Code: code, Peers: nodes, ChunkSize: 4 << 10,
+			})
+			if cerr != nil {
+				err = cerr
+				return
+			}
+			if node == "a" {
+				h.client = cl
+			}
+		}
+	})
+	if !ok || err != nil {
+		t.Fatalf("building harness: ok=%v err=%v", ok, err)
+	}
+	h.gw = gateway.New(h.loop.Call, h.client, cfg)
+	h.srv = httptest.NewServer(h.gw)
+	t.Cleanup(h.srv.Close)
+	time.Sleep(50 * time.Millisecond) // path monitors come up in wall time
+	return h
+}
+
+func (h *harness) url(key string) string { return h.srv.URL + "/o/" + key }
+
+func (h *harness) put(key string, data []byte) *http.Response {
+	h.t.Helper()
+	req, err := http.NewRequest(http.MethodPut, h.url(key), bytes.NewReader(data))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func (h *harness) get(key string, hdr map[string]string) (*http.Response, []byte) {
+	h.t.Helper()
+	req, err := http.NewRequest(http.MethodGet, h.url(key), nil)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp, body
+}
+
+// pending reads the client's live request-handler count on the loop.
+func (h *harness) pending() int {
+	n := -1
+	h.loop.Call(func() { n = h.client.PendingRequests() })
+	return n
+}
+
+// waitDrained waits for every daemon session and request handler to settle.
+func (h *harness) waitDrained() {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for h.pending() != 0 {
+		if time.Now().After(deadline) {
+			h.t.Fatalf("%d request handlers still live", h.pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// TestPutGetRoundtrip stores through HTTP and reads back bit-exact, with
+// ETag and conditional If-Match behavior.
+func TestPutGetRoundtrip(t *testing.T) {
+	h := newHarness(t, 1, gateway.Config{})
+	data := randBytes(42, 150<<10)
+	resp := h.put("movie", data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	wantETag := `"` + hex.EncodeToString(func() []byte { s := sha256.Sum256(data); return s[:] }()) + `"`
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Fatalf("put ETag %q, want %q", got, wantETag)
+	}
+
+	resp, body := h.get("movie", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("get status %d, equal=%v", resp.StatusCode, bytes.Equal(body, data))
+	}
+	if got := resp.Header.Get("ETag"); got != wantETag {
+		t.Fatalf("get ETag %q, want %q", got, wantETag)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(data)) {
+		t.Fatalf("Content-Length %q", cl)
+	}
+
+	// Conditional reads: matching tag serves, stale tag refuses.
+	resp, _ = h.get("movie", map[string]string{"If-Match": wantETag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching If-Match: status %d", resp.StatusCode)
+	}
+	resp, _ = h.get("movie", map[string]string{"If-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match: status %d", resp.StatusCode)
+	}
+
+	// HEAD carries the metadata without a body.
+	req, _ := http.NewRequest(http.MethodHead, h.url("movie"), nil)
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || hr.Header.Get("Content-Length") != fmt.Sprint(len(data)) {
+		t.Fatalf("head status %d length %q", hr.StatusCode, hr.Header.Get("Content-Length"))
+	}
+
+	// Dotted keys are the gateway's hidden namespace.
+	if resp := h.put(".sneaky", []byte("x")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dotted key: status %d", resp.StatusCode)
+	}
+	// Missing objects are a clean 404.
+	if resp, _ := h.get("ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing object: status %d", resp.StatusCode)
+	}
+	h.waitDrained()
+}
+
+// TestRangedReads exercises Range GETs at block boundaries ±1 — the stored
+// block size is 64 KiB — plus suffix and clamped ranges, all served off the
+// decode frontier with the metadata hint.
+func TestRangedReads(t *testing.T) {
+	h := newHarness(t, 2, gateway.Config{})
+	const size = 200 << 10
+	const bs = 64 << 10
+	data := randBytes(7, size)
+	if resp := h.put("obj", data); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	cases := []struct {
+		spec     string
+		from, to int64 // inclusive byte range expected back
+	}{
+		{"bytes=0-9", 0, 9},
+		{fmt.Sprintf("bytes=%d-%d", bs-1, bs), bs - 1, bs}, // straddles the boundary
+		{fmt.Sprintf("bytes=%d-%d", bs, bs), bs, bs},       // exactly one byte at the boundary
+		{fmt.Sprintf("bytes=%d-%d", bs+1, bs+100), bs + 1, bs + 100},
+		{fmt.Sprintf("bytes=%d-%d", 2*bs-1, 3*bs), 2*bs - 1, 3 * bs},       // spans three blocks
+		{fmt.Sprintf("bytes=%d-", 3*bs), 3 * bs, size - 1},                 // the short final block
+		{"bytes=-5", size - 5, size - 1},                                   // suffix
+		{fmt.Sprintf("bytes=%d-%d", size-5, size+100), size - 5, size - 1}, // clamped
+	}
+	for _, tc := range cases {
+		resp, body := h.get("obj", map[string]string{"Range": tc.spec})
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("%s: status %d", tc.spec, resp.StatusCode)
+		}
+		want := data[tc.from : tc.to+1]
+		if !bytes.Equal(body, want) {
+			t.Fatalf("%s: got %d bytes, want %d (first diff at %d)", tc.spec, len(body), len(want), firstDiff(body, want))
+		}
+		wantCR := fmt.Sprintf("bytes %d-%d/%d", tc.from, tc.to, size)
+		if cr := resp.Header.Get("Content-Range"); cr != wantCR {
+			t.Fatalf("%s: Content-Range %q, want %q", tc.spec, cr, wantCR)
+		}
+	}
+	// A range past the end is unsatisfiable.
+	resp, _ := h.get("obj", map[string]string{"Range": fmt.Sprintf("bytes=%d-", size)})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("past-the-end range: status %d", resp.StatusCode)
+	}
+	// A full-coverage range is served as a plain 200.
+	resp, body := h.get("obj", map[string]string{"Range": fmt.Sprintf("bytes=0-%d", size-1)})
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("full range: status %d equal=%v", resp.StatusCode, bytes.Equal(body, data))
+	}
+	h.waitDrained()
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestClientDisconnectMidTransfer kills the HTTP client partway through a
+// large GET whose decode is throttled by a small pipe, and asserts the
+// retrieve is cancelled — no daemon session or request handler leaks.
+func TestClientDisconnectMidTransfer(t *testing.T) {
+	h := newHarness(t, 3, gateway.Config{PipeBuffer: 128 << 10})
+	data := randBytes(9, 2<<20)
+	if resp := h.put("big", data); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(h.url("big"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a slice, then vanish.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	h.waitDrained()
+
+	// The cluster is unharmed: the object still reads back whole.
+	resp2, body := h.get("big", nil)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("after disconnect: status %d equal=%v", resp2.StatusCode, bytes.Equal(body, data))
+	}
+	h.waitDrained()
+}
+
+// TestListPagination walks a listing in pages through the continuation
+// token and checks the hidden metadata namespace never shows.
+func TestListPagination(t *testing.T) {
+	h := newHarness(t, 4, gateway.Config{})
+	keys := []string{"k1", "k2", "k3", "k4", "k5"}
+	for i, k := range keys {
+		if resp := h.put(k, randBytes(int64(i), 5<<10)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %s: status %d", k, resp.StatusCode)
+		}
+	}
+	var got []string
+	start := ""
+	for page := 0; ; page++ {
+		if page > 5 {
+			t.Fatal("pagination never terminated")
+		}
+		resp, body := h.get("?max=2&start="+start, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list status %d", resp.StatusCode)
+		}
+		var lp struct {
+			Objects []struct {
+				Key    string `json:"key"`
+				Size   int64  `json:"size"`
+				Shards int    `json:"shards"`
+			} `json:"objects"`
+			Truncated bool   `json:"truncated"`
+			Next      string `json:"next"`
+		}
+		if err := json.Unmarshal(body, &lp); err != nil {
+			t.Fatalf("list body: %v", err)
+		}
+		for _, o := range lp.Objects {
+			if strings.HasPrefix(o.Key, ".") {
+				t.Fatalf("hidden key %q leaked into the listing", o.Key)
+			}
+			if o.Size != 5<<10 || o.Shards != 6 {
+				t.Fatalf("entry %+v", o)
+			}
+			got = append(got, o.Key)
+		}
+		if !lp.Truncated {
+			break
+		}
+		start = lp.Next
+	}
+	if strings.Join(got, ",") != strings.Join(keys, ",") {
+		t.Fatalf("paged listing = %v, want %v", got, keys)
+	}
+	h.waitDrained()
+}
+
+// TestConcurrentPutsSameKey races two writers on one key: both must
+// succeed, and the final object must be exactly one of the two bodies
+// (never an interleaving) with its metadata in agreement.
+func TestConcurrentPutsSameKey(t *testing.T) {
+	h := newHarness(t, 5, gateway.Config{})
+	a := randBytes(100, 100<<10)
+	b := randBytes(200, 130<<10)
+	var wg sync.WaitGroup
+	status := make([]int, 2)
+	for i, body := range [][]byte{a, b} {
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPut, h.url("contended"), bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			status[i] = resp.StatusCode
+		}(i, body)
+	}
+	wg.Wait()
+	if status[0] != http.StatusOK || status[1] != http.StatusOK {
+		t.Fatalf("put statuses %v", status)
+	}
+	resp, body := h.get("contended", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, a) && !bytes.Equal(body, b) {
+		t.Fatalf("final object is neither writer's body (len %d)", len(body))
+	}
+	sum := sha256.Sum256(body)
+	if want := `"` + hex.EncodeToString(sum[:]) + `"`; resp.Header.Get("ETag") != want {
+		t.Fatalf("ETag %q disagrees with the surviving body", resp.Header.Get("ETag"))
+	}
+	h.waitDrained()
+}
+
+// TestDeleteAndAdmission deletes through the gateway and checks the 429
+// admission path.
+func TestDeleteAndAdmission(t *testing.T) {
+	h := newHarness(t, 6, gateway.Config{})
+	if resp := h.put("doomed", randBytes(1, 10<<10)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, h.url("doomed"), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if resp, _ := h.get("doomed", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", resp.StatusCode)
+	}
+
+	// Admission: a gateway with a tiny in-flight budget sheds the request
+	// with 429 + Retry-After instead of queueing it.
+	tiny := gateway.New(h.loop.Call, h.client, gateway.Config{MaxInflightBytes: 1})
+	srv := httptest.NewServer(tiny)
+	defer srv.Close()
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/o/nope", bytes.NewReader(make([]byte, 1<<10)))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("admission: status %d retry-after %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	h.waitDrained()
+}

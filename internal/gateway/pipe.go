@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"errors"
+	"sync"
+)
+
+// getPipe is the bounded buffer between the loop-side streaming decode and
+// the handler goroutine draining to the HTTP response. The decode writes
+// whole blocks into it (never blocking the loop: GetOptions.Ready consults
+// ready() before each block, so at most one block overshoots max), the
+// consumer reads on its own pace, and the producer is re-driven with
+// Handle.Resume when consumption frees space. A consumer that vanished
+// kills the pipe, which fails the next loop-side Write and aborts the
+// decode — the daemons' sessions are cancelled, not leaked.
+type getPipe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	max  int
+
+	paused  bool // producer saw a full pipe: the consumer must Resume it
+	wclosed bool // producer finished (werr holds the outcome)
+	werr    error
+	dead    bool // consumer gone
+}
+
+var errConsumerGone = errors.New("gateway: response consumer gone")
+
+func newGetPipe(max int) *getPipe {
+	p := &getPipe{max: max}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Write appends decoded bytes; loop-side (the decoder's sink).
+func (p *getPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return 0, errConsumerGone
+	}
+	p.buf = append(p.buf, b...)
+	p.cond.Signal()
+	return len(b), nil
+}
+
+// ready gates the decode on downstream backpressure; loop-side. A false
+// return pauses the operation, so it also records that the consumer owes a
+// Resume.
+func (p *getPipe) ready() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return true // let the decode run into Write's error and abort
+	}
+	if len(p.buf) >= p.max {
+		p.paused = true
+		return false
+	}
+	return true
+}
+
+// closeWrite marks the producer done with its outcome; loop-side.
+func (p *getPipe) closeWrite(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wclosed = true
+	p.werr = err
+	p.cond.Broadcast()
+}
+
+// kill marks the consumer gone; consumer-side.
+func (p *getPipe) kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead = true
+	p.cond.Broadcast()
+}
+
+// read blocks for the next bytes; consumer-side. wake reports that the
+// producer paused on a full pipe and this read freed space — the caller
+// must post Handle.Resume. done (non-nil error return) means the stream
+// ended; the outcome is in err().
+func (p *getPipe) read(dst []byte) (n int, wake bool, done error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 && !p.wclosed && !p.dead {
+		p.cond.Wait()
+	}
+	if len(p.buf) == 0 {
+		return 0, false, errConsumerGone // closed or dead: stream over
+	}
+	n = copy(dst, p.buf)
+	rest := copy(p.buf, p.buf[n:])
+	p.buf = p.buf[:rest]
+	if p.paused && len(p.buf) < p.max {
+		p.paused = false
+		wake = true
+	}
+	return n, wake, nil
+}
+
+// err reports the producer's outcome once read signalled the end.
+func (p *getPipe) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.werr
+}

@@ -1,0 +1,142 @@
+package membership
+
+import "rain/internal/sim"
+
+// MeshNode drives one membership engine over a MeshTransport — the
+// per-process counterpart of MeshCluster for real-socket deployments, where
+// every cluster member is its own process and the transport is the
+// dial-by-address UDP mesh. It layers the same stop-and-wait ack handshake
+// (the protocol's failure detector) and (sender, id) dedup over the mesh
+// service, and optionally consults the mesh's peer liveness to fail
+// deliveries to known-dead neighbours after one attempt instead of
+// burning the full retry budget.
+//
+// Everything runs on the owning scheduler; drive it from an rt.Loop.
+type MeshNode struct {
+	s    *sim.Scheduler
+	mesh MeshTransport
+	name string
+	cfg  MeshConfig
+	node *Node
+
+	nextID    uint64
+	acks      map[uint64]func()
+	processed map[string]bool
+	stopped   bool
+	peerUp    func(name string) bool
+}
+
+// NewMeshNode builds the local member and registers its mesh handler.
+// ring is this node's initial world view: the seed starts with itself (or
+// a known initial ring) and StartWithToken; everyone else starts with
+// {name} and Join(seed). peerUp (optional) reports transport liveness.
+func NewMeshNode(s *sim.Scheduler, mesh MeshTransport, name string, ring []string, cfg MeshConfig, peerUp func(string) bool) *MeshNode {
+	m := &MeshNode{
+		s:         s,
+		mesh:      mesh,
+		name:      name,
+		cfg:       cfg.withDefaults(),
+		acks:      make(map[uint64]func()),
+		processed: make(map[string]bool),
+		peerUp:    peerUp,
+	}
+	m.node = NewNode(name, ring, m.cfg.Config, m)
+	mesh.Handle(name, Service, m.onFrame)
+	var loop func()
+	loop = func() {
+		if !m.stopped {
+			m.node.Tick(int64(s.Now()))
+		}
+		s.After(m.cfg.HoldInterval/2, loop)
+	}
+	s.After(0, loop)
+	return m
+}
+
+// Node exposes the driven engine (View, HasToken, OnMembershipChange, ...).
+func (m *MeshNode) Node() *Node { return m.node }
+
+// StartWithToken seeds the ring: exactly one process per cluster calls it.
+func (m *MeshNode) StartWithToken() { m.node.StartWithToken(int64(m.s.Now())) }
+
+// Join requests admission through seed, retrying every StarveTimeout until
+// a token confirms membership (LocalSeq > 0).
+func (m *MeshNode) Join(seed string) {
+	m.node.Join(seed, int64(m.s.Now()))
+	var retry func()
+	retry = func() {
+		if m.stopped || m.node.LocalSeq() > 0 {
+			return
+		}
+		m.node.Join(seed, int64(m.s.Now()))
+		m.s.After(m.cfg.StarveTimeout, retry)
+	}
+	m.s.After(m.cfg.StarveTimeout, retry)
+}
+
+// Stop freezes the engine (no ticks, no reception); Restart unfreezes it.
+func (m *MeshNode) Stop()    { m.stopped = true }
+func (m *MeshNode) Restart() { m.stopped = false }
+
+// Send implements Transport with the stop-and-wait ack handshake. A peer
+// the mesh reports down fails after a single unacked attempt — the mesh's
+// liveness signal shortens failure detection without changing its meaning.
+func (m *MeshNode) Send(to string, msg any, done func(ok bool)) {
+	m.nextID++
+	id := m.nextID
+	payload := encodeMessage(id, msg)
+	attempts := 0
+	finished := false
+	var attempt func()
+	attempt = func() {
+		if finished {
+			return
+		}
+		budget := m.cfg.Retries
+		if m.peerUp != nil && !m.peerUp(to) {
+			budget = 0
+		}
+		if attempts > budget {
+			finished = true
+			delete(m.acks, id)
+			done(false)
+			return
+		}
+		attempts++
+		m.mesh.SendService(m.name, to, Service, payload)
+		m.s.After(m.cfg.AckTimeout, attempt)
+	}
+	m.acks[id] = func() {
+		if !finished {
+			finished = true
+			done(true)
+		}
+	}
+	attempt()
+}
+
+func (m *MeshNode) onFrame(from string, payload []byte) {
+	if m.stopped {
+		return
+	}
+	id, ack, msg, ok := decodeMessage(payload)
+	if !ok {
+		return
+	}
+	if ack {
+		if fn, ok := m.acks[id]; ok {
+			delete(m.acks, id)
+			fn()
+		}
+		return
+	}
+	// Ack every arrival (the sender may be retrying a lost ack), process
+	// each (sender, id) once.
+	m.mesh.SendService(m.name, from, Service, encodeAck(id))
+	key := from + "#" + itoa(id)
+	if m.processed[key] {
+		return
+	}
+	m.processed[key] = true
+	m.node.HandleMessage(from, msg, int64(m.s.Now()))
+}

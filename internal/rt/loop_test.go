@@ -1,0 +1,75 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Timers armed on the loop's scheduler fire close to wall time.
+func TestLoopTimerTracksWallClock(t *testing.T) {
+	l := New(1)
+	l.Start()
+	defer l.Stop()
+
+	fired := make(chan time.Time, 1)
+	start := time.Now()
+	l.Post(func() {
+		l.Scheduler().After(30*time.Millisecond, func() {
+			fired <- time.Now()
+		})
+	})
+	select {
+	case at := <-fired:
+		if d := at.Sub(start); d < 25*time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("timer fired after %v, want ~30ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// Posts from many goroutines all execute, on one goroutine, in bounded time.
+func TestLoopPostFunnels(t *testing.T) {
+	l := New(2)
+	l.Start()
+	defer l.Stop()
+
+	const n = 200
+	var ran atomic.Int64
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go l.Post(func() {
+			if ran.Add(1) == n {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("only %d/%d posts ran", ran.Load(), n)
+	}
+}
+
+// Call round-trips a result; Stop makes later Post/Call no-ops.
+func TestLoopCallAndStop(t *testing.T) {
+	l := New(3)
+	l.Start()
+
+	got := 0
+	if !l.Call(func() { got = 42 }) {
+		t.Fatal("Call on live loop failed")
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+
+	l.Stop()
+	l.Stop() // idempotent
+	if l.Call(func() { t.Error("ran after Stop") }) {
+		t.Fatal("Call succeeded on stopped loop")
+	}
+	l.Post(func() { t.Error("posted after Stop") })
+	time.Sleep(20 * time.Millisecond)
+}

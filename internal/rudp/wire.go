@@ -37,6 +37,13 @@ const (
 	KindAck
 	// KindPing carries the link-state monitoring protocol.
 	KindPing
+	// KindHello is the real-mesh dial handshake: Seq carries the sender's
+	// incarnation, Ack echoes the incarnation the sender believes the
+	// receiver is running, and the payload advertises the sender's name and
+	// address bundle. Hellos travel outside any Conn — they are what decides
+	// whether a fresh Conn pair is needed (a restarted peer has a new
+	// incarnation, and RUDP sequence state never survives a restart).
+	KindHello
 )
 
 func (k Kind) String() string {
@@ -47,6 +54,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindPing:
 		return "ping"
+	case KindHello:
+		return "hello"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -138,7 +147,7 @@ func UnmarshalWire(buf []byte) (Wire, error) {
 	if int(n) != len(buf)-wireHeader {
 		return Wire{}, fmt.Errorf("%w: payload length %d vs %d", ErrBadWire, n, len(buf)-wireHeader)
 	}
-	if w.Kind != KindData && w.Kind != KindAck && w.Kind != KindPing {
+	if w.Kind < KindData || w.Kind > KindHello {
 		return Wire{}, fmt.Errorf("%w: kind %d", ErrBadWire, w.Kind)
 	}
 	if n > 0 {

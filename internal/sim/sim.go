@@ -95,6 +95,12 @@ func (t Timer) Stop() {
 	}
 }
 
+// Armed reports whether the timer is still scheduled: not yet fired and
+// not stopped. The zero Timer is never armed.
+func (t Timer) Armed() bool {
+	return t.e != nil && t.e.seq == t.seq && !t.e.cancelled && t.e.fn != nil
+}
+
 // At schedules fn at absolute virtual time at (clamped to now if in the
 // past) and returns a cancellable handle.
 func (s *Scheduler) At(at Time, fn func()) Timer {
@@ -172,3 +178,16 @@ func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 // Pending reports the number of queued (possibly cancelled) events,
 // useful for leak checks in tests.
 func (s *Scheduler) Pending() int { return len(s.pq) }
+
+// NextAt peeks at the time of the earliest live event without running it.
+// Cancelled events at the head are discarded on the way. Real-time drivers
+// use this to sleep exactly until the next protocol deadline.
+func (s *Scheduler) NextAt() (Time, bool) {
+	for len(s.pq) > 0 {
+		if !s.pq[0].cancelled {
+			return s.pq[0].at, true
+		}
+		s.recycle(heap.Pop(&s.pq).(*event))
+	}
+	return 0, false
+}

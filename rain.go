@@ -34,9 +34,12 @@ package rain
 
 import (
 	"io"
+	"net/http"
 
 	"rain/internal/core"
+	"rain/internal/dstore"
 	"rain/internal/ecc"
+	"rain/internal/gateway"
 	"rain/internal/placement"
 	"rain/internal/storage"
 )
@@ -147,3 +150,40 @@ const (
 	PolicyNearest     = storage.Nearest
 	PolicyRandom      = storage.RandomK
 )
+
+// Typed operation outcomes, shared by the simulated Cluster, the deployed
+// Node and the gateway's HTTP status mapping (404/503/429/499):
+var (
+	// ErrNotFound: the object does not exist anywhere in the cluster.
+	ErrNotFound = dstore.ErrNotFound
+	// ErrQuorum: too few daemons answered to commit or decode.
+	ErrQuorum = dstore.ErrQuorum
+	// ErrOverloaded: the node shed the operation; retry later.
+	ErrOverloaded = dstore.ErrOverloaded
+	// ErrCanceled: the operation's context was cancelled mid-flight.
+	ErrCanceled = dstore.ErrCanceled
+)
+
+// NodeConfig configures one deployed cluster process (see StartNode).
+type NodeConfig = core.NodeConfig
+
+// Node is one running process of a deployed cluster: the dial-by-address
+// UDP mesh, a storage daemon, membership, election and self-heal — the
+// per-process counterpart of the all-in-one simulated Cluster. Its
+// context-taking methods (Put, Get, PutStream, Delete, List, Stat) are
+// goroutine-safe and abort shard fan-out when the context dies.
+type Node = core.RealNode
+
+// GatewayConfig tunes a node's HTTP object gateway.
+type GatewayConfig = gateway.Config
+
+// StartNode builds and starts one deployed cluster process over real UDP
+// sockets. `rainnode serve` is this function behind flags.
+func StartNode(cfg NodeConfig) (*Node, error) { return core.StartRealNode(cfg) }
+
+// NewGateway mounts the S3-flavored HTTP object API (PUT/GET/HEAD/DELETE
+// /o/{key}, paginated list, ranged and conditional reads, admission
+// control) over a node's store client.
+func NewGateway(n *Node, cfg GatewayConfig) http.Handler {
+	return gateway.New(n.Call, n.Client, cfg)
+}
