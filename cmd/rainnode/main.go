@@ -69,6 +69,8 @@ func main() {
 			runElectCmd(rest)
 		case "bench":
 			runBenchCmd(rest)
+		case "scrub":
+			runScrubCmd(rest)
 		case "help":
 			usage(os.Stdout)
 		default:
@@ -101,6 +103,9 @@ Usage:
       run the two-node leader-election demo over a real UDP channel
   rainnode bench -gw http://host:8080 [-size n] [-n iters]
       measure gateway PUT/GET throughput
+  rainnode scrub -dir path [-v]
+      verify every shard file in a node's store directory against its
+      checksum footer, offline; exits 1 if any shard is corrupt
   rainnode help
       print this text
 

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"rain/internal/core"
+	"rain/internal/dstore"
 	"rain/internal/ecc"
+	"rain/internal/storage"
 	"rain/internal/telemetry"
 )
 
@@ -26,6 +28,28 @@ type Flap struct {
 	Cycles   int
 }
 
+// Corruption is one scripted disk-corruption action against a stored
+// object. Holder selects which copy to damage: it indexes the object's live
+// holder set in cluster node order at the moment the event fires (shard
+// placement is seed-deterministic, so a schedule stays reproducible without
+// naming nodes). Block names the checksum block to flip one bit in; a
+// negative Block tears the shard's final block instead — the torn-write
+// failure mode, caught by the recorded-length check rather than a CRC
+// mismatch.
+type Corruption struct {
+	Object string
+	Holder int
+	Block  int
+}
+
+// HolderRef names a live holder of an object by index (the same index space
+// as Corruption.Holder) — how a schedule crashes "a third holder" without
+// naming seed-dependent placement.
+type HolderRef struct {
+	Object string
+	Holder int
+}
+
 // Event is one instant of scripted failure (all actions fire together).
 type Event struct {
 	At      time.Duration
@@ -33,6 +57,13 @@ type Event struct {
 	Recover []string          // revive these crashed nodes
 	Join    map[string]string // power up standby node -> via seed
 	Flaps   []Flap            // start link flapping from here
+
+	Corrupt     []Corruption // silently damage shard bytes at rest
+	StallDisk   []string     // reads on these nodes hang (hedge territory)
+	EIODisk     []string     // reads on these nodes fail loudly
+	ClearFaults []string     // clear stall/EIO faults on these nodes
+	KillHolders []HolderRef  // crash live holders of an object by index
+	Get         []string     // force bit-audited reads of these objects now
 }
 
 // Schedule is one deterministic chaos scenario.
@@ -54,6 +85,9 @@ type Schedule struct {
 	PutEvery   time.Duration // live-traffic put cadence (0 = no puts)
 	GetEvery   time.Duration // live-traffic get cadence (0 = no gets)
 
+	ScrubEvery time.Duration // background scrub cadence (0 = core default, <0 off)
+	ScrubRate  int64         // scrub bandwidth budget, bytes/sec (0 = default)
+
 	Events   []Event
 	Duration time.Duration // live-traffic phase length
 	Settle   time.Duration // quiet tail for repairs to finish
@@ -70,6 +104,13 @@ type Result struct {
 	ShardsRebuilt uint64 // rebalance.shards_rebuilt
 	ShardsMoved   uint64 // rebalance.shards_copied
 	Passes        uint64 // rebalance.passes across all clients
+
+	CorruptionsInjected int    // scripted Corrupt actions that landed
+	CorruptionsFound    uint64 // storage.backend.corruptions (quarantines)
+	ScrubFound          uint64 // scrub.corruptions_found (scrub's share)
+	CorruptNaks         uint64 // dstore.client.corrupt_naks (read path's share)
+	SpotRepairsDone     uint64 // scrub.repairs_done (repair-in-place completions)
+	SpotRepairsFailed   uint64 // scrub.repairs_failed
 
 	Audited          int // objects whose put succeeded, all re-read at end
 	LostObjects      int // unreadable or bit-inexact at end of run
@@ -89,12 +130,17 @@ func (r Result) Err() error {
 	if r.Repairs != r.ShardsRebuilt {
 		return fmt.Errorf("chaos %s: %d repair durations for %d rebuilt shards", r.Name, r.Repairs, r.ShardsRebuilt)
 	}
+	if uint64(r.CorruptionsInjected) > r.CorruptionsFound {
+		return fmt.Errorf("chaos %s: %d corruptions injected but only %d detected", r.Name, r.CorruptionsInjected, r.CorruptionsFound)
+	}
 	return nil
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s: puts %d (%d failed), gets %d (%d failed), repairs %d, passes %d, lost %d/%d, under-replicated %d, domain violations %d; %s",
+	return fmt.Sprintf("%s: puts %d (%d failed), gets %d (%d failed), repairs %d, passes %d, corruptions %d/%d found (%d scrub, %d read), spot repairs %d (%d failed), lost %d/%d, under-replicated %d, domain violations %d; %s",
 		r.Name, r.Puts, r.PutFails, r.Gets, r.GetFails, r.Repairs, r.Passes,
+		r.CorruptionsFound, r.CorruptionsInjected, r.ScrubFound, r.CorruptNaks,
+		r.SpotRepairsDone, r.SpotRepairsFailed,
 		r.LostObjects, r.Audited, r.UnderReplicated, r.DomainViolations, r.MTTDL)
 }
 
@@ -109,6 +155,9 @@ type object struct {
 // run is virtual time on the platform's seeded simulator: the same schedule
 // always produces the same result.
 func Run(sch Schedule) (Result, error) {
+	// Every node's backend goes behind a FaultyStore so corruption events
+	// can damage shards (and arm EIO/stall faults) under the live daemon.
+	faults := make(map[string]*FaultyStore)
 	p, err := core.New(sch.Nodes, core.Options{
 		Seed:              sch.Seed,
 		Code:              sch.Code,
@@ -119,6 +168,13 @@ func Run(sch Schedule) (Result, error) {
 		Standby:           sch.Standby,
 		SelfHeal:          true,
 		RebalanceDebounce: sch.Debounce,
+		ScrubInterval:     sch.ScrubEvery,
+		ScrubRate:         sch.ScrubRate,
+		WrapStore: func(node string, b *storage.Backend) dstore.Store {
+			f := NewFaultyStore(b)
+			faults[node] = f
+			return f
+		},
 	})
 	if err != nil {
 		return Result{}, err
@@ -135,6 +191,7 @@ func Run(sch Schedule) (Result, error) {
 	// Ground truth store. Preloads block (the clock only advances as far as
 	// the puts need); the live workload below is fully event-driven.
 	var objects []*object
+	byID := make(map[string]*object)
 	for i := 0; i < sch.Preload; i++ {
 		o := &object{id: fmt.Sprintf("pre-%04d", i), payload: payload(i)}
 		if err := p.Put(o.id, o.payload); err != nil {
@@ -142,6 +199,7 @@ func Run(sch Schedule) (Result, error) {
 		}
 		o.ok = true
 		objects = append(objects, o)
+		byID[o.id] = o
 	}
 
 	// liveClient picks the first powered-on node's client, like the
@@ -175,6 +233,7 @@ func Run(sch Schedule) (Result, error) {
 			o := &object{id: fmt.Sprintf("live-%04d", seq), payload: payload(seq)}
 			seq++
 			objects = append(objects, o)
+			byID[o.id] = o
 			res.Puts++
 			p.Clients[n].PutAsync(o.id, o.payload, func(stored int, err error) {
 				if err != nil {
@@ -218,10 +277,65 @@ func Run(sch Schedule) (Result, error) {
 		s.After(sch.GetEvery, getLoop)
 	}
 
-	// Script the failures.
+	// holdersOf lists the live nodes holding a shard of id, in cluster node
+	// order — the deterministic index space Corruption.Holder addresses.
+	holdersOf := func(id string) []string {
+		var hs []string
+		for _, n := range p.Nodes {
+			if p.Mesh.Stopped(n) {
+				continue
+			}
+			if _, err := p.Backends[n].Info(id); err == nil {
+				hs = append(hs, n)
+			}
+		}
+		return hs
+	}
+
+	// Script the failures. Injection mistakes (a Holder index past the
+	// object's spread, an offset past the shard) are schedule bugs, not
+	// cluster faults: they surface as a Run error, after the clock drains.
+	var injectErrs []error
 	for _, ev := range sch.Events {
 		ev := ev
 		s.After(ev.At, func() {
+			for _, c := range ev.Corrupt {
+				hs := holdersOf(c.Object)
+				if c.Holder < 0 || c.Holder >= len(hs) {
+					injectErrs = append(injectErrs, fmt.Errorf("corrupt %s: holder %d of %d live holders", c.Object, c.Holder, len(hs)))
+					continue
+				}
+				f := faults[hs[c.Holder]]
+				var err error
+				if c.Block < 0 {
+					err = f.TearFinal(c.Object)
+				} else {
+					err = f.FlipBit(c.Object, int64(c.Block)*storage.ChecksumBlock)
+				}
+				if err != nil {
+					injectErrs = append(injectErrs, fmt.Errorf("corrupt %s on %s: %v", c.Object, hs[c.Holder], err))
+					continue
+				}
+				res.CorruptionsInjected++
+			}
+			for _, n := range ev.StallDisk {
+				faults[n].SetStall(true)
+			}
+			for _, n := range ev.EIODisk {
+				faults[n].SetEIO(true)
+			}
+			for _, n := range ev.ClearFaults {
+				faults[n].SetStall(false)
+				faults[n].SetEIO(false)
+			}
+			for _, h := range ev.KillHolders {
+				hs := holdersOf(h.Object)
+				if h.Holder < 0 || h.Holder >= len(hs) {
+					injectErrs = append(injectErrs, fmt.Errorf("kill holder of %s: index %d of %d live holders", h.Object, h.Holder, len(hs)))
+					continue
+				}
+				p.Crash(hs[h.Holder])
+			}
 			for _, n := range ev.Kill {
 				p.Crash(n)
 			}
@@ -230,6 +344,20 @@ func Run(sch Schedule) (Result, error) {
 			}
 			for n, seed := range ev.Join {
 				p.Join(n, seed)
+			}
+			for _, id := range ev.Get {
+				o := byID[id]
+				n, ok := liveClient()
+				if o == nil || !o.ok || !ok {
+					injectErrs = append(injectErrs, fmt.Errorf("forced get %s: no such stored object or no live client", id))
+					continue
+				}
+				res.Gets++
+				p.Clients[n].GetAsync(id, func(data []byte, err error) {
+					if err != nil || !bytes.Equal(data, o.payload) {
+						res.GetFails++
+					}
+				})
 			}
 			for _, f := range ev.Flaps {
 				f := f
@@ -257,6 +385,9 @@ func Run(sch Schedule) (Result, error) {
 
 	p.Run(sch.Duration)
 	p.Run(sch.Settle)
+	if len(injectErrs) > 0 {
+		return res, fmt.Errorf("chaos %s: fault injection: %v", sch.Name, injectErrs[0])
+	}
 
 	// Judge through the registry.
 	snap := p.Telemetry.Snapshot()
@@ -264,6 +395,11 @@ func Run(sch Schedule) (Result, error) {
 	res.ShardsRebuilt = counterTotal(snap, "rebalance.shards_rebuilt")
 	res.ShardsMoved = counterTotal(snap, "rebalance.shards_copied")
 	res.Passes = counterTotal(snap, "rebalance.passes")
+	res.CorruptionsFound = counterTotal(snap, "storage.backend.corruptions")
+	res.ScrubFound = counterTotal(snap, "scrub.corruptions_found")
+	res.CorruptNaks = counterTotal(snap, "dstore.client.corrupt_naks")
+	res.SpotRepairsDone = counterTotal(snap, "scrub.repairs_done")
+	res.SpotRepairsFailed = counterTotal(snap, "scrub.repairs_failed")
 
 	// End-of-run audit: every successfully stored object must read back
 	// bit-exact, hold full redundancy on live nodes, and respect the

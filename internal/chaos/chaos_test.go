@@ -143,6 +143,119 @@ func TestChaosLeaderAssassinationWithFlaps(t *testing.T) {
 	}
 }
 
+// TestChaosCorruptionUnderRead exercises the full corruption-as-erasure
+// loop under live read traffic: silent bit rot on one object, a torn final
+// block on another, and a stalled disk mid-run. Every damaged shard must be
+// detected (by a reading client or the background scrub — whoever gets
+// there first), quarantined, and repaired in place, with zero failed reads
+// and a bit-exact audit.
+func TestChaosCorruptionUnderRead(t *testing.T) {
+	res, err := Run(Schedule{
+		Name:       "corruption-under-read",
+		Seed:       7,
+		Nodes:      []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"},
+		Code:       bcode6(t),
+		Preload:    12,
+		ObjectSize: 48 << 10, // 8 KiB shards: two checksum blocks each
+		PutEvery:   200 * time.Millisecond,
+		GetEvery:   100 * time.Millisecond,
+		ScrubEvery: 2 * time.Second,
+		Events: []Event{
+			// Bit rot in the second checksum block of one holder's shard.
+			{At: 3 * time.Second, Corrupt: []Corruption{{Object: "pre-0001", Holder: 1, Block: 1}}},
+			// Torn final block on another object.
+			{At: 5 * time.Second, Corrupt: []Corruption{{Object: "pre-0007", Holder: 3, Block: -1}}},
+			// A disk that hangs instead of failing: reads hedge around it.
+			{At: 7 * time.Second, StallDisk: []string{"n4"}},
+			{At: 9 * time.Second, ClearFaults: []string{"n4"}},
+		},
+		Duration: 12 * time.Second,
+		Settle:   12 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptionsInjected != 2 || res.CorruptionsFound != 2 {
+		t.Fatalf("corruptions found = %d, injected = %d, want both 2", res.CorruptionsFound, res.CorruptionsInjected)
+	}
+	if res.GetFails != 0 {
+		t.Fatalf("%d of %d live-phase gets failed", res.GetFails, res.Gets)
+	}
+	if res.SpotRepairsDone < 2 {
+		t.Fatalf("spot repairs done = %d, want both corrupt shards re-created", res.SpotRepairsDone)
+	}
+	if res.UnderReplicated != 0 {
+		t.Fatalf("%d objects below full redundancy after settling", res.UnderReplicated)
+	}
+}
+
+// TestChaosCorruptionAtBareQuorum is the integrity tentpole's acceptance
+// scenario on rs(10,8): one shard of an object rots and is found by the
+// background scrub; later a second shard rots, a third holder is killed in
+// the same instant, and the object is read right through the mess — at that
+// moment one holder is dead and one is corrupt, so exactly the erasure
+// margin is gone and the survivors are bare quorum. The read must come back
+// bit-exact, both corruptions must be detected and repaired in place, and
+// the settle audit must find full redundancy and zero loss.
+func TestChaosCorruptionAtBareQuorum(t *testing.T) {
+	rs108, err := ecc.NewReedSolomon(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Schedule{
+		Name:       "corruption-at-bare-quorum",
+		Seed:       42,
+		Nodes:      []string{"n01", "n02", "n03", "n04", "n05", "n06", "n07", "n08", "n09", "n10", "n11", "n12"},
+		Code:       rs108,
+		Preload:    10,
+		ObjectSize: 64 << 10, // 8 KiB shards across 10 holders
+		PutEvery:   300 * time.Millisecond,
+		ScrubEvery: 2 * time.Second,
+		Events: []Event{
+			// First corruption: nothing reads this object, so only the
+			// scrub can find it.
+			{At: 3 * time.Second, Corrupt: []Corruption{{Object: "pre-0000", Holder: 0, Block: 0}}},
+			// Second corruption plus a killed holder, then an immediate
+			// read: the get survives on bare quorum, discovering the
+			// corrupt shard as one more erasure on the way.
+			{
+				At:          8 * time.Second,
+				Corrupt:     []Corruption{{Object: "pre-0000", Holder: 4, Block: 1}},
+				KillHolders: []HolderRef{{Object: "pre-0000", Holder: 7}},
+				Get:         []string{"pre-0000"},
+			},
+		},
+		Duration: 12 * time.Second,
+		Settle:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptionsFound != 2 {
+		t.Fatalf("corruptions found = %d, want exactly the 2 injected", res.CorruptionsFound)
+	}
+	if res.ScrubFound < 1 {
+		t.Fatal("the unread corruption was never found by the scrub")
+	}
+	if res.GetFails != 0 {
+		t.Fatalf("%d of %d gets failed (the bare-quorum read must stay bit-exact)", res.GetFails, res.Gets)
+	}
+	if res.SpotRepairsDone < 2 {
+		t.Fatalf("spot repairs done = %d, want both corrupt shards re-created in place", res.SpotRepairsDone)
+	}
+	if res.UnderReplicated != 0 {
+		t.Fatalf("%d objects below full redundancy after settling", res.UnderReplicated)
+	}
+}
+
 // TestChaosLongHaul is the RAIN_SMOKE-gated long variant: rolling kills and
 // recoveries across racks, a correlated rack-C failure healed by the
 // standby, and link flapping, over minutes of virtual time. The build fails

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+
+	"rain/internal/storage"
+)
+
+// ErrEIO is the synthetic medium error a FaultyStore returns while its EIO
+// fault is armed — the disk answered, and the answer was an error. The
+// daemon NAKs it like any backend failure, so the client treats the holder
+// as one more erasure.
+var ErrEIO = errors.New("chaos: injected I/O error")
+
+// FaultyStore wraps a node's shard backend with scripted disk faults. It
+// sits between the storage daemon and the medium (the dstore.Store seam), so
+// every fault is exercised through the full wire path, not a test shim:
+//
+//   - FlipBit / TearFinal silently damage committed shard bytes, to be
+//     discovered later by checksum verification on a read or a scrub;
+//   - EIO makes reads and verifies fail loudly;
+//   - Stall makes reads hang (storage.ErrStalled): the daemon drops the
+//     request without a NAK and the client's hedge timer is the only way out.
+//
+// Faults gate the read paths only — commits still land — because the
+// corruption model under test is bit rot and torn writes on data already
+// acknowledged, the silent failures checksums exist for.
+type FaultyStore struct {
+	inner *storage.Backend
+
+	mu    sync.Mutex
+	eio   bool
+	stall bool
+}
+
+// NewFaultyStore wraps a backend; no faults are armed initially.
+func NewFaultyStore(b *storage.Backend) *FaultyStore { return &FaultyStore{inner: b} }
+
+// SetEIO arms or clears the hard-error fault on reads and verifies.
+func (f *FaultyStore) SetEIO(on bool) {
+	f.mu.Lock()
+	f.eio = on
+	f.mu.Unlock()
+}
+
+// SetStall arms or clears the hung-disk fault on reads.
+func (f *FaultyStore) SetStall(on bool) {
+	f.mu.Lock()
+	f.stall = on
+	f.mu.Unlock()
+}
+
+// readFault reports the currently armed read fault, if any.
+func (f *FaultyStore) readFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stall {
+		return storage.ErrStalled
+	}
+	if f.eio {
+		return ErrEIO
+	}
+	return nil
+}
+
+// FlipBit XORs one bit of a committed shard at the given byte offset —
+// silent bit rot the checksum layer must catch.
+func (f *FaultyStore) FlipBit(id string, off int64) error {
+	return f.inner.CorruptShard(id, off)
+}
+
+// TearFinal drops the last byte of a committed shard — a torn final block,
+// detected as corruption by the recorded-length check rather than a
+// checksum mismatch.
+func (f *FaultyStore) TearFinal(id string) error {
+	info, err := f.inner.Info(id)
+	if err != nil {
+		return err
+	}
+	n := int64(info.ShardLen) - 1
+	if n < 0 {
+		n = 0
+	}
+	return f.inner.TruncateShard(id, n)
+}
+
+// dstore.Store implementation: writes pass through untouched, reads and
+// verifies go through the armed fault first.
+
+func (f *FaultyStore) NewStage() *storage.Stage { return f.inner.NewStage() }
+
+func (f *FaultyStore) Commit(s *storage.Stage, id string, shardIdx, dataLen, blockLen int) error {
+	return f.inner.Commit(s, id, shardIdx, dataLen, blockLen)
+}
+
+func (f *FaultyStore) Info(id string) (storage.ObjectInfo, error) { return f.inner.Info(id) }
+
+func (f *FaultyStore) ReadAt(id string, p []byte, off int64) error {
+	if err := f.readFault(); err != nil {
+		return err
+	}
+	return f.inner.ReadAt(id, p, off)
+}
+
+func (f *FaultyStore) Verify(id string) (int, int64, error) {
+	if err := f.readFault(); err != nil {
+		return 0, 0, err
+	}
+	return f.inner.Verify(id)
+}
+
+func (f *FaultyStore) Delete(id string) { f.inner.Delete(id) }
+
+func (f *FaultyStore) List() []storage.ObjectInfo { return f.inner.List() }
+
+func (f *FaultyStore) Generation() uint64 { return f.inner.Generation() }

@@ -37,6 +37,11 @@ const (
 	// OrphanAge is how long a transfer may sit idle before the sweep
 	// reclaims it — comfortably past every client stall/op deadline.
 	OrphanAge = 2 * time.Minute
+	// ScrubInterval is the default cadence of each node's background
+	// integrity scrub step.
+	ScrubInterval = 5 * time.Second
+	// ScrubRate is the default scrub read-bandwidth budget per node.
+	ScrubRate = int64(32 << 20) // bytes/sec
 )
 
 // Options configures a Platform.
@@ -91,6 +96,19 @@ type Options struct {
 	// RebalanceDebounce is how long the membership view must stay
 	// unchanged before the leader's self-heal pass fires (default 1s).
 	RebalanceDebounce time.Duration
+	// ScrubInterval is how often each live node's background integrity
+	// scrub runs one budgeted step over its local shard set (default
+	// ScrubInterval; negative disables scrubbing).
+	ScrubInterval time.Duration
+	// ScrubRate bounds the scrub's read bandwidth per node in bytes/sec
+	// (default ScrubRate). Each step verifies at most
+	// ScrubRate × ScrubInterval bytes.
+	ScrubRate int64
+	// WrapStore, when set, wraps each node's shard backend before the
+	// daemon sees it — the disk-fault injection seam the chaos suite uses
+	// to flip bits, tear writes and stall reads underneath a live daemon.
+	// Returning nil keeps the bare backend.
+	WrapStore func(node string, b *storage.Backend) dstore.Store
 }
 
 func (o Options) withDefaults(nodes int) (Options, error) {
@@ -114,6 +132,12 @@ func (o Options) withDefaults(nodes int) (Options, error) {
 	}
 	if o.RebalanceDebounce == 0 {
 		o.RebalanceDebounce = time.Second
+	}
+	if o.ScrubInterval == 0 {
+		o.ScrubInterval = ScrubInterval
+	}
+	if o.ScrubRate == 0 {
+		o.ScrubRate = ScrubRate
 	}
 	return o, nil
 }
@@ -288,7 +312,15 @@ func New(nodes []string, opts Options) (*Platform, error) {
 	for i, n := range nodes {
 		p.Backends[n] = backends[i]
 		p.servers[n] = servers[i]
-		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, backends[i], 0, dstore.WithDaemonClock(simClock), dstore.WithDaemonTelemetry(reg))
+		// The daemon reads the backend through the Store seam so the chaos
+		// suite can interpose disk faults.
+		dstoreBackend := dstore.Store(backends[i])
+		if opts.WrapStore != nil {
+			if w := opts.WrapStore(n, backends[i]); w != nil {
+				dstoreBackend = w
+			}
+		}
+		p.Daemons[n] = dstore.NewDaemon(mesh, n, i, dstoreBackend, 0, dstore.WithDaemonClock(simClock), dstore.WithDaemonTelemetry(reg))
 		self := n
 		cl, err := dstore.NewClient(s, mesh, n, dstore.Config{
 			Code: opts.Code,
@@ -321,6 +353,12 @@ func New(nodes []string, opts Options) (*Platform, error) {
 			return nil, err
 		}
 		p.Clients[n] = cl
+		// Corruption the local scrub finds is repaired in place by the
+		// co-located client (same scheduler goroutine, so the callback may
+		// queue directly).
+		p.Daemons[n].OnCorrupt(func(id string, shardIdx int) {
+			cl.QueueRepair(id, shardIdx, self)
+		})
 	}
 	// Standbys are provisioned dark: server down, mesh endpoint frozen.
 	// Platform.Join powers one up.
@@ -345,6 +383,26 @@ func New(nodes []string, opts Options) (*Platform, error) {
 		s.After(SweepInterval, sweep)
 	}
 	s.After(SweepInterval, sweep)
+	// Background integrity scrub: every live node walks its own shard set
+	// verifying checksums under the read-bandwidth budget; corruption found
+	// here is quarantined by the backend and handed to the co-located
+	// client for repair-in-place via OnCorrupt.
+	if opts.ScrubInterval > 0 {
+		budget := opts.ScrubRate * int64(opts.ScrubInterval) / int64(time.Second)
+		if budget < 1 {
+			budget = 1
+		}
+		var scrub func()
+		scrub = func() {
+			for _, n := range p.Nodes {
+				if !p.Mesh.Stopped(n) {
+					p.Daemons[n].ScrubStep(budget)
+				}
+			}
+			s.After(opts.ScrubInterval, scrub)
+		}
+		s.After(opts.ScrubInterval, scrub)
+	}
 	return p, nil
 }
 

@@ -52,6 +52,14 @@ type NodeConfig struct {
 	StorageDir string
 	// RebalanceDebounce is the self-heal debounce (default 1s).
 	RebalanceDebounce time.Duration
+	// ScrubInterval / ScrubRate pace the background integrity scrub
+	// (defaults ScrubInterval / ScrubRate; a negative interval disables).
+	ScrubInterval time.Duration
+	ScrubRate     int64
+	// WrapStore, when set, wraps the shard backend before the daemon sees
+	// it — the disk-fault injection seam. Returning nil keeps the bare
+	// backend.
+	WrapStore func(b *storage.Backend) dstore.Store
 	// Conn parameterises the per-peer RUDP connections.
 	Conn rudp.Config
 	// Telemetry and Tracer default to the process-wide instances.
@@ -113,6 +121,12 @@ func StartRealNode(cfg NodeConfig) (*RealNode, error) {
 	if cfg.RebalanceDebounce == 0 {
 		cfg.RebalanceDebounce = time.Second
 	}
+	if cfg.ScrubInterval == 0 {
+		cfg.ScrubInterval = ScrubInterval
+	}
+	if cfg.ScrubRate == 0 {
+		cfg.ScrubRate = ScrubRate
+	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.Default()
 	}
@@ -163,7 +177,13 @@ func (n *RealNode) buildLocked(self int) error {
 	// The daemon's clock is the loop's virtual clock (ns since start):
 	// orphan ages are relative, so any monotonic clock serves.
 	clock := func() time.Time { return time.Unix(0, int64(s.Now())) }
-	n.Daemon = dstore.NewDaemon(mesh, cfg.Name, self, n.Backend, 0,
+	dstoreBackend := dstore.Store(n.Backend)
+	if cfg.WrapStore != nil {
+		if w := cfg.WrapStore(n.Backend); w != nil {
+			dstoreBackend = w
+		}
+	}
+	n.Daemon = dstore.NewDaemon(mesh, cfg.Name, self, dstoreBackend, 0,
 		dstore.WithDaemonClock(clock), dstore.WithDaemonTelemetry(cfg.Telemetry))
 
 	// Membership and election over the real mesh. The engines are the same
@@ -231,6 +251,12 @@ func (n *RealNode) buildLocked(self int) error {
 		n.Membership.Join(cfg.Ring[0])
 	}
 
+	// Corruption the local scrub finds is repaired in place by this
+	// node's own client (same loop goroutine, so queueing is direct).
+	n.Daemon.OnCorrupt(func(id string, shardIdx int) {
+		cl.QueueRepair(id, shardIdx, cfg.Name)
+	})
+
 	// Orphaned transfer state left by crashed clients is reclaimed here
 	// like on the simulated platform.
 	var sweep func()
@@ -239,6 +265,20 @@ func (n *RealNode) buildLocked(self int) error {
 		s.After(SweepInterval, sweep)
 	}
 	s.After(SweepInterval, sweep)
+	// Background integrity scrub over the local shard set, paced by the
+	// read-bandwidth budget.
+	if cfg.ScrubInterval > 0 {
+		budget := cfg.ScrubRate * int64(cfg.ScrubInterval) / int64(time.Second)
+		if budget < 1 {
+			budget = 1
+		}
+		var scrub func()
+		scrub = func() {
+			n.Daemon.ScrubStep(budget)
+			s.After(cfg.ScrubInterval, scrub)
+		}
+		s.After(cfg.ScrubInterval, scrub)
+	}
 	return nil
 }
 

@@ -187,6 +187,12 @@ type Client struct {
 	// rebuild/rebalance pipelines — the enforced memory bound, for tests.
 	taskHighWater int64
 
+	// Repair-in-place queue (repair.go): corrupt shards detected on reads
+	// or by the scrub, awaiting re-creation on their holder.
+	repairQ      []repairJob
+	repairing    map[string]bool // pending (object, holder) jobs, for dedupe
+	repairActive bool
+
 	met    *clientMetrics
 	tracer *telemetry.Tracer
 }
@@ -979,6 +985,7 @@ type streamGetOp struct {
 	lastErr    string
 	notFound   int // dead streams whose daemon answered "object not found"
 	deadOther  int // dead streams with any other error
+	corrupt    int // dead streams killed by a corruption NAK (subset of deadOther)
 	finished   bool
 	firstK     bool
 	trace      *telemetry.Trace
@@ -1187,6 +1194,16 @@ func (op *streamGetOp) failIfStuck() {
 		op.finish(fmt.Errorf("%w: %s", ErrNotFound, op.id))
 		return
 	}
+	if op.corrupt > 0 {
+		// At least one holder NAKed with verified corruption and the read
+		// still could not assemble k pieces: the object exists but is
+		// unreadable right now. Name it — the gateway's 502 body carries
+		// this text to the caller — and distinguish it from a plain quorum
+		// failure, which a retry against healthy holders could fix.
+		op.finish(fmt.Errorf("%w: %s (%d corrupt, %d failed, %d of %d blocks)",
+			ErrCorrupt, op.id, op.corrupt, op.deadOther, op.nextBlk, op.blocks))
+		return
+	}
 	detail := op.lastErr
 	if detail == "" {
 		detail = fmt.Sprintf("no reachable daemons (%d of %d blocks)", op.nextBlk, op.blocks)
@@ -1234,7 +1251,19 @@ func (op *streamGetOp) onChunk(st *shardStream, m Msg) {
 		if isNotFoundText(m.Err) {
 			op.notFound++
 		} else {
+			// Corruption is an erasure, not an absence: the holder HAS the
+			// slot, its bytes just failed verification (and are quarantined
+			// there). Counting it as deadOther keeps failIfStuck from
+			// concluding "object does not exist", and the hedge below swaps
+			// in a survivor or reconstructs from parity. The repair queue
+			// re-creates the bad shard in place asynchronously.
 			op.deadOther++
+			if isCorruptText(m.Err) {
+				op.corrupt++
+				op.c.met.corruptNaks.Inc()
+				op.trace.Event(op.c.nowNS(), "corrupt_nak", st.peer, int64(st.peerIdx))
+				op.c.queueRepair(op.id, st.peerIdx, st.peer)
+			}
 		}
 		delete(op.c.pending, st.req)
 		// Cancel the daemon session: for locally-synthesized errors (index

@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,22 @@ type daemonCounters struct {
 	reaped       atomic.Int64
 }
 
+// Store is the storage surface a daemon serves from. *storage.Backend is
+// the real implementation; internal/chaos wraps one to inject disk faults
+// (EIO, stalls) between the daemon and the medium. Stages returned by
+// NewStage belong to the underlying backend and are committed through the
+// same Store.
+type Store interface {
+	NewStage() *storage.Stage
+	Commit(s *storage.Stage, id string, shardIdx, dataLen, blockLen int) error
+	Info(id string) (storage.ObjectInfo, error)
+	ReadAt(id string, p []byte, off int64) error
+	Verify(id string) (blocks int, bytes int64, err error)
+	Delete(id string)
+	List() []storage.ObjectInfo
+	Generation() uint64
+}
+
 // Daemon is the storage server loop of one node: it owns no transport state
 // beyond a mesh registration and serves the wire protocol against the
 // node-local backend. The same backend may simultaneously back a
@@ -48,12 +65,17 @@ type Daemon struct {
 	mesh    Mesh
 	node    string
 	shard   int
-	backend *storage.Backend
+	backend Store
 	chunk   int
 	now     func() time.Time
 
 	asm  map[sessKey]*assembly
 	gets map[sessKey]*getSession
+
+	// Scrub state: the cursor the background verify pass resumes from, and
+	// the corruption callback the owner wires to repair-in-place.
+	scrubCursor string
+	onCorrupt   func(id string, shardIdx int)
 
 	// inv caches the sorted inventory across the pages of a ListReq walk,
 	// revalidated against the backend's mutation generation — without it a
@@ -120,7 +142,7 @@ func WithDaemonTelemetry(r *telemetry.Registry) DaemonOption {
 // NewDaemon registers a storage daemon for node on the mesh. shard is the
 // index this node holds in the code's shard order; chunkSize bounds streamed
 // get chunks (0 for the default).
-func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chunkSize int, opts ...DaemonOption) *Daemon {
+func NewDaemon(mesh Mesh, node string, shard int, backend Store, chunkSize int, opts ...DaemonOption) *Daemon {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -149,7 +171,13 @@ func NewDaemon(mesh Mesh, node string, shard int, backend *storage.Backend, chun
 func (d *Daemon) Node() string { return d.node }
 
 // Backend returns the daemon's shard store.
-func (d *Daemon) Backend() *storage.Backend { return d.backend }
+func (d *Daemon) Backend() Store { return d.backend }
+
+// OnCorrupt registers the callback fired (on the daemon's goroutine) when
+// the scrubber finds a corrupt shard. The backend has already quarantined
+// it; the owner's job is repair — core wires this to the co-located
+// client's repair queue.
+func (d *Daemon) OnCorrupt(fn func(id string, shardIdx int)) { d.onCorrupt = fn }
 
 // Assemblies reports in-progress put transfers (orphan-leak checks).
 func (d *Daemon) Assemblies() int { return len(d.asm) }
@@ -243,6 +271,55 @@ func (d *Daemon) SweepOrphans(maxAge time.Duration) int {
 		d.syncSessions()
 	}
 	return reaped
+}
+
+// ScrubStep is one paced increment of the background integrity scrub: it
+// verifies stored shards against their at-rest checksums, oldest cursor
+// position first, until the byte budget is spent, then remembers where it
+// stopped so the next step resumes there. The owner calls it on the
+// daemon's goroutine alongside SweepOrphans; budget per step = rate × the
+// step interval, which is how a bytes/sec scrub rate is enforced without a
+// ticker of its own. A corrupt shard is quarantined by the backend and
+// reported through the OnCorrupt callback for repair-in-place.
+func (d *Daemon) ScrubStep(budget int64) (bytesVerified int64, corruptions int) {
+	objs := d.backend.List()
+	if len(objs) == 0 {
+		return 0, 0
+	}
+	start := 0
+	for i, o := range objs {
+		if o.ID > d.scrubCursor {
+			start = i
+			break
+		}
+		if i == len(objs)-1 {
+			start = 0 // cursor at or past the end: wrap to a fresh pass
+		}
+	}
+	for i := 0; i < len(objs) && bytesVerified < budget; i++ {
+		o := objs[(start+i)%len(objs)]
+		blocks, bytes, err := d.backend.Verify(o.ID)
+		d.met.scrubBlocks.Add(int64(blocks))
+		d.met.scrubBytes.Add(bytes)
+		bytesVerified += bytes
+		d.scrubCursor = o.ID
+		if err != nil {
+			if errors.Is(err, storage.ErrCorrupt) {
+				corruptions++
+				d.met.scrubCorruptions.Inc()
+				if d.onCorrupt != nil {
+					d.onCorrupt(o.ID, o.Shard)
+				}
+			}
+			// Not-found (deleted mid-scrub) and injected I/O errors skip
+			// the object; the next pass revisits it.
+			continue
+		}
+		if (start+i)%len(objs) == len(objs)-1 {
+			d.met.scrubPasses.Inc()
+		}
+	}
+	return bytesVerified, corruptions
 }
 
 func (d *Daemon) onPutChunk(from string, m Msg) {
@@ -407,6 +484,15 @@ func (d *Daemon) pumpGet(from string, req uint64, g *getSession) {
 		f, data := NewMsgFrame(hdr(g.sent), int(n))
 		if err := d.backend.ReadAt(g.id, data, g.sent); err != nil {
 			f.Release()
+			if errors.Is(err, storage.ErrStalled) {
+				// A hung disk sends nothing — no NAK, no chunk. The client's
+				// hedge timer is the only way out, exactly as with real
+				// stuck media.
+				return
+			}
+			// Everything else NAKs with the error text; a *CorruptError's
+			// text is what the client folds back into corruption-as-erasure
+			// (the shard is already quarantined locally).
 			d.reply(from, Msg{Kind: KindGetChunk, Req: req, ID: g.id, Err: err.Error()})
 			return
 		}

@@ -25,12 +25,25 @@ var (
 	// client that disconnected mid-transfer. The abort is active: put
 	// stages are poisoned and get sessions cancelled, not leaked.
 	ErrCanceled = errors.New("dstore: operation canceled")
+	// ErrCorrupt reports a retrieve that failed after verified corruption
+	// was detected on at least one holder: the object exists but could not
+	// be read back bit-exact right now. It maps to HTTP 502 — the store
+	// itself, not the request, is at fault, and repair is underway.
+	ErrCorrupt = errors.New("dstore: object unreadable: shard corruption detected")
 )
 
 // isNotFoundText recognises a daemon's "no such object" error string
 // (ultimately storage.ErrObjectNotFound's text) on the wire.
 func isNotFoundText(s string) bool {
 	return strings.Contains(s, "object not found")
+}
+
+// isCorruptText recognises a daemon's corruption NAK on the wire
+// (storage.CorruptError's text). The shard is already quarantined on the
+// holder; the client treats it exactly like a missing shard — one more
+// erasure — and queues a repair-in-place.
+func isCorruptText(s string) bool {
+	return strings.Contains(s, "shard corrupt")
 }
 
 // Handle cancels one in-flight asynchronous operation. Cancel is

@@ -13,6 +13,13 @@ type daemonMetrics struct {
 	reaped       *telemetry.Counter
 	assemblies   *telemetry.Gauge
 	getSessions  *telemetry.Gauge
+
+	// Background integrity scrub (ScrubStep): the latent-error detection
+	// term of the MTTDL model.
+	scrubBlocks      *telemetry.Counter
+	scrubBytes       *telemetry.Counter
+	scrubPasses      *telemetry.Counter
+	scrubCorruptions *telemetry.Counter
 }
 
 func newDaemonMetrics(s *telemetry.Scope) *daemonMetrics {
@@ -25,6 +32,11 @@ func newDaemonMetrics(s *telemetry.Scope) *daemonMetrics {
 		reaped:       s.Counter("dstore.daemon.reaped", "orphaned sessions swept"),
 		assemblies:   s.Gauge("dstore.daemon.assemblies", "in-progress put transfers"),
 		getSessions:  s.Gauge("dstore.daemon.get_sessions", "open windowed get streams"),
+
+		scrubBlocks:      s.Counter("scrub.blocks_verified", "checksum blocks verified by the background scrub"),
+		scrubBytes:       s.Counter("scrub.bytes_verified", "shard bytes verified by the background scrub"),
+		scrubPasses:      s.Counter("scrub.passes", "complete scrub sweeps over the local shard set"),
+		scrubCorruptions: s.Counter("scrub.corruptions_found", "corrupt shards detected (and quarantined) by the scrub"),
 	}
 }
 
@@ -43,6 +55,11 @@ type clientMetrics struct {
 	hedgesFired  *telemetry.Counter
 	hedgesWon    *telemetry.Counter
 	creditStalls *telemetry.Counter
+	corruptNaks  *telemetry.Counter
+
+	repairsQueued *telemetry.Counter
+	repairsDone   *telemetry.Counter
+	repairsFailed *telemetry.Counter
 
 	passes             *telemetry.Counter
 	repairDuration     *telemetry.Histogram
@@ -66,6 +83,11 @@ func newClientMetrics(s *telemetry.Scope) *clientMetrics {
 		hedgesFired:  s.Counter("dstore.client.hedges_fired", "spare get streams opened on stall or error"),
 		hedgesWon:    s.Counter("dstore.client.hedges_won", "hedged streams whose data fed a decode"),
 		creditStalls: s.Counter("dstore.client.credit_stalls", "stream pauses waiting for flow-control credit"),
+		corruptNaks:  s.Counter("dstore.client.corrupt_naks", "corruption NAKs received (shard treated as erased)"),
+
+		repairsQueued: s.Counter("scrub.repairs_queued", "corrupt-shard repairs admitted to the repair queue"),
+		repairsDone:   s.Counter("scrub.repairs_done", "corrupt shards re-encoded and re-committed in place"),
+		repairsFailed: s.Counter("scrub.repairs_failed", "repair attempts that gave up (left to reconciliation)"),
 
 		passes:             s.Counter("rebalance.passes", "reconciliation passes started"),
 		repairDuration:     s.Histogram("rebalance.repair_duration_ns", "per-object shard repair duration (the MTTDL numerator)"),

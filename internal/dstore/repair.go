@@ -1,0 +1,125 @@
+package dstore
+
+import "fmt"
+
+// Repair-in-place: when verified corruption surfaces — a corruption NAK on
+// the read path, or the background scrub — the bad shard has already been
+// quarantined on its holder, so the object is one erasure further from its
+// redundancy target. The repair queue re-encodes that one shard from the
+// survivors and re-commits it to the same holder, reusing rebuildObject and
+// the rebalance pipeline's byte budget (runTasks), so a burst of detected
+// corruption cannot blow the client's memory bound any more than a
+// rebalance pass can.
+
+// repairJob is one corrupt shard awaiting re-creation: shard targetIdx of
+// object id, re-committed to the holder that quarantined it.
+type repairJob struct {
+	id        string
+	targetIdx int
+	target    string
+}
+
+func (j repairJob) key() string { return j.id + "\x00" + j.target }
+
+// QueueRepair schedules an asynchronous repair-in-place of one shard. It is
+// idempotent per (object, holder) while the repair is pending — a scrub
+// discovery and a concurrent read NAK collapse into one job. Must run on
+// the client's scheduler goroutine; the platform wires daemon scrub
+// callbacks (same goroutine) straight here.
+func (c *Client) QueueRepair(id string, targetIdx int, target string) {
+	c.queueRepair(id, targetIdx, target)
+}
+
+func (c *Client) queueRepair(id string, targetIdx int, target string) {
+	if id == "" || target == "" || targetIdx < 0 || targetIdx >= c.cfg.Code.N() {
+		return
+	}
+	job := repairJob{id: id, targetIdx: targetIdx, target: target}
+	if c.repairing[job.key()] {
+		return
+	}
+	if c.repairing == nil {
+		c.repairing = make(map[string]bool)
+	}
+	c.repairing[job.key()] = true
+	c.repairQ = append(c.repairQ, job)
+	c.met.repairsQueued.Inc()
+	if !c.repairActive {
+		c.repairActive = true
+		c.s.After(0, c.drainRepairs)
+	}
+}
+
+// drainRepairs runs the queued batch: one inventory walk resolves the
+// layout metadata for every job (the daemons' recorded sizes are what
+// rebuildObject sizes its pipeline from), then the batch flows through the
+// budgeted task window. Jobs queued while a batch is in flight drain in the
+// next round.
+func (c *Client) drainRepairs() {
+	if len(c.repairQ) == 0 {
+		c.repairActive = false
+		return
+	}
+	batch := c.repairQ
+	c.repairQ = nil
+	c.listInventory(c.Universe(), func(entries map[string]*invEntry, _ int, err error) {
+		if err != nil {
+			for _, job := range batch {
+				c.settleRepair(job, err)
+			}
+			c.s.After(0, c.drainRepairs)
+			return
+		}
+		c.runTasks(len(batch),
+			func(i int) int64 {
+				if e := entries[batch[i].id]; e != nil {
+					return c.taskCost(e)
+				}
+				return 1
+			},
+			func(i int, taskDone func(error)) {
+				c.repairOne(batch[i], entries[batch[i].id], taskDone)
+			},
+			func(error) { c.s.After(0, c.drainRepairs) })
+	})
+}
+
+// repairOne re-creates one quarantined shard in place via rebuildObject —
+// the same survivor-read → re-encode → stream-to-holder machinery node
+// rebuild uses, which also counts it into rebalance.shards_rebuilt and the
+// repair-latency histogram.
+func (c *Client) repairOne(job repairJob, e *invEntry, done func(error)) {
+	if e == nil {
+		// No survivor reports the object at all: nothing to rebuild from.
+		c.settleRepair(job, fmt.Errorf("%w: %s", ErrNotFound, job.id))
+		done(nil)
+		return
+	}
+	peers := c.peersFor(job.id)
+	if job.targetIdx >= len(peers) || peers[job.targetIdx] != job.target || !c.alive(job.target) {
+		// Placement has moved on or the holder is gone — relocation is the
+		// reconciler's job, not a spot repair's.
+		c.settleRepair(job, fmt.Errorf("dstore: repair %s: %s no longer holds shard %d", job.id, job.target, job.targetIdx))
+		done(nil)
+		return
+	}
+	info := e.info
+	info.ID = job.id
+	c.rebuildObject(info, peers, job.targetIdx, nil, func(err error) {
+		c.settleRepair(job, err)
+		// A failed spot repair must not poison sibling repairs in the batch;
+		// the object stays under-replicated until scrub or reconciliation
+		// retries it.
+		done(nil)
+	})
+}
+
+// settleRepair closes out a job's dedupe entry and counts the outcome.
+func (c *Client) settleRepair(job repairJob, err error) {
+	delete(c.repairing, job.key())
+	if err != nil {
+		c.met.repairsFailed.Inc()
+	} else {
+		c.met.repairsDone.Inc()
+	}
+}

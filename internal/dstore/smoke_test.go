@@ -155,6 +155,13 @@ func TestStreamSmoke256MiB(t *testing.T) {
 	if _, err := clients["a"].PutStream("big", src, objectSize); err != nil {
 		t.Fatalf("putstream: %v", err)
 	}
+	// Flip one bit of one shard on disk mid-run: the 64 MiB shard on node
+	// c silently rots deep inside. The streaming read must detect it
+	// through the block checksums, swap the holder out as an erasure and
+	// still deliver every byte bit-exact.
+	if err := backends["c"].CorruptShard("big", 32<<20); err != nil {
+		t.Fatalf("corrupting shard on c: %v", err)
+	}
 	verify := &patternVerifier{heap: heap}
 	n, err := clients["b"].GetStream("big", verify)
 	if err != nil {
@@ -162,6 +169,9 @@ func TestStreamSmoke256MiB(t *testing.T) {
 	}
 	if n != objectSize {
 		t.Fatalf("getstream read %d of %d bytes", n, objectSize)
+	}
+	if backends["c"].Quarantined() != 1 {
+		t.Fatalf("quarantined on c = %d, want the rotten shard sidelined", backends["c"].Quarantined())
 	}
 
 	// Hot-swap rebuild: wipe node b and stream its 64 MiB shard back from

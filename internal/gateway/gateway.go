@@ -198,6 +198,10 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, dstore.ErrCanceled), errors.Is(err, context.Canceled):
 		return StatusClientClosed
+	case errors.Is(err, dstore.ErrCorrupt):
+		// Verified corruption made the object unreadable: the store, not
+		// the request, is at fault — 502, and the body names the object.
+		return http.StatusBadGateway
 	case errors.Is(err, dstore.ErrQuorum):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, dstore.ErrShortSource), errors.Is(err, dstore.ErrLongSource):

@@ -29,11 +29,12 @@ import (
 // loop discipline a real node runs, minus the sockets, so the HTTP
 // semantics are exercised deterministically and fast.
 type harness struct {
-	t      *testing.T
-	loop   *rt.Loop
-	client *dstore.Client
-	gw     *gateway.Gateway
-	srv    *httptest.Server
+	t        *testing.T
+	loop     *rt.Loop
+	client   *dstore.Client
+	backends map[string]*storage.Backend
+	gw       *gateway.Gateway
+	srv      *httptest.Server
 }
 
 func newHarness(t *testing.T, seed int64, cfg gateway.Config) *harness {
@@ -46,7 +47,7 @@ func newHarness(t *testing.T, seed int64, cfg gateway.Config) *harness {
 	for i := range nodes {
 		nodes[i] = string(rune('a' + i))
 	}
-	h := &harness{t: t, loop: rt.New(seed)}
+	h := &harness{t: t, loop: rt.New(seed), backends: make(map[string]*storage.Backend)}
 	h.loop.Start()
 	t.Cleanup(h.loop.Stop)
 	ok := h.loop.Call(func() {
@@ -61,6 +62,7 @@ func newHarness(t *testing.T, seed int64, cfg gateway.Config) *harness {
 		clock := func() time.Time { return time.Unix(0, int64(s.Now())) }
 		for i, node := range nodes {
 			backend := storage.NewBackend()
+			h.backends[node] = backend
 			dstore.NewDaemon(mesh, node, i, backend, 4<<10, dstore.WithDaemonClock(clock))
 			cl, cerr := dstore.NewClient(s, mesh, node, dstore.Config{
 				Code: code, Peers: nodes, ChunkSize: 4 << 10,
@@ -421,6 +423,45 @@ func TestDeleteAndAdmission(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("admission: status %d retry-after %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	h.waitDrained()
+}
+
+// TestCorruptObjectIs502 damages more shards of one object than the code's
+// erasure margin can absorb and reads it back: the failure is verified
+// corruption, not absence, so the gateway must answer 502 Bad Gateway (the
+// store is at fault, the request was fine) with a body naming the object.
+func TestCorruptObjectIs502(t *testing.T) {
+	h := newHarness(t, 21, gateway.Config{})
+	if resp := h.put("rotten", randBytes(5, 32<<10)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	// rs(6,4) tolerates 2 erasures; corrupt 3 of the data object's shards
+	// (the meta object stays intact so the GET reaches the data path).
+	corrupted := 0
+	for _, b := range h.backends {
+		if corrupted == 3 {
+			break
+		}
+		for _, info := range b.List() {
+			if info.ID != "rotten" {
+				continue
+			}
+			if err := b.CorruptShard(info.ID, 0); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted != 3 {
+		t.Fatalf("corrupted %d shards, want 3", corrupted)
+	}
+	resp, body := h.get("rotten", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("get corrupt object: status %d, want 502 (body %q)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "rotten") {
+		t.Fatalf("502 body does not name the object: %q", body)
 	}
 	h.waitDrained()
 }

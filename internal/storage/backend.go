@@ -49,7 +49,8 @@ type Backend struct {
 	mu       sync.Mutex
 	dir      string // "" = memory-backed
 	shards   map[string]backendEntry
-	gen      uint64 // bumped on every shard-set mutation
+	quar     map[string]quarEntry // corrupt shards sidelined by quarantine
+	gen      uint64               // bumped on every shard-set mutation
 	reads    int
 	writes   int
 	stageSeq int
@@ -83,6 +84,8 @@ type backendEntry struct {
 	shardIdx int // shard index held, or UnknownShard
 	dataLen  int
 	blockLen int
+	sums     []uint32 // CRC32C per ChecksumBlock of the shard (last may be short)
+	seq      uint64   // b.gen at publish; guards quarantine against stale reads
 }
 
 // NewBackend returns an empty memory-backed backend. The optional telemetry
@@ -125,6 +128,7 @@ func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) 
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := backendEntry{shardLen: int64(len(shard)), shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
+	e.sums = blockSums(shard)
 	if b.dir == "" {
 		var buf []byte
 		if n := len(b.spare); n > 0 {
@@ -133,7 +137,7 @@ func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) 
 		e.shard = append(buf, shard...)
 	} else {
 		e.path = b.shardPath(id)
-		if err := os.WriteFile(e.path, shard, 0o644); err != nil {
+		if err := writeShardFile(e.path, shard, e.sums); err != nil {
 			return fmt.Errorf("storage: put %s: %w", id, err)
 		}
 	}
@@ -145,10 +149,29 @@ func (b *Backend) Put(id string, shard []byte, shardIdx, dataLen, blockLen int) 
 	}
 	b.met.bytes.Add(e.shardLen)
 	b.met.writes.Inc()
-	b.shards[id] = e
 	b.gen++
+	e.seq = b.gen
+	b.shards[id] = e
 	b.writes++
 	return nil
+}
+
+// writeShardFile writes payload plus the checksum footer the offline scrub
+// path reads back.
+func writeShardFile(path string, shard []byte, sums []uint32) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(shard); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(checksumFooter(sums)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Generation returns a counter that changes whenever the shard set does —
@@ -160,24 +183,38 @@ func (b *Backend) Generation() uint64 {
 	return b.gen
 }
 
-// Get fetches the whole shard for an object and the recorded object length.
-// Streaming readers should prefer ReadAt, which does not materialise the
-// shard.
+// Get fetches the whole shard for an object and the recorded object length,
+// verified in full against the at-rest checksums. A mismatch quarantines the
+// shard and returns a *CorruptError (errors.Is ErrCorrupt). Streaming
+// readers should prefer ReadAt, which does not materialise the shard.
 func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	e, ok := b.shards[id]
+	if ok {
+		b.reads++
+		b.met.reads.Inc()
+	}
+	b.mu.Unlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrObjectNotFound, id)
 	}
-	b.reads++
-	b.met.reads.Inc()
 	if b.dir == "" {
-		return append([]byte(nil), e.shard...), e.dataLen, nil
+		if int64(len(e.shard)) < e.shardLen { // torn on the medium
+			return nil, 0, b.corrupt(id, e, len(e.shard)/ChecksumBlock)
+		}
+		shard = append([]byte(nil), e.shard[:e.shardLen]...)
+	} else {
+		file, rerr := os.ReadFile(e.path)
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("storage: %s: %w", id, rerr)
+		}
+		if int64(len(file)) < e.shardLen { // torn past the recorded length
+			return nil, 0, b.corrupt(id, e, len(file)/ChecksumBlock)
+		}
+		shard = file[:e.shardLen] // drop the checksum footer
 	}
-	shard, err = os.ReadFile(e.path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("storage: %s: %w", id, err)
+	if err := b.verifyRange(id, e, shard, 0, nil); err != nil {
+		return nil, 0, err
 	}
 	return shard, e.dataLen, nil
 }
@@ -189,6 +226,13 @@ func (b *Backend) Get(id string) (shard []byte, dataLen int, err error) {
 // happens outside the backend lock (entries are immutable once published;
 // a concurrent Delete surfaces as a read error, the same as an object that
 // was never stored).
+//
+// Every byte returned is verified against the at-rest checksums: blocks the
+// range only partially covers are completed from the medium. A mismatch — or
+// a shard torn shorter than its recorded length — quarantines the shard and
+// returns a *CorruptError (errors.Is ErrCorrupt), so readers fold detected
+// corruption into their erasure handling. Block-aligned reads (the daemon's
+// chunk pump) verify allocation-free.
 func (b *Backend) ReadAt(id string, p []byte, off int64) error {
 	b.mu.Lock()
 	e, ok := b.shards[id]
@@ -205,18 +249,26 @@ func (b *Backend) ReadAt(id string, p []byte, off int64) error {
 			id, off, off+int64(len(p)), e.shardLen, io.ErrUnexpectedEOF)
 	}
 	if e.path == "" {
+		if off+int64(len(p)) > int64(len(e.shard)) { // torn on the medium
+			return b.corrupt(id, e, len(e.shard)/ChecksumBlock)
+		}
 		copy(p, e.shard[off:])
-		return nil
+		return b.verifyRange(id, e, p, off, nil)
 	}
 	f, err := os.Open(e.path)
 	if err != nil {
 		return fmt.Errorf("storage: %s: %w", id, err)
 	}
 	defer f.Close()
-	if _, err := f.ReadAt(p, off); err != nil {
+	if n, err := f.ReadAt(p, off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// The file is shorter than the recorded shard length: a torn
+			// write surfaces as corruption, not as a short read.
+			return b.corrupt(id, e, int((off+int64(n))/ChecksumBlock))
+		}
 		return fmt.Errorf("storage: %s: %w", id, err)
 	}
-	return nil
+	return b.verifyRange(id, e, p, off, f)
 }
 
 // Stat reports the shard length and recorded object length without counting
@@ -242,10 +294,13 @@ func (b *Backend) Info(id string) (ObjectInfo, error) {
 	return ObjectInfo{ID: id, Shard: e.shardIdx, DataLen: e.dataLen, ShardLen: int(e.shardLen), BlockLen: e.blockLen}, nil
 }
 
-// Delete removes an object's shard.
+// Delete removes an object's shard, along with any quarantined remains of
+// earlier corrupt copies — a deleted object must not leave bad bytes behind
+// to be mistaken for it later.
 func (b *Backend) Delete(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.dropQuarantineLocked(id)
 	e, ok := b.shards[id]
 	if !ok {
 		return
@@ -287,7 +342,9 @@ func (b *Backend) Objects() int {
 	return len(b.shards)
 }
 
-// Wipe discards all shards (a replaced blank node).
+// Wipe discards all shards (a replaced blank node), including quarantined
+// corpses and orphaned stage temp files — a rebuilt node starts from nothing
+// and must not be able to resurrect bad or half-written shards.
 func (b *Backend) Wipe() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -299,6 +356,25 @@ func (b *Backend) Wipe() {
 	}
 	b.met.objects.Add(-int64(len(b.shards)))
 	b.shards = make(map[string]backendEntry)
+	for _, q := range b.quar {
+		if q.path != "" {
+			os.Remove(q.path)
+		}
+	}
+	b.met.quarantined.Add(-int64(len(b.quar)))
+	b.quar = nil
+	if b.dir != "" {
+		// Sweep the directory for remains no live entry points at: stage
+		// temp files from writes interrupted mid-flight and quarantine
+		// files a previous process sidelined.
+		for _, pat := range []string{".stage-*", "*.quarantine"} {
+			if matches, err := filepath.Glob(filepath.Join(b.dir, pat)); err == nil {
+				for _, m := range matches {
+					os.Remove(m)
+				}
+			}
+		}
+	}
 	b.gen++
 }
 
@@ -313,6 +389,13 @@ type Stage struct {
 	n        int64
 	err      error
 	finished bool // staged-bytes gauge settled (committed or aborted)
+
+	// Incremental checksum ladder: one CRC32C per ChecksumBlock as the
+	// bytes stream in, so Commit records integrity metadata without ever
+	// re-reading what was staged.
+	sums []uint32
+	crc  uint32
+	crcN int
 }
 
 // NewStage opens a streaming write. The caller must finish it with Commit or
@@ -336,7 +419,8 @@ func (b *Backend) NewStage() *Stage {
 	return s
 }
 
-// Append adds the next chunk of the shard.
+// Append adds the next chunk of the shard, folding it into the incremental
+// per-block checksum ladder.
 func (s *Stage) Append(p []byte) error {
 	if s.err != nil {
 		return s.err
@@ -348,6 +432,19 @@ func (s *Stage) Append(p []byte) error {
 		}
 	} else {
 		s.buf = append(s.buf, p...)
+	}
+	for q := p; len(q) > 0; {
+		room := ChecksumBlock - s.crcN
+		if room > len(q) {
+			room = len(q)
+		}
+		s.crc = crc32Update(s.crc, q[:room])
+		s.crcN += room
+		q = q[room:]
+		if s.crcN == ChecksumBlock {
+			s.sums = append(s.sums, s.crc)
+			s.crc, s.crcN = 0, 0
+		}
 	}
 	s.n += int64(len(p))
 	s.b.met.stagedBytes.Add(int64(len(p)))
@@ -400,8 +497,17 @@ func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) e
 	}
 	commitStart := time.Now()
 	e := backendEntry{shardLen: s.n, shardIdx: shardIdx, dataLen: dataLen, blockLen: blockLen}
+	e.sums = s.sums
+	if s.crcN > 0 { // finalize the short final block
+		e.sums = append(e.sums, s.crc)
+	}
 	if s.f != nil {
 		name := s.f.Name()
+		if _, err := s.f.Write(checksumFooter(e.sums)); err != nil {
+			s.f.Close()
+			os.Remove(name)
+			return fmt.Errorf("storage: commit %s: %w", id, err)
+		}
 		if err := s.f.Close(); err != nil {
 			os.Remove(name)
 			return fmt.Errorf("storage: commit %s: %w", id, err)
@@ -423,8 +529,9 @@ func (b *Backend) Commit(s *Stage, id string, shardIdx, dataLen, blockLen int) e
 	} else {
 		b.met.objects.Inc()
 	}
-	b.shards[id] = e
 	b.gen++
+	e.seq = b.gen
+	b.shards[id] = e
 	b.writes++
 	b.mu.Unlock()
 	b.met.bytes.Add(e.shardLen)
